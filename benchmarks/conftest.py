@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark file regenerates one experiment from DESIGN.md's
+per-experiment index (E1..E10).  Besides the timing numbers collected by
+pytest-benchmark, each experiment writes its "paper claim vs measured" table
+to ``benchmarks/results/<experiment>.txt`` so the quantitative outcome is
+inspectable after a plain ``pytest benchmarks/ --benchmark-only`` run; the
+same tables are summarised in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_experiment(results_dir):
+    """Return a callable that persists one experiment's rendered table."""
+
+    def _record(experiment_id: str, title: str, body: str) -> None:
+        path = results_dir / f"{experiment_id}.txt"
+        path.write_text(f"{experiment_id}: {title}\n\n{body}\n")
+        # Also echo to stdout so `pytest -s` shows the tables inline.
+        print(f"\n{experiment_id}: {title}\n{body}\n")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    """A single seed shared by every experiment, for reproducibility."""
+    return 2022  # the paper's publication year

@@ -1,0 +1,69 @@
+"""E5 -- Theorem 1.4 / Figure 1: the lower-bound construction and reduction.
+
+Paper claim (Section 5): from a KMW-style base graph G with maximum degree
+Delta, the constructed graph H has Delta^2 * (n+m) + n nodes,
+Delta^2 * (2m+n) edges, arboricity 2 and maximum degree Delta^2, satisfies
+OPT_MDS(H) <= (Delta^2 + Delta) * OPT_MFVC(G), and any c-approximate
+dominating set of H converts into a c*(1+1/Delta)-approximate fractional
+vertex cover of G.
+
+Measured here: all structural certificates, plus the realised conversion
+ratio when the dominating set of H is produced by the paper's own algorithm.
+"""
+
+from __future__ import annotations
+
+from repro import solve_mds
+from repro.analysis.tables import format_table
+from repro.baselines.lp import fractional_vertex_cover_lp
+from repro.lowerbound.kmw_graph import bipartite_regular_base_graph
+from repro.lowerbound.reduction import (
+    build_lower_bound_graph,
+    extract_fractional_vertex_cover,
+    verify_structural_properties,
+)
+
+
+def _run(seed):
+    rows = []
+    for side, degree in [(6, 3), (10, 4), (14, 5)]:
+        base = bipartite_regular_base_graph(side, degree, seed=seed + side)
+        instance = build_lower_bound_graph(base)
+        checks = verify_structural_properties(instance)
+        result = solve_mds(instance.graph, alpha=2, epsilon=0.3)
+        fractional = extract_fractional_vertex_cover(instance, result.dominating_set)
+        _, opt_mfvc = fractional_vertex_cover_lp(base.graph)
+        vc_value = sum(fractional.values())
+        rows.append(
+            {
+                "base": base.description,
+                "H nodes": instance.n_h,
+                "H edges": instance.m_h,
+                "copies=Delta^2": instance.copies,
+                "structure ok": all(checks.values()),
+                "|DS(H)| (Thm 1.1)": len(result.dominating_set),
+                "extracted VC": round(vc_value, 2),
+                "OPT MFVC(G)": round(opt_mfvc, 2),
+                "VC ratio": round(vc_value / opt_mfvc, 3),
+                "DS valid": result.is_valid,
+            }
+        )
+    return rows
+
+
+def test_e5_lower_bound_construction(benchmark, record_experiment, bench_seed):
+    rows = benchmark.pedantic(_run, args=(bench_seed,), rounds=1, iterations=1)
+    for row in rows:
+        assert row["structure ok"], row
+        assert row["DS valid"], row
+        # The extracted object is a fractional vertex cover (feasibility is
+        # enforced inside extract_fractional_vertex_cover); its value is at
+        # most |S| / copies, i.e. the reduction loses nothing beyond the DS ratio.
+        assert row["extracted VC"] <= row["|DS(H)| (Thm 1.1)"] / row["copies=Delta^2"] + 1e-9
+        assert row["VC ratio"] >= 1.0 - 1e-9
+    record_experiment(
+        "E5",
+        "Theorem 1.4 / Figure 1 -- lower-bound construction certificates and DS->MFVC reduction",
+        format_table(rows),
+    )
+    benchmark.extra_info["instances"] = len(rows)

@@ -1,0 +1,89 @@
+"""E9 -- round-complexity scaling: O(log Delta / eps), independent of n.
+
+Paper claim: the deterministic algorithm's round count grows logarithmically
+with the maximum degree Delta and linearly with 1/eps, and does not depend on
+the number of nodes n (Theorem 1.1); the lower bound (Theorem 1.4) says a
+log Delta / log log Delta dependence is unavoidable already at arboricity 2.
+
+Measured here: (i) rounds at fixed Delta as n grows (flat curve), (ii) rounds
+at fixed n as Delta grows (logarithmic curve), (iii) rounds as eps shrinks
+(linear in 1/eps).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import solve_mds
+from repro.analysis.tables import format_table
+from repro.graphs.generators import caterpillar_graph, grid_graph
+
+
+def _run():
+    rows = []
+    # (i) Fixed Delta = 4 (grids), growing n.
+    for rows_count, cols in [(5, 6), (12, 12), (25, 25), (40, 40)]:
+        graph = grid_graph(rows_count, cols)
+        result = solve_mds(graph, alpha=2, epsilon=0.2)
+        assert result.is_valid
+        rows.append(
+            {
+                "series": "fixed Delta=4, growing n",
+                "n": graph.number_of_nodes(),
+                "Delta": 4,
+                "eps": 0.2,
+                "rounds": result.rounds,
+            }
+        )
+    # (ii) Fixed n-ish, growing Delta: caterpillars with more legs per spine node.
+    for legs in (2, 8, 32, 128):
+        graph = caterpillar_graph(12, legs_per_node=legs)
+        result = solve_mds(graph, alpha=1, epsilon=0.2)
+        assert result.is_valid
+        rows.append(
+            {
+                "series": "growing Delta (caterpillar legs)",
+                "n": graph.number_of_nodes(),
+                "Delta": max(dict(graph.degree()).values()),
+                "eps": 0.2,
+                "rounds": result.rounds,
+            }
+        )
+    # (iii) Fixed graph, shrinking eps.
+    graph = caterpillar_graph(12, legs_per_node=32)
+    for eps in (0.4, 0.2, 0.1, 0.05):
+        result = solve_mds(graph, alpha=1, epsilon=eps)
+        assert result.is_valid
+        rows.append(
+            {
+                "series": "shrinking eps",
+                "n": graph.number_of_nodes(),
+                "Delta": max(dict(graph.degree()).values()),
+                "eps": eps,
+                "rounds": result.rounds,
+            }
+        )
+    return rows
+
+
+def test_e9_round_scaling(benchmark, record_experiment, bench_seed):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    fixed_delta = [row["rounds"] for row in rows if row["series"].startswith("fixed Delta")]
+    # (i) Independence of n: identical round counts across a 40x size range.
+    assert max(fixed_delta) - min(fixed_delta) == 0
+    # (ii) Logarithmic growth in Delta: rounds grow, but stay within the bound.
+    growing = [row for row in rows if row["series"].startswith("growing Delta")]
+    assert growing[0]["rounds"] < growing[-1]["rounds"]
+    for row in growing:
+        bound = 2 * (math.log(row["Delta"] + 1) / math.log(1.2) + 2) + 6
+        assert row["rounds"] <= bound
+    # (iii) More precision costs more rounds, roughly linearly in 1/eps.
+    eps_series = [row for row in rows if row["series"] == "shrinking eps"]
+    assert eps_series[0]["rounds"] < eps_series[-1]["rounds"]
+    assert eps_series[-1]["rounds"] <= 12 * eps_series[0]["rounds"]
+    record_experiment(
+        "E9",
+        "Round-complexity scaling: flat in n, logarithmic in Delta, linear in 1/eps",
+        format_table(rows),
+    )
+    benchmark.extra_info["points"] = len(rows)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Build the Theorem 1.4 / Figure 1 lower-bound graph and run the reduction.
+
+The paper's lower bound says: even at arboricity 2, any constant or
+poly-logarithmic approximation of minimum dominating set needs
+Omega(log Delta / log log Delta) rounds.  The proof constructs a graph ``H``
+from a KMW-style base graph ``G`` and converts dominating sets of ``H`` into
+fractional vertex covers of ``G``.  This example performs the construction,
+verifies every structural property claimed in Section 5, runs the paper's own
+algorithm on ``H``, and carries out the conversion, printing the chain of
+quantities the proof manipulates.
+"""
+
+from __future__ import annotations
+
+from repro import solve_mds
+from repro.analysis.tables import format_table
+from repro.baselines.lp import fractional_vertex_cover_lp
+from repro.lowerbound.kmw_graph import bipartite_regular_base_graph
+from repro.lowerbound.reduction import (
+    build_lower_bound_graph,
+    extract_fractional_vertex_cover,
+    verify_structural_properties,
+)
+
+
+def main() -> None:
+    rows = []
+    for side, degree in [(6, 3), (10, 4), (16, 5)]:
+        base = bipartite_regular_base_graph(side, degree, seed=side)
+        instance = build_lower_bound_graph(base)  # copies = Delta^2 as in the paper
+        checks = verify_structural_properties(instance)
+        assert all(checks.values()), checks
+
+        result = solve_mds(instance.graph, alpha=2, epsilon=0.3)
+        assert result.is_valid
+
+        fractional = extract_fractional_vertex_cover(instance, result.dominating_set)
+        _, opt_mfvc = fractional_vertex_cover_lp(base.graph)
+        rows.append(
+            {
+                "base n / m": f"{base.n} / {base.m}",
+                "copies (Delta^2)": instance.copies,
+                "H nodes": instance.n_h,
+                "H max degree": max(dict(instance.graph.degree()).values()),
+                "H arboricity cert": "out-deg 2, acyclic",
+                "|DS(H)|": len(result.dominating_set),
+                "extracted VC value": round(sum(fractional.values()), 2),
+                "OPT fractional VC(G)": round(opt_mfvc, 2),
+                "VC ratio": round(sum(fractional.values()) / opt_mfvc, 3),
+            }
+        )
+    print("Figure 1 construction and the dominating-set -> fractional-VC reduction\n")
+    print(format_table(rows))
+    print(
+        "\nEvery H has arboricity 2 (certified by an explicit acyclic out-degree-2 "
+        "orientation) and maximum degree Delta^2; a c-approximate dominating set "
+        "of H converts into a c*(1+1/Delta)-approximate fractional vertex cover "
+        "of the base graph, which is exactly how Theorem 1.4 transfers the KMW "
+        "hardness to arboricity-2 graphs."
+    )
+
+
+if __name__ == "__main__":
+    main()

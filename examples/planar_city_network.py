@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Facility placement on a planar road network.
+
+Planar graphs have arboricity at most 3, so they are a flagship application
+of the paper.  This example models a city's road network as a Delaunay
+triangulation of random intersections, with a "construction cost" per
+intersection, and asks for a minimum-cost set of facility locations such that
+every intersection is adjacent to (or is) a facility -- a weighted dominating
+set.  It compares the paper's deterministic distributed algorithm against the
+centralized greedy and the LP lower bound, and shows how the round count
+scales with the maximum degree rather than the city size.
+"""
+
+from __future__ import annotations
+
+from repro import solve_weighted_mds
+from repro.analysis.tables import format_table
+from repro.baselines.greedy import greedy_dominating_set
+from repro.baselines.lp import lp_dominating_set_lower_bound
+from repro.graphs.arboricity import arboricity_upper_bound
+from repro.graphs.generators import planar_triangulation_graph
+from repro.graphs.weights import assign_degree_weights
+
+
+def run_city(n: int, seed: int) -> dict:
+    """Build one synthetic city and solve the facility placement problem."""
+    city = planar_triangulation_graph(n, seed=seed)
+    # Busy intersections (high degree) are expensive places to build.
+    assign_degree_weights(city, base=5)
+    alpha = min(3, max(1, arboricity_upper_bound(city)))
+
+    distributed = solve_weighted_mds(city, alpha=alpha, epsilon=0.25)
+    greedy_set, greedy_cost = greedy_dominating_set(city)
+    lp_bound = lp_dominating_set_lower_bound(city)
+
+    assert distributed.is_valid
+    return {
+        "intersections": city.number_of_nodes(),
+        "roads": city.number_of_edges(),
+        "max_degree": max(dict(city.degree()).values()),
+        "facility cost (distributed)": distributed.weight,
+        "facility cost (greedy)": greedy_cost,
+        "LP lower bound": round(lp_bound, 1),
+        "ratio vs LP": round(distributed.weight / lp_bound, 3),
+        "CONGEST rounds": distributed.rounds,
+    }
+
+
+def main() -> None:
+    print("Weighted dominating set as facility placement on planar road networks")
+    print("(arboricity <= 3; the guarantee is (2*3+1)*(1+eps))\n")
+    rows = [run_city(n, seed) for n, seed in [(120, 1), (250, 2), (500, 3), (900, 4)]]
+    print(format_table(rows))
+    print(
+        "\nNote how the number of CONGEST rounds barely moves as the city "
+        "grows: the round complexity is O(log(Delta)/eps), independent of n."
+    )
+
+
+if __name__ == "__main__":
+    main()

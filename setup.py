@@ -1,0 +1,9 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml`` (PEP 621).  This file exists
+so that ``pip install -e .`` works in fully offline environments, where PEP
+517 build isolation cannot download its build requirements.
+"""
+from setuptools import setup
+
+setup()

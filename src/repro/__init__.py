@@ -1,0 +1,49 @@
+"""Reproduction of "Near-Optimal Distributed Dominating Set in Bounded
+Arboricity Graphs" (Dory, Ghaffari, Ilchi; PODC 2022).
+
+The package is organised as follows:
+
+* :mod:`repro.graphs`     -- graph substrate: arboricity, orientations, generators.
+* :mod:`repro.congest`    -- synchronous CONGEST/LOCAL message-passing simulator.
+* :mod:`repro.core`       -- the paper's algorithms (Theorems 1.1, 1.2, 1.3, 3.1,
+  Remarks 4.4/4.5, Observation A.1) implemented as distributed algorithms.
+* :mod:`repro.baselines`  -- every comparator the paper discusses (greedy,
+  Lenzen--Wattenhofer, KMW, Bansal--Umboh, Morgan--Solomon--Wein, Sun, exact, LP).
+* :mod:`repro.lowerbound` -- the Theorem 1.4 / Figure 1 lower-bound construction
+  and the dominating-set -> fractional-vertex-cover reduction.
+* :mod:`repro.analysis`   -- verification, OPT estimation and experiment harness.
+
+Quickstart::
+
+    from repro import solve_mds
+    from repro.graphs import forest_union_graph
+
+    graph = forest_union_graph(n=200, alpha=3, seed=1)
+    result = solve_mds(graph, alpha=3, epsilon=0.2)
+    assert result.is_valid
+"""
+
+from repro.core.api import (
+    DominatingSetResult,
+    solve_mds,
+    solve_mds_forest,
+    solve_mds_general,
+    solve_mds_randomized,
+    solve_mds_unknown_arboricity,
+    solve_mds_unknown_degree,
+    solve_weighted_mds,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DominatingSetResult",
+    "solve_mds",
+    "solve_mds_forest",
+    "solve_mds_general",
+    "solve_mds_randomized",
+    "solve_mds_unknown_arboricity",
+    "solve_mds_unknown_degree",
+    "solve_weighted_mds",
+    "__version__",
+]

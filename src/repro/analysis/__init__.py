@@ -1,0 +1,42 @@
+"""Verification, OPT estimation and the experiment harness.
+
+* :mod:`repro.analysis.verify` -- certified verification of algorithm runs:
+  dominating-set validity, packing feasibility, approximation ratios against
+  certified lower bounds.
+* :mod:`repro.analysis.opt` -- the OPT-estimation policy used by the
+  benchmarks (exact MILP below a size threshold, LP / packing dual bound
+  above it).
+* :mod:`repro.analysis.experiments` -- the experiment runner: workload
+  construction, parameter sweeps, per-run records, aggregation.
+* :mod:`repro.analysis.tables` -- plain-text table rendering of experiment
+  results ("paper claim vs measured" rows) used by the benchmarks and the
+  example scripts.
+"""
+
+from repro.analysis.verify import (
+    VerificationReport,
+    approximation_ratio,
+    verify_run,
+)
+from repro.analysis.opt import OptEstimate, estimate_opt
+from repro.analysis.experiments import (
+    ExperimentRecord,
+    aggregate_records,
+    run_algorithm_on_instance,
+    sweep,
+)
+from repro.analysis.tables import format_table, render_records
+
+__all__ = [
+    "ExperimentRecord",
+    "OptEstimate",
+    "VerificationReport",
+    "aggregate_records",
+    "approximation_ratio",
+    "estimate_opt",
+    "format_table",
+    "render_records",
+    "run_algorithm_on_instance",
+    "sweep",
+    "verify_run",
+]

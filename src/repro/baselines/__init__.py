@@ -1,0 +1,65 @@
+"""Baseline algorithms the paper compares against (Section 1.1 / 1.2).
+
+The paper positions its contribution against a set of prior algorithms.  To
+reproduce the "who wins, by how much" comparisons, this subpackage
+re-implements each of them:
+
+* :mod:`repro.baselines.exact` -- exact minimum (weighted) dominating set via
+  integer programming / branch-and-bound, used as the denominator of
+  approximation ratios on small and medium instances.
+* :mod:`repro.baselines.lp` -- LP relaxations of dominating set and vertex
+  cover (scipy), used both as OPT lower bounds and as input to the rounding
+  baselines.
+* :mod:`repro.baselines.greedy` -- the classic centralized ``ln(Delta+1)``
+  greedy [Johnson 1974], weighted and unweighted.
+* :mod:`repro.baselines.bansal_umboh` -- the Bansal--Umboh LP-rounding
+  ``(2*alpha+1)``-approximation [BU17, with the Dvorak parameter choice].
+* :mod:`repro.baselines.kmw` -- KMW-style LP + randomized rounding with
+  ``O(log Delta)`` expected approximation [KMW06].
+* :mod:`repro.baselines.lenzen_wattenhofer` -- distributed baselines in the
+  spirit of Lenzen--Wattenhofer DISC'10: a deterministic ``O(alpha log Delta)``
+  threshold-greedy in ``O(log Delta)`` rounds and a randomized ``O(alpha^2)``
+  algorithm in ``O(log n)`` rounds.
+* :mod:`repro.baselines.msw` -- a combinatorial orientation-based baseline in
+  the spirit of Morgan--Solomon--Wein DISC'21.
+* :mod:`repro.baselines.sun` -- the centralized primal-dual algorithm with
+  reverse-delete described for [Sun21] in Section 1.3, which is inherently
+  sequential (that is the point the paper makes).
+
+Re-implementation note: the distributed baselines are faithful to the round
+and approximation behaviour the Dory--Ghaffari--Ilchi paper attributes to
+them, but they are reconstructions from those descriptions and from standard
+textbook techniques, not line-by-line ports of the original papers' code
+(none of which is public).
+"""
+
+from repro.baselines.exact import exact_minimum_dominating_set, exact_minimum_weight_dominating_set
+from repro.baselines.greedy import greedy_dominating_set
+from repro.baselines.lp import (
+    fractional_dominating_set_lp,
+    fractional_vertex_cover_lp,
+    lp_dominating_set_lower_bound,
+)
+from repro.baselines.bansal_umboh import bansal_umboh_dominating_set
+from repro.baselines.kmw import kmw_lp_rounding_dominating_set
+from repro.baselines.lenzen_wattenhofer import (
+    LWDeterministicAlgorithm,
+    LWRandomizedAlgorithm,
+)
+from repro.baselines.msw import MSWStyleAlgorithm
+from repro.baselines.sun import sun_reverse_delete_dominating_set
+
+__all__ = [
+    "LWDeterministicAlgorithm",
+    "LWRandomizedAlgorithm",
+    "MSWStyleAlgorithm",
+    "bansal_umboh_dominating_set",
+    "exact_minimum_dominating_set",
+    "exact_minimum_weight_dominating_set",
+    "fractional_dominating_set_lp",
+    "fractional_vertex_cover_lp",
+    "greedy_dominating_set",
+    "kmw_lp_rounding_dominating_set",
+    "lp_dominating_set_lower_bound",
+    "sun_reverse_delete_dominating_set",
+]

@@ -1,0 +1,64 @@
+"""The classic centralized greedy dominating set algorithm [Johnson 1974].
+
+At every step the algorithm picks the node with the best ratio of weight to
+number of newly dominated nodes.  For unit weights this is the textbook
+``ln(Delta+1) + 1`` approximation the paper cites as the baseline for general
+graphs; for weighted instances it is the weighted set cover greedy with the
+same harmonic guarantee.  It serves two purposes in the reproduction: as a
+quality yardstick for the distributed algorithms, and as the comparison point
+showing that the paper's algorithms beat a logarithmic factor when the
+arboricity is small but the degree is large.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable, Set, Tuple
+
+import networkx as nx
+
+from repro.graphs.validation import closed_neighborhood
+from repro.graphs.weights import node_weight
+
+__all__ = ["greedy_dominating_set"]
+
+
+def greedy_dominating_set(graph: nx.Graph) -> Tuple[Set[Hashable], int]:
+    """Return ``(dominating_set, total_weight)`` computed by the greedy rule.
+
+    Implementation detail: a lazy priority queue keyed by
+    ``weight / coverage`` with stale-entry re-checking, so the overall cost is
+    ``O((n + m) log n)`` rather than quadratic.
+    """
+    dominated: Set[Hashable] = set()
+    chosen: Set[Hashable] = set()
+    total_weight = 0
+
+    coverage = {node: graph.degree(node) + 1 for node in graph.nodes()}
+    heap = [
+        (node_weight(graph, node) / coverage[node], repr(node), node)
+        for node in graph.nodes()
+    ]
+    heapq.heapify(heap)
+
+    target = graph.number_of_nodes()
+    while len(dominated) < target and heap:
+        _, _, node = heapq.heappop(heap)
+        if node in chosen:
+            continue
+        current_coverage = sum(
+            1 for candidate in closed_neighborhood(graph, node) if candidate not in dominated
+        )
+        if current_coverage == 0:
+            continue
+        if current_coverage != coverage[node]:
+            # Stale entry: re-insert with the up-to-date ratio.
+            coverage[node] = current_coverage
+            heapq.heappush(
+                heap, (node_weight(graph, node) / current_coverage, repr(node), node)
+            )
+            continue
+        chosen.add(node)
+        total_weight += node_weight(graph, node)
+        dominated.update(closed_neighborhood(graph, node))
+    return chosen, total_weight

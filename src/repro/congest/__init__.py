@@ -1,0 +1,53 @@
+"""A synchronous message-passing (CONGEST / LOCAL) simulator.
+
+The paper's algorithms are stated for the standard CONGEST model: the
+communication network is the input graph, nodes operate in synchronous
+rounds, and each message carries ``O(log n)`` bits.  This subpackage
+implements that model faithfully enough for the reproduction's purposes:
+
+* :class:`repro.congest.network.Network` wraps a :class:`networkx.Graph`
+  into a communication network with per-node weights and shared global
+  knowledge (``n``, ``Delta``, ``alpha`` -- the paper assumes the latter two
+  are known to all nodes).
+* :class:`repro.congest.algorithm.SynchronousAlgorithm` is the abstract base
+  class a distributed algorithm implements: a ``setup`` hook plus a ``round``
+  function mapping the inbox to an outbox, with local-termination flags.
+* :class:`repro.congest.simulator.Simulator` executes the algorithm round by
+  round, records metrics (rounds, messages, bits) and enforces the CONGEST
+  bandwidth budget, raising :class:`repro.congest.errors.BandwidthViolation`
+  when a message is too large (the check can be relaxed to LOCAL).
+
+The simulator is sequential under the hood (it is a simulator, not a
+deployment), but algorithms only ever see the per-node view: their own state,
+their neighbor ids, and the messages that arrived this round.
+"""
+
+from repro.congest.errors import (
+    AlgorithmError,
+    BandwidthViolation,
+    CongestError,
+    NonConvergenceError,
+)
+from repro.congest.message import Broadcast, estimate_payload_bits
+from repro.congest.node import NodeContext
+from repro.congest.network import Network
+from repro.congest.algorithm import SynchronousAlgorithm
+from repro.congest.metrics import RoundMetrics, RunMetrics
+from repro.congest.simulator import RunResult, Simulator, run_algorithm
+
+__all__ = [
+    "AlgorithmError",
+    "BandwidthViolation",
+    "Broadcast",
+    "CongestError",
+    "Network",
+    "NodeContext",
+    "NonConvergenceError",
+    "RoundMetrics",
+    "RunMetrics",
+    "RunResult",
+    "Simulator",
+    "SynchronousAlgorithm",
+    "estimate_payload_bits",
+    "run_algorithm",
+]

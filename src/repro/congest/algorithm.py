@@ -1,0 +1,66 @@
+"""Abstract base class for synchronous distributed algorithms."""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Hashable, Mapping, Optional, Union
+
+from repro.congest.message import Broadcast, Payload
+from repro.congest.node import NodeContext
+
+__all__ = ["SynchronousAlgorithm", "Outbox"]
+
+#: What a node may return from :meth:`SynchronousAlgorithm.round`:
+#: ``None`` (silence), a :class:`Broadcast`, or an explicit per-neighbor map.
+Outbox = Union[None, Broadcast, Mapping[Hashable, Payload]]
+
+
+class SynchronousAlgorithm(abc.ABC):
+    """A distributed algorithm in the synchronous message-passing model.
+
+    The simulator drives the algorithm as follows.  First ``setup`` is called
+    once per node.  Then, in every round, ``round(node, index, inbox)`` is
+    called for every non-finished node, where ``inbox`` maps neighbor ids to
+    the payloads received from them this round (messages produced in round
+    ``i`` are delivered at the start of round ``i + 1`` -- the usual
+    "compute, send, receive" convention folded so that the inbox passed to
+    round ``i`` contains exactly the messages produced in round ``i - 1``).
+    The return value is the node's outbox for this round.
+
+    A node signals local termination by calling :meth:`NodeContext.finish`;
+    once every node is finished the simulation stops and ``output`` is
+    collected from each node.
+
+    Subclasses should keep all per-node variables in ``node.state`` -- the
+    algorithm object itself must stay stateless across nodes so that one
+    instance can be reused for many runs.
+    """
+
+    #: Human-readable algorithm name used in metrics and reports.
+    name: str = "synchronous-algorithm"
+
+    #: If ``True`` the simulator enforces the CONGEST bandwidth budget; LOCAL
+    #: algorithms (e.g. lower-bound simulations) may set this to ``False``.
+    congest: bool = True
+
+    def setup(self, node: NodeContext) -> None:
+        """Initialise ``node.state``.  Called once before round 0."""
+
+    @abc.abstractmethod
+    def round(
+        self, node: NodeContext, round_index: int, inbox: Dict[Hashable, Payload]
+    ) -> Outbox:
+        """Execute one synchronous round at ``node`` and return its outbox."""
+
+    def output(self, node: NodeContext) -> Any:
+        """Return the node's final output (collected after termination)."""
+        return node.state.get("output")
+
+    def max_rounds(self, network) -> Optional[int]:
+        """Optional hard round limit for this algorithm on ``network``.
+
+        Returning ``None`` defers to the simulator's default limit.  Concrete
+        algorithms override this with the bound proved in the paper so that
+        the tests can assert the implementation respects it.
+        """
+        return None

@@ -1,0 +1,44 @@
+"""Exceptions raised by the CONGEST simulator."""
+
+from __future__ import annotations
+
+__all__ = [
+    "CongestError",
+    "BandwidthViolation",
+    "AlgorithmError",
+    "NonConvergenceError",
+]
+
+
+class CongestError(Exception):
+    """Base class for all simulator errors."""
+
+
+class BandwidthViolation(CongestError):
+    """A message exceeded the CONGEST per-edge, per-round bit budget."""
+
+    def __init__(self, sender, receiver, bits: int, budget: int):
+        self.sender = sender
+        self.receiver = receiver
+        self.bits = bits
+        self.budget = budget
+        super().__init__(
+            f"message from {sender!r} to {receiver!r} needs ~{bits} bits, "
+            f"but the CONGEST budget is {budget} bits"
+        )
+
+
+class AlgorithmError(CongestError):
+    """An algorithm misused the simulator API (e.g. sent to a non-neighbor)."""
+
+
+class NonConvergenceError(CongestError):
+    """The algorithm did not terminate within the allowed number of rounds."""
+
+    def __init__(self, rounds: int, pending: int):
+        self.rounds = rounds
+        self.pending = pending
+        super().__init__(
+            f"algorithm did not terminate after {rounds} rounds "
+            f"({pending} nodes still running)"
+        )

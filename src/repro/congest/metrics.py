@@ -1,0 +1,67 @@
+"""Metrics collected by the simulator: rounds, messages, bits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["RoundMetrics", "RunMetrics"]
+
+
+@dataclass
+class RoundMetrics:
+    """Traffic statistics for a single synchronous round."""
+
+    round_index: int
+    messages: int = 0
+    bits: int = 0
+    max_message_bits: int = 0
+    active_nodes: int = 0
+
+
+@dataclass
+class RunMetrics:
+    """Aggregate statistics for one algorithm execution.
+
+    Attributes
+    ----------
+    rounds:
+        Number of communication rounds executed (the quantity the paper's
+        theorems bound).
+    total_messages / total_bits:
+        Message and bit volume across the whole run.
+    max_message_bits:
+        The largest single message observed; under CONGEST this stays within
+        the bandwidth budget.
+    bandwidth_budget_bits:
+        The per-message budget that was enforced (0 means unenforced/LOCAL).
+    per_round:
+        The individual :class:`RoundMetrics` records.
+    """
+
+    rounds: int = 0
+    total_messages: int = 0
+    total_bits: int = 0
+    max_message_bits: int = 0
+    bandwidth_budget_bits: int = 0
+    per_round: List[RoundMetrics] = field(default_factory=list)
+
+    def record(self, round_metrics: RoundMetrics) -> None:
+        """Fold one round's statistics into the aggregate."""
+        self.rounds += 1
+        self.total_messages += round_metrics.messages
+        self.total_bits += round_metrics.bits
+        self.max_message_bits = max(self.max_message_bits, round_metrics.max_message_bits)
+        self.per_round.append(round_metrics)
+
+    @property
+    def average_messages_per_round(self) -> float:
+        return self.total_messages / self.rounds if self.rounds else 0.0
+
+    def summary(self) -> str:
+        """Return a one-line human-readable summary."""
+        return (
+            f"rounds={self.rounds} messages={self.total_messages} "
+            f"bits={self.total_bits} max_message_bits={self.max_message_bits} "
+            f"budget={self.bandwidth_budget_bits or 'LOCAL'}"
+        )

@@ -1,0 +1,100 @@
+"""Communication network wrapping an input graph."""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Any, Dict, Hashable, Iterable, Mapping, Optional
+
+import networkx as nx
+
+from repro.congest.node import NodeContext
+from repro.graphs.weights import node_weight
+
+__all__ = ["Network"]
+
+
+class Network:
+    """The communication network of the CONGEST model.
+
+    The network is identical to the input graph (Section 2 of the paper):
+    every graph node is a processor and every edge a bidirectional link.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.  Node weights are read from the ``"weight"``
+        attribute (defaulting to 1).
+    alpha:
+        The arboricity upper bound that is assumed to be global knowledge.
+        ``None`` models the "unknown alpha" setting of Remark 4.5.
+    config:
+        Additional globally known parameters (e.g. ``epsilon``); merged into
+        each node's read-only ``config`` mapping together with ``n``,
+        ``max_degree`` and ``alpha``.
+    seed:
+        Seed from which every node derives its private random stream.
+    knows_max_degree:
+        Set to ``False`` to model the "unknown Delta" setting of Remark 4.4;
+        the ``max_degree`` entry is then omitted from the node config.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        alpha: Optional[int] = None,
+        config: Optional[Mapping[str, Any]] = None,
+        seed: int = 0,
+        knows_max_degree: bool = True,
+    ):
+        if graph.is_directed() or graph.is_multigraph():
+            raise TypeError("the CONGEST network requires a simple undirected graph")
+        self.graph = graph
+        self.seed = seed
+        self.n = graph.number_of_nodes()
+        self.m = graph.number_of_edges()
+        degrees = dict(graph.degree())
+        self.max_degree = max(degrees.values(), default=0)
+        self.alpha = alpha
+
+        shared: Dict[str, Any] = {"n": self.n}
+        if knows_max_degree:
+            shared["max_degree"] = self.max_degree
+        if alpha is not None:
+            shared["alpha"] = alpha
+        if config:
+            shared.update(config)
+        self.config: Mapping[str, Any] = MappingProxyType(dict(shared))
+
+        self.nodes: Dict[Hashable, NodeContext] = {}
+        for node in graph.nodes():
+            self.nodes[node] = NodeContext(
+                node_id=node,
+                weight=node_weight(graph, node),
+                neighbors=tuple(graph.neighbors(node)),
+                config=self.config,
+                seed=seed,
+            )
+
+    def node_ids(self) -> Iterable[Hashable]:
+        """Iterate over the node identifiers in a deterministic order."""
+        return self.graph.nodes()
+
+    def context(self, node_id: Hashable) -> NodeContext:
+        """Return the :class:`NodeContext` of ``node_id``."""
+        return self.nodes[node_id]
+
+    def are_neighbors(self, u: Hashable, v: Hashable) -> bool:
+        """Return ``True`` iff ``u`` and ``v`` share an edge."""
+        return self.graph.has_edge(u, v)
+
+    def reset(self) -> None:
+        """Clear all per-node state so another algorithm can run on the network."""
+        for node in self.nodes.values():
+            node.state.clear()
+            node._finished = False
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Network(n={self.n}, m={self.m}, max_degree={self.max_degree}, alpha={self.alpha})"

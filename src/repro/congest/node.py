@@ -1,0 +1,83 @@
+"""Per-node view of the network exposed to distributed algorithms."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Hashable, Mapping, Tuple
+
+__all__ = ["NodeContext"]
+
+
+class NodeContext:
+    """Everything a node knows locally.
+
+    Instances are created by :class:`repro.congest.network.Network`; an
+    algorithm receives them in its ``setup`` and ``round`` methods and stores
+    its per-node variables in :attr:`state`.
+
+    Attributes
+    ----------
+    node_id:
+        The node's identifier (also usable as an ``O(log n)``-bit name).
+    weight:
+        The node's weight for the weighted dominating set problem (1 for
+        unweighted inputs).
+    neighbors:
+        Tuple of neighbor identifiers.  In CONGEST a node may address each
+        neighbor individually.
+    config:
+        Read-only mapping of globally known quantities (``n``, ``max_degree``,
+        ``alpha`` and any algorithm parameters).  The paper assumes ``Delta``
+        and ``alpha`` are global knowledge; Remarks 4.4/4.5 relax this and the
+        corresponding algorithms simply ignore those entries.
+    state:
+        Mutable dictionary for the algorithm's per-node variables.
+    rng:
+        A :class:`random.Random` seeded deterministically from the network
+        seed and the node id, for randomized algorithms.
+    """
+
+    __slots__ = ("node_id", "weight", "neighbors", "config", "state", "rng", "_finished")
+
+    def __init__(
+        self,
+        node_id: Hashable,
+        weight: int,
+        neighbors: Tuple[Hashable, ...],
+        config: Mapping[str, Any],
+        seed: int,
+    ):
+        self.node_id = node_id
+        self.weight = weight
+        self.neighbors = neighbors
+        self.config = config
+        self.state: Dict[str, Any] = {}
+        # Seeding with a string is deterministic across processes (the seed is
+        # hashed with SHA-512 internally), unlike hash() of a string.
+        self.rng = random.Random(f"{seed}:{node_id!r}")
+        self._finished = False
+
+    @property
+    def degree(self) -> int:
+        """Number of neighbors."""
+        return len(self.neighbors)
+
+    @property
+    def closed_degree(self) -> int:
+        """``|N+(v)| = degree + 1``, as used throughout the paper."""
+        return len(self.neighbors) + 1
+
+    def finish(self) -> None:
+        """Mark this node as locally terminated.
+
+        A finished node stops sending messages; the simulator stops once all
+        nodes are finished (or the round limit is reached).
+        """
+        self._finished = True
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NodeContext(id={self.node_id!r}, degree={self.degree}, weight={self.weight})"

@@ -1,0 +1,179 @@
+"""The synchronous round executor."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional
+
+import networkx as nx
+
+from repro.congest.algorithm import SynchronousAlgorithm
+from repro.congest.errors import AlgorithmError, BandwidthViolation, NonConvergenceError
+from repro.congest.message import Broadcast, estimate_payload_bits, word_size_bits
+from repro.congest.metrics import RoundMetrics, RunMetrics
+from repro.congest.network import Network
+
+__all__ = ["Simulator", "RunResult", "run_algorithm"]
+
+#: Default multiple of ``log2(n)`` allowed per message.  The model allows any
+#: fixed constant; 16 words comfortably fits the handful of scalar fields the
+#: implemented algorithms exchange while still scaling as ``O(log n)``.
+DEFAULT_BANDWIDTH_WORDS = 16
+
+#: Default hard cap on rounds, as a safety net against non-terminating bugs.
+DEFAULT_MAX_ROUNDS = 100_000
+
+
+@dataclass
+class RunResult:
+    """Outputs plus metrics of one simulated execution."""
+
+    algorithm_name: str
+    outputs: Dict[Hashable, Any]
+    metrics: RunMetrics
+
+    @property
+    def rounds(self) -> int:
+        return self.metrics.rounds
+
+    def selected_nodes(self) -> set:
+        """Return the nodes that joined the computed set.
+
+        The dominating set algorithms in this repository output a mapping
+        with an ``"in_ds"`` flag per node; plain truthy outputs are also
+        accepted so simple algorithms can return booleans directly.
+        """
+        selected = set()
+        for node, value in self.outputs.items():
+            if isinstance(value, dict):
+                if value.get("in_ds"):
+                    selected.add(node)
+            elif value:
+                selected.add(node)
+        return selected
+
+
+class Simulator:
+    """Executes a :class:`SynchronousAlgorithm` on a :class:`Network`.
+
+    Parameters
+    ----------
+    bandwidth_words:
+        Per-message budget in units of ``ceil(log2(n + 1))`` bits.  Only
+        enforced for algorithms with ``congest = True``.
+    max_rounds:
+        Hard limit on the number of rounds; exceeded limits raise
+        :class:`NonConvergenceError`.  Algorithms may lower this via
+        :meth:`SynchronousAlgorithm.max_rounds`.
+    strict:
+        When ``True`` (default) a bandwidth violation raises immediately;
+        when ``False`` it is only recorded in the metrics (useful for
+        exploratory runs).
+    """
+
+    def __init__(
+        self,
+        bandwidth_words: int = DEFAULT_BANDWIDTH_WORDS,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        strict: bool = True,
+    ):
+        self.bandwidth_words = bandwidth_words
+        self.max_rounds = max_rounds
+        self.strict = strict
+
+    def run(self, network: Network, algorithm: SynchronousAlgorithm) -> RunResult:
+        """Run ``algorithm`` on ``network`` until all nodes finish."""
+        network.reset()
+        budget = 0
+        if algorithm.congest:
+            budget = self.bandwidth_words * word_size_bits(max(2, network.n))
+        metrics = RunMetrics(bandwidth_budget_bits=budget)
+
+        for node_id in network.node_ids():
+            algorithm.setup(network.context(node_id))
+
+        limit = algorithm.max_rounds(network)
+        if limit is None:
+            limit = self.max_rounds
+        limit = min(limit, self.max_rounds)
+
+        # inboxes[v] maps neighbor -> payload delivered at the start of this round.
+        inboxes: Dict[Hashable, Dict[Hashable, Any]] = {
+            node_id: {} for node_id in network.node_ids()
+        }
+
+        round_index = 0
+        while True:
+            active = [
+                node_id
+                for node_id in network.node_ids()
+                if not network.context(node_id).finished
+            ]
+            if not active:
+                break
+            if round_index >= limit:
+                raise NonConvergenceError(rounds=round_index, pending=len(active))
+
+            round_metrics = RoundMetrics(round_index=round_index, active_nodes=len(active))
+            next_inboxes: Dict[Hashable, Dict[Hashable, Any]] = {
+                node_id: {} for node_id in network.node_ids()
+            }
+
+            for node_id in active:
+                context = network.context(node_id)
+                outbox = algorithm.round(context, round_index, inboxes[node_id])
+                if outbox is None:
+                    continue
+                if isinstance(outbox, Broadcast):
+                    deliveries = {neighbor: outbox.payload for neighbor in context.neighbors}
+                else:
+                    deliveries = dict(outbox)
+                for neighbor, payload in deliveries.items():
+                    if not network.are_neighbors(node_id, neighbor):
+                        raise AlgorithmError(
+                            f"node {node_id!r} attempted to send to non-neighbor {neighbor!r}"
+                        )
+                    bits = estimate_payload_bits(payload, max(2, network.n))
+                    if budget and bits > budget:
+                        if self.strict:
+                            raise BandwidthViolation(node_id, neighbor, bits, budget)
+                    round_metrics.messages += 1
+                    round_metrics.bits += bits
+                    round_metrics.max_message_bits = max(round_metrics.max_message_bits, bits)
+                    next_inboxes[neighbor][node_id] = payload
+
+            metrics.record(round_metrics)
+            inboxes = next_inboxes
+            round_index += 1
+
+        outputs = {
+            node_id: algorithm.output(network.context(node_id))
+            for node_id in network.node_ids()
+        }
+        return RunResult(algorithm_name=algorithm.name, outputs=outputs, metrics=metrics)
+
+
+def run_algorithm(
+    graph: nx.Graph,
+    algorithm: SynchronousAlgorithm,
+    alpha: Optional[int] = None,
+    config: Optional[Dict[str, Any]] = None,
+    seed: int = 0,
+    knows_max_degree: bool = True,
+    bandwidth_words: int = DEFAULT_BANDWIDTH_WORDS,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    strict: bool = True,
+) -> RunResult:
+    """Convenience wrapper: build a :class:`Network` and run ``algorithm`` on it."""
+    network = Network(
+        graph,
+        alpha=alpha,
+        config=config,
+        seed=seed,
+        knows_max_degree=knows_max_degree,
+    )
+    simulator = Simulator(
+        bandwidth_words=bandwidth_words, max_rounds=max_rounds, strict=strict
+    )
+    return simulator.run(network, algorithm)

@@ -1,0 +1,176 @@
+"""High-level convenience API for the paper's algorithms.
+
+These helpers wrap the CONGEST machinery so that a downstream user who just
+wants "a good dominating set of this networkx graph" never has to touch the
+simulator directly::
+
+    import networkx as nx
+    from repro import solve_mds
+
+    graph = nx.petersen_graph()
+    result = solve_mds(graph, alpha=3, epsilon=0.2)
+    print(result.dominating_set, result.weight, result.rounds)
+
+Every function returns a :class:`DominatingSetResult` that carries the set,
+its weight, the number of CONGEST rounds the distributed execution took, the
+raw per-node outputs and the traffic metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional, Set
+
+import networkx as nx
+
+from repro.congest.simulator import RunResult, run_algorithm
+from repro.congest.metrics import RunMetrics
+from repro.core.general_graphs import GeneralGraphMDSAlgorithm
+from repro.core.randomized import RandomizedMDSAlgorithm
+from repro.core.trees import ForestMDSAlgorithm
+from repro.core.unknown_params import UnknownArboricityMDSAlgorithm, UnknownDegreeMDSAlgorithm
+from repro.core.unweighted import UnweightedMDSAlgorithm
+from repro.core.weighted import WeightedMDSAlgorithm
+from repro.graphs.arboricity import arboricity_upper_bound
+from repro.graphs.validation import dominating_set_weight, is_dominating_set
+
+__all__ = [
+    "DominatingSetResult",
+    "solve_mds",
+    "solve_weighted_mds",
+    "solve_mds_randomized",
+    "solve_mds_general",
+    "solve_mds_forest",
+    "solve_mds_unknown_degree",
+    "solve_mds_unknown_arboricity",
+]
+
+
+@dataclass
+class DominatingSetResult:
+    """The outcome of running one dominating-set algorithm on one graph."""
+
+    algorithm: str
+    dominating_set: Set[Hashable]
+    weight: int
+    rounds: int
+    is_valid: bool
+    metrics: RunMetrics
+    outputs: Dict[Hashable, Any] = field(repr=False, default_factory=dict)
+    guarantee: Optional[float] = None
+
+    def __len__(self) -> int:
+        return len(self.dominating_set)
+
+
+def _package(graph: nx.Graph, result: RunResult, guarantee: Optional[float] = None) -> DominatingSetResult:
+    selected = result.selected_nodes()
+    return DominatingSetResult(
+        algorithm=result.algorithm_name,
+        dominating_set=selected,
+        weight=dominating_set_weight(graph, selected),
+        rounds=result.rounds,
+        is_valid=is_dominating_set(graph, selected),
+        metrics=result.metrics,
+        outputs=result.outputs,
+        guarantee=guarantee,
+    )
+
+
+def _resolve_alpha(graph: nx.Graph, alpha: Optional[int]) -> int:
+    if alpha is not None:
+        if alpha < 1:
+            raise ValueError("alpha must be at least 1")
+        return alpha
+    return max(1, arboricity_upper_bound(graph))
+
+
+def _is_unweighted(graph: nx.Graph) -> bool:
+    return all(graph.nodes[node].get("weight", 1) == 1 for node in graph.nodes())
+
+
+def solve_mds(
+    graph: nx.Graph,
+    alpha: Optional[int] = None,
+    epsilon: float = 0.1,
+    seed: int = 0,
+) -> DominatingSetResult:
+    """Deterministic ``(2*alpha+1)*(1+eps)`` approximation (Theorems 1.1 / 3.1).
+
+    Dispatches to the unweighted warm-up algorithm when every node weight is
+    one, and to the weighted algorithm otherwise.  ``alpha`` defaults to the
+    degeneracy of the graph, a certified upper bound on the arboricity.
+    """
+    alpha = _resolve_alpha(graph, alpha)
+    if _is_unweighted(graph):
+        algorithm = UnweightedMDSAlgorithm(epsilon=epsilon)
+    else:
+        algorithm = WeightedMDSAlgorithm(epsilon=epsilon)
+    result = run_algorithm(graph, algorithm, alpha=alpha, seed=seed)
+    return _package(graph, result, guarantee=algorithm.approximation_guarantee(alpha))
+
+
+def solve_weighted_mds(
+    graph: nx.Graph,
+    alpha: Optional[int] = None,
+    epsilon: float = 0.1,
+    seed: int = 0,
+) -> DominatingSetResult:
+    """Deterministic weighted MDS approximation (Theorem 1.1), regardless of weights."""
+    alpha = _resolve_alpha(graph, alpha)
+    algorithm = WeightedMDSAlgorithm(epsilon=epsilon)
+    result = run_algorithm(graph, algorithm, alpha=alpha, seed=seed)
+    return _package(graph, result, guarantee=algorithm.approximation_guarantee(alpha))
+
+
+def solve_mds_randomized(
+    graph: nx.Graph,
+    alpha: Optional[int] = None,
+    t: int = 1,
+    seed: int = 0,
+) -> DominatingSetResult:
+    """Randomized ``alpha + O(alpha/t)`` expected approximation (Theorem 1.2)."""
+    alpha = _resolve_alpha(graph, alpha)
+    algorithm = RandomizedMDSAlgorithm(t=t)
+    result = run_algorithm(graph, algorithm, alpha=alpha, seed=seed)
+    return _package(graph, result, guarantee=algorithm.approximation_guarantee(alpha))
+
+
+def solve_mds_general(graph: nx.Graph, k: int = 2, seed: int = 0) -> DominatingSetResult:
+    """Randomized ``O(k * Delta^(2/k))`` approximation for general graphs (Theorem 1.3)."""
+    algorithm = GeneralGraphMDSAlgorithm(k=k)
+    max_degree = max(dict(graph.degree()).values(), default=0)
+    result = run_algorithm(graph, algorithm, alpha=None, seed=seed)
+    return _package(graph, result, guarantee=algorithm.approximation_guarantee(max_degree))
+
+
+def solve_mds_forest(graph: nx.Graph, seed: int = 0) -> DominatingSetResult:
+    """Single-round 3-approximation on forests (Observation A.1, unweighted)."""
+    algorithm = ForestMDSAlgorithm()
+    result = run_algorithm(graph, algorithm, seed=seed)
+    return _package(graph, result, guarantee=3.0)
+
+
+def solve_mds_unknown_degree(
+    graph: nx.Graph,
+    alpha: Optional[int] = None,
+    epsilon: float = 0.1,
+    seed: int = 0,
+) -> DominatingSetResult:
+    """Remark 4.4: the Theorem 1.1 guarantee without global knowledge of ``Delta``."""
+    alpha = _resolve_alpha(graph, alpha)
+    algorithm = UnknownDegreeMDSAlgorithm(epsilon=epsilon)
+    result = run_algorithm(graph, algorithm, alpha=alpha, seed=seed, knows_max_degree=False)
+    return _package(graph, result, guarantee=(2 * alpha + 1) * (1 + epsilon))
+
+
+def solve_mds_unknown_arboricity(
+    graph: nx.Graph,
+    epsilon: float = 0.25,
+    seed: int = 0,
+) -> DominatingSetResult:
+    """Remark 4.5: ``(2*alpha+1)*(2+O(eps))`` approximation without knowing ``alpha``."""
+    algorithm = UnknownArboricityMDSAlgorithm(epsilon=epsilon)
+    result = run_algorithm(graph, algorithm, alpha=None, seed=seed, knows_max_degree=False)
+    alpha = max(1, arboricity_upper_bound(graph))
+    return _package(graph, result, guarantee=(2 * alpha + 1) * (2 + 3 * epsilon))

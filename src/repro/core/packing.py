@@ -1,0 +1,90 @@
+"""Packing values and weak-duality bounds (Section 2 of the paper).
+
+The paper's algorithms are primal-dual: every node ``v`` carries a *packing
+value* ``x_v >= 0`` subject to the constraint that for every node ``u``,
+
+    ``X_u = sum_{v in N+(u)} x_v <= w_u``.
+
+Lemma 2.1 (weak duality) then gives ``sum_v x_v <= OPT``, the weight of a
+minimum weight dominating set.  The algorithms bound the weight of the set
+they output against ``sum_v x_v``, so verifying feasibility of the final
+packing plus the claimed inequality *certifies* the approximation factor on
+every individual run -- this is exactly what the test-suite and the
+benchmark harness do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Mapping
+
+import networkx as nx
+
+from repro.graphs.weights import node_weight
+
+__all__ = [
+    "FEASIBILITY_TOLERANCE",
+    "packing_from_outputs",
+    "neighborhood_load",
+    "is_feasible_packing",
+    "packing_value_sum",
+    "certified_lower_bound",
+]
+
+#: Relative slack allowed when checking feasibility, to absorb floating point
+#: rounding in the ``(1 + eps)`` multiplications.
+FEASIBILITY_TOLERANCE = 1e-9
+
+
+def packing_from_outputs(
+    outputs: Mapping[Hashable, Mapping[str, object]], key: str = "x_partial"
+) -> Dict[Hashable, float]:
+    """Extract a packing ``{node: x}`` from per-node algorithm outputs."""
+    packing = {}
+    for node, record in outputs.items():
+        value = record.get(key, 0.0) if isinstance(record, Mapping) else 0.0
+        packing[node] = float(value or 0.0)
+    return packing
+
+
+def neighborhood_load(graph: nx.Graph, packing: Mapping[Hashable, float], node: Hashable) -> float:
+    """Return ``X_node = sum over the closed neighborhood of the packing``."""
+    load = packing.get(node, 0.0)
+    for neighbor in graph.neighbors(node):
+        load += packing.get(neighbor, 0.0)
+    return load
+
+
+def is_feasible_packing(
+    graph: nx.Graph,
+    packing: Mapping[Hashable, float],
+    tolerance: float = FEASIBILITY_TOLERANCE,
+) -> bool:
+    """Check the packing constraint ``X_u <= w_u`` at every node ``u``.
+
+    A relative ``tolerance`` absorbs floating point error; the algorithms
+    maintain feasibility exactly in exact arithmetic (Observation 4.2).
+    """
+    if any(value < -tolerance for value in packing.values()):
+        return False
+    for node in graph.nodes():
+        weight = node_weight(graph, node)
+        if neighborhood_load(graph, packing, node) > weight * (1.0 + tolerance):
+            return False
+    return True
+
+
+def packing_value_sum(packing: Mapping[Hashable, float]) -> float:
+    """Return ``sum_v x_v``; by Lemma 2.1 this lower-bounds OPT when feasible."""
+    return float(sum(packing.values()))
+
+
+def certified_lower_bound(graph: nx.Graph, packing: Mapping[Hashable, float]) -> float:
+    """Return ``sum_v x_v`` if the packing is feasible, else raise ``ValueError``.
+
+    The returned value is a certified lower bound on the weight of every
+    dominating set of ``graph`` (Lemma 2.1), usable as the denominator of a
+    conservative approximation-ratio measurement.
+    """
+    if not is_feasible_packing(graph, packing):
+        raise ValueError("packing violates the closed-neighborhood constraints")
+    return packing_value_sum(packing)

@@ -1,0 +1,308 @@
+"""Shared primal-dual machinery: the partial dominating set of Lemma 4.1.
+
+Both the deterministic algorithm (Theorem 1.1 / Theorem 3.1) and the
+randomized algorithm (Theorem 1.2) start by building a *partial* dominating
+set ``S`` with the two properties of Lemma 4.1:
+
+(a) ``w_S <= alpha * (1/(1+eps) - lambda*(alpha+1))^{-1} * sum_{v in N+(S)} x_v``
+(b) every node left undominated by ``S`` has packing value ``x_v >= lambda * tau_v``,
+
+where ``tau_v = min_{u in N+(v)} w_u`` and ``{x_v}`` is a feasible packing.
+They then differ only in how the undominated remainder is covered -- the
+"extension".  :class:`PrimalDualBase` implements the partial phase as a
+synchronous CONGEST algorithm and exposes two hooks, :meth:`on_finalize` and
+:meth:`extension_round`, that concrete algorithms override to implement
+their extension.
+
+Round schedule
+--------------
+
+==============================  =====================================================
+round index                     action
+==============================  =====================================================
+0                               broadcast own weight (needed for ``tau_v``)
+1 (= P1 of iteration 1)         compute ``tau_v``, initialise ``x_v = tau_v/(Delta+1)``,
+                                broadcast ``x_v``   (when ``r = 0`` this round instead
+                                acts as the finalize round)
+2i     (= P2 of iteration i)    compute ``X_v``; if ``X_v >= w_v/(1+eps)`` join ``S``
+                                and announce it
+2i+1   (= P1 of iteration i+1)  process announcements (mark dominated / freeze), apply
+                                the ``(1+eps)`` increase to still-undominated nodes,
+                                broadcast ``x_v``
+2r+1   (finalize)               process the last announcements, apply the last
+                                increase, then hand over to the extension hooks
+2r+2, ...                       extension rounds (subclass specific)
+==============================  =====================================================
+
+Every iteration of the paper costs two communication rounds here, so the
+measured round count is ``2r + O(1)`` with
+``r = O(log(Delta * lambda) / eps)`` exactly as in Lemma 4.1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Hashable, Optional, Union
+
+from repro.congest.algorithm import Outbox, SynchronousAlgorithm
+from repro.congest.message import Broadcast
+from repro.congest.node import NodeContext
+
+__all__ = [
+    "PrimalDualBase",
+    "PartialDominatingSet",
+    "partial_iteration_count",
+    "theorem11_lambda",
+]
+
+LambdaSpec = Union[float, Callable[[int, float], float], None]
+
+
+def theorem11_lambda(alpha: int, epsilon: float) -> float:
+    """The ``lambda`` used by Theorem 1.1/3.1: ``1 / ((2*alpha+1) * (1+eps))``."""
+    return 1.0 / ((2 * alpha + 1) * (1.0 + epsilon))
+
+
+def partial_iteration_count(max_degree: int, epsilon: float, lambda_value: float) -> int:
+    """Return ``r``, the number of iterations of the Lemma 4.1 procedure.
+
+    ``r`` is the smallest integer with ``(1+eps)^r / (Delta+1) > lambda``;
+    equivalently ``(1+eps)^(r-1)/(Delta+1) <= lambda``.  When
+    ``lambda < 1/(Delta+1)`` the procedure is skipped entirely (``r = 0``)
+    and the partial set is empty, exactly as in the proof of Lemma 4.1.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    base = 1.0 / (max_degree + 1)
+    if lambda_value < base:
+        return 0
+    r = 0
+    value = base
+    # lambda * (Delta + 1) <= (2*alpha+1)-ish values: the loop runs
+    # O(log(Delta*lambda)/eps) times, which is tiny; no need for logs and the
+    # loop avoids floating point edge cases near equality.
+    while value <= lambda_value:
+        value *= 1.0 + epsilon
+        r += 1
+    return r
+
+
+class PrimalDualBase(SynchronousAlgorithm):
+    """Base class: Lemma 4.1 partial phase plus extension hooks.
+
+    Parameters
+    ----------
+    epsilon:
+        The ``eps`` of Lemma 4.1 (controls both the approximation slack and
+        the number of iterations).
+    lambda_value:
+        The ``lambda`` threshold of Lemma 4.1.  May be a float, or a callable
+        ``(alpha, epsilon) -> float`` evaluated against the network's alpha,
+        or ``None`` meaning "use the Theorem 1.1 value
+        ``1/((2*alpha+1)*(1+eps))``".
+    skip_partial:
+        When ``True`` the partial phase is skipped entirely (``S`` stays
+        empty and packing values stay at their initial ``tau_v/(Delta+1)``),
+        which is how Theorem 1.3 invokes Lemma 4.6.
+    """
+
+    name = "primal-dual-base"
+
+    def __init__(
+        self,
+        epsilon: float = 0.1,
+        lambda_value: LambdaSpec = None,
+        skip_partial: bool = False,
+    ):
+        if not 0 < epsilon < 1:
+            raise ValueError("epsilon must lie in (0, 1)")
+        self.epsilon = epsilon
+        self.lambda_spec = lambda_value
+        self.skip_partial = skip_partial
+
+    # ------------------------------------------------------------------ #
+    # Parameter resolution
+    # ------------------------------------------------------------------ #
+
+    def resolve_lambda(self, node: NodeContext) -> float:
+        """Return the ``lambda`` this node uses (global knowledge in the base)."""
+        alpha = node.config.get("alpha")
+        if callable(self.lambda_spec):
+            return self.lambda_spec(alpha, self.epsilon)
+        if self.lambda_spec is not None:
+            return float(self.lambda_spec)
+        if alpha is None:
+            raise ValueError(
+                "lambda_value=None requires the network to know alpha "
+                "(pass alpha= to run_algorithm or Network)"
+            )
+        return theorem11_lambda(alpha, self.epsilon)
+
+    # ------------------------------------------------------------------ #
+    # Setup
+    # ------------------------------------------------------------------ #
+
+    def setup(self, node: NodeContext) -> None:
+        max_degree = node.config.get("max_degree")
+        if max_degree is None:
+            raise ValueError(
+                "this algorithm assumes Delta is global knowledge; use the "
+                "UnknownDegree variant (Remark 4.4) otherwise"
+            )
+        lambda_value = self.resolve_lambda(node)
+        r = 0 if self.skip_partial else partial_iteration_count(
+            max_degree, self.epsilon, lambda_value
+        )
+        state = node.state
+        state["lambda"] = lambda_value
+        state["r"] = r
+        state["finalize_round"] = 1 if r == 0 else 2 * r + 1
+        state["x"] = 0.0
+        state["x_partial"] = 0.0
+        state["tau"] = None
+        state["neighbor_weights"] = {}
+        state["in_s"] = False
+        state["in_s_prime"] = False
+        state["dominated"] = False
+        state["increase_count"] = 0
+        self.setup_extension(node)
+
+    def setup_extension(self, node: NodeContext) -> None:
+        """Hook for subclasses to initialise extension-specific state."""
+
+    # ------------------------------------------------------------------ #
+    # Round dispatch
+    # ------------------------------------------------------------------ #
+
+    def round(self, node: NodeContext, round_index: int, inbox: Dict[Hashable, dict]) -> Outbox:
+        state = node.state
+        finalize_round = state["finalize_round"]
+        if round_index == 0:
+            return Broadcast({"weight": node.weight})
+        if round_index == 1 and finalize_round != 1:
+            self._initialise_packing(node, inbox)
+            return Broadcast({"x": state["x"]})
+        if round_index < finalize_round:
+            if round_index % 2 == 0:
+                return self._decide_round(node, inbox)
+            return self._increase_round(node, inbox)
+        if round_index == finalize_round:
+            if finalize_round == 1:
+                # The partial phase was skipped: tau / x are initialised here.
+                self._initialise_packing(node, inbox)
+            else:
+                self._absorb_joins(node, inbox)
+                self._apply_increase_if_undominated(node)
+            state["x_partial"] = state["x"]
+            state["dominated_at_partial_end"] = state["dominated"]
+            return self.on_finalize(node)
+        return self.extension_round(node, round_index - finalize_round - 1, inbox)
+
+    # ------------------------------------------------------------------ #
+    # Partial phase internals
+    # ------------------------------------------------------------------ #
+
+    def _initialise_packing(self, node: NodeContext, inbox: Dict[Hashable, dict]) -> None:
+        """Compute ``tau_v`` from the weight exchange and set ``x_v = tau_v/(Delta+1)``."""
+        state = node.state
+        neighbor_weights = {
+            neighbor: int(message["weight"]) for neighbor, message in inbox.items()
+        }
+        state["neighbor_weights"] = neighbor_weights
+        tau = min([node.weight] + list(neighbor_weights.values()))
+        state["tau"] = tau
+        max_degree = node.config["max_degree"]
+        state["x"] = tau / (max_degree + 1)
+        state["x_partial"] = state["x"]
+
+    def _decide_round(self, node: NodeContext, inbox: Dict[Hashable, dict]) -> Outbox:
+        """P2 of an iteration: compute ``X_v`` and join ``S`` when saturated."""
+        state = node.state
+        load = state["x"]
+        for message in inbox.values():
+            load += float(message.get("x", 0.0))
+        state["last_load"] = load
+        if not state["in_s"] and load >= node.weight / (1.0 + self.epsilon):
+            state["in_s"] = True
+            state["dominated"] = True
+            return Broadcast({"joined_s": True})
+        return None
+
+    def _increase_round(self, node: NodeContext, inbox: Dict[Hashable, dict]) -> Outbox:
+        """P1 of the next iteration: absorb announcements, raise ``x``, re-broadcast."""
+        self._absorb_joins(node, inbox)
+        self._apply_increase_if_undominated(node)
+        return Broadcast({"x": node.state["x"]})
+
+    def _absorb_joins(self, node: NodeContext, inbox: Dict[Hashable, dict]) -> None:
+        state = node.state
+        if any(message.get("joined_s") for message in inbox.values()):
+            state["dominated"] = True
+
+    def _apply_increase_if_undominated(self, node: NodeContext) -> None:
+        state = node.state
+        if not state["dominated"]:
+            state["x"] *= 1.0 + self.epsilon
+            state["increase_count"] += 1
+
+    # ------------------------------------------------------------------ #
+    # Extension hooks
+    # ------------------------------------------------------------------ #
+
+    def on_finalize(self, node: NodeContext) -> Outbox:
+        """Called once when the partial phase ends.  Default: stop here."""
+        node.finish()
+        return None
+
+    def extension_round(
+        self, node: NodeContext, extension_index: int, inbox: Dict[Hashable, dict]
+    ) -> Outbox:
+        """Called for every round after the finalize round."""
+        node.finish()
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Output
+    # ------------------------------------------------------------------ #
+
+    def output(self, node: NodeContext) -> Dict[str, object]:
+        state = node.state
+        return {
+            "in_ds": bool(state.get("in_s") or state.get("in_s_prime")),
+            "in_partial": bool(state.get("in_s")),
+            "in_extension": bool(state.get("in_s_prime")),
+            "dominated_by_partial": bool(state.get("dominated_at_partial_end", False)),
+            "x_partial": float(state.get("x_partial", 0.0)),
+            "x": float(state.get("x", 0.0)),
+            "tau": state.get("tau"),
+            "increase_count": int(state.get("increase_count", 0)),
+            "fallback_join": bool(state.get("fallback_join", False)),
+        }
+
+    def max_rounds(self, network) -> Optional[int]:
+        """A generous but finite cap: the schedule length is known in advance."""
+        max_degree = max(1, network.max_degree)
+        # 2r + constant, with r <= log_{1+eps}(Delta + 1) + 1.
+        r_bound = int(math.log(max_degree + 1) / math.log1p(self.epsilon)) + 2
+        return 2 * r_bound + 8 + self.extension_round_bound(network)
+
+    def extension_round_bound(self, network) -> int:
+        """Upper bound on the number of extension rounds (subclass specific)."""
+        return 4
+
+
+class PartialDominatingSet(PrimalDualBase):
+    """Just the partial phase of Lemma 4.1, with no extension.
+
+    The output of this algorithm is *not* necessarily a dominating set; it
+    exposes the partial set ``S`` and the packing values so that tests can
+    verify properties (a) and (b) of Lemma 4.1 in isolation, and so that
+    ablation benchmarks can measure how much of the final solution each phase
+    contributes.
+    """
+
+    name = "lemma41-partial"
+
+    def on_finalize(self, node: NodeContext) -> Outbox:
+        node.finish()
+        return None

@@ -1,0 +1,62 @@
+"""Observation A.1: a single-round 3-approximation on forests (arboricity 1).
+
+On a forest, taking every internal (non-leaf) node yields a dominating set of
+size at most three times the optimum.  The distributed implementation costs a
+single communication round, which is only needed to patch up the two corner
+cases the one-line description glosses over:
+
+* an isolated node must dominate itself, and
+* a connected component that is a single edge has no internal node at all, so
+  one of its two endpoints (the one with the smaller identifier) joins.
+
+Both are resolved by exchanging degrees with the neighbors once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+from repro.congest.algorithm import Outbox, SynchronousAlgorithm
+from repro.congest.message import Broadcast
+from repro.congest.node import NodeContext
+
+__all__ = ["ForestMDSAlgorithm"]
+
+
+class ForestMDSAlgorithm(SynchronousAlgorithm):
+    """The trivial forest algorithm of Observation A.1 (unweighted).
+
+    Output format matches the primal-dual algorithms (``{"in_ds": bool}``) so
+    the same harness code can evaluate it.
+    """
+
+    name = "forest-nonleaf-3approx"
+
+    def round(self, node: NodeContext, round_index: int, inbox: Dict[Hashable, dict]) -> Outbox:
+        state = node.state
+        if round_index == 0:
+            if node.degree == 0:
+                # Isolated node: no communication needed, dominate yourself.
+                state["in_ds"] = True
+                node.finish()
+                return None
+            return Broadcast({"degree": node.degree})
+        # Round 1: all neighbor degrees are known.
+        if node.degree >= 2:
+            state["in_ds"] = True
+        elif node.degree == 1:
+            (neighbor, message), = inbox.items()
+            neighbor_degree = int(message["degree"])
+            if neighbor_degree == 1:
+                # Two-node component: exactly one endpoint joins.
+                state["in_ds"] = repr(node.node_id) < repr(neighbor)
+            else:
+                state["in_ds"] = False
+        node.finish()
+        return None
+
+    def output(self, node: NodeContext) -> Dict[str, object]:
+        return {"in_ds": bool(node.state.get("in_ds", False))}
+
+    def max_rounds(self, network) -> int:
+        return 3

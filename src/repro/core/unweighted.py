@@ -1,0 +1,37 @@
+"""Theorem 3.1: the unweighted warm-up algorithm of Section 3.
+
+Section 3 of the paper is the unit-weight special case of the Section 4
+machinery: the partial phase is the Lemma 4.1 procedure with ``tau_v = 1``
+and ``lambda = 1/((2*alpha+1)*(1+eps))``, and the extension simply adds every
+undominated node to the dominating set.  With the tie-breaking rule of
+:func:`repro.core.weighted.select_cheapest_dominator` (prefer yourself when
+weights tie), the weighted extension degenerates to exactly that, so this
+class is a thin, intention-revealing wrapper whose only additional job is to
+*assert* that the input really is unweighted.
+"""
+
+from __future__ import annotations
+
+from repro.congest.node import NodeContext
+from repro.core.weighted import WeightedMDSAlgorithm
+
+__all__ = ["UnweightedMDSAlgorithm"]
+
+
+class UnweightedMDSAlgorithm(WeightedMDSAlgorithm):
+    """Deterministic ``(2*alpha+1)*(1+eps)`` approximation for unweighted MDS.
+
+    Runs in ``O(log(Delta/alpha)/eps)`` CONGEST rounds (Theorem 3.1).  The
+    implementation is shared with :class:`WeightedMDSAlgorithm`; see that
+    class for the round schedule.
+    """
+
+    name = "dory-ghaffari-ilchi-unweighted"
+
+    def setup(self, node: NodeContext) -> None:
+        if node.weight != 1:
+            raise ValueError(
+                "UnweightedMDSAlgorithm requires unit weights; "
+                "use WeightedMDSAlgorithm for weighted instances"
+            )
+        super().setup(node)

@@ -1,0 +1,115 @@
+"""Graph substrate for the bounded-arboricity dominating set reproduction.
+
+This subpackage provides everything the algorithms and experiments need about
+graphs themselves:
+
+* :mod:`repro.graphs.arboricity` -- exact and approximate arboricity,
+  degeneracy, pseudoarboricity and Nash--Williams density computations.
+* :mod:`repro.graphs.orientation` -- low out-degree edge orientations
+  (exact via flow, degeneracy peeling, and pseudoforest partitions).
+* :mod:`repro.graphs.generators` -- generators for the graph families the
+  paper targets: trees and forests, planar and outerplanar graphs, unions of
+  forests, preferential-attachment "social network" graphs, and more.
+* :mod:`repro.graphs.weights` -- node weight assignment schemes for the
+  weighted minimum dominating set problem.
+* :mod:`repro.graphs.validation` -- structural validators used throughout the
+  test-suite and the benchmark harness (dominating sets, vertex covers,
+  orientations, forest partitions).
+
+All functions operate on :class:`networkx.Graph` objects.  Node weights are
+stored in the ``"weight"`` node attribute; unweighted graphs are treated as
+having weight one everywhere.
+"""
+
+from repro.graphs.arboricity import (
+    arboricity,
+    arboricity_upper_bound,
+    degeneracy,
+    maximum_density,
+    nash_williams_density,
+    pseudoarboricity,
+)
+from repro.graphs.orientation import (
+    degeneracy_orientation,
+    minimum_outdegree_orientation,
+    orientation_outdegrees,
+    pseudoforest_partition,
+    spanning_forest_partition,
+)
+from repro.graphs.generators import (
+    GraphInstance,
+    caterpillar_graph,
+    forest_union_graph,
+    grid_graph,
+    outerplanar_graph,
+    planar_triangulation_graph,
+    preferential_attachment_graph,
+    random_bounded_arboricity_graph,
+    random_forest,
+    random_tree,
+    standard_test_suite,
+    star_of_cliques,
+)
+from repro.graphs.weights import (
+    assign_adversarial_weights,
+    assign_degree_weights,
+    assign_inverse_degree_weights,
+    assign_random_weights,
+    assign_uniform_weights,
+    node_weight,
+    total_weight,
+)
+from repro.graphs.validation import (
+    dominating_set_weight,
+    is_dominating_set,
+    is_forest_partition,
+    is_pseudoforest,
+    is_valid_orientation,
+    is_vertex_cover,
+    undominated_nodes,
+)
+
+__all__ = [
+    # arboricity
+    "arboricity",
+    "arboricity_upper_bound",
+    "degeneracy",
+    "maximum_density",
+    "nash_williams_density",
+    "pseudoarboricity",
+    # orientation
+    "degeneracy_orientation",
+    "minimum_outdegree_orientation",
+    "orientation_outdegrees",
+    "pseudoforest_partition",
+    "spanning_forest_partition",
+    # generators
+    "GraphInstance",
+    "caterpillar_graph",
+    "forest_union_graph",
+    "grid_graph",
+    "outerplanar_graph",
+    "planar_triangulation_graph",
+    "preferential_attachment_graph",
+    "random_bounded_arboricity_graph",
+    "random_forest",
+    "random_tree",
+    "standard_test_suite",
+    "star_of_cliques",
+    # weights
+    "assign_adversarial_weights",
+    "assign_degree_weights",
+    "assign_inverse_degree_weights",
+    "assign_random_weights",
+    "assign_uniform_weights",
+    "node_weight",
+    "total_weight",
+    # validation
+    "dominating_set_weight",
+    "is_dominating_set",
+    "is_forest_partition",
+    "is_pseudoforest",
+    "is_valid_orientation",
+    "is_vertex_cover",
+    "undominated_nodes",
+]

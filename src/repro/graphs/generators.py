@@ -1,0 +1,398 @@
+"""Generators for the graph families targeted by the paper.
+
+The paper motivates bounded-arboricity graphs via planar graphs, graphs of
+bounded treewidth or genus, minor-free graphs, and sparse real-world networks
+(the web graph, social networks).  This module provides laptop-scale
+synthetic generators for representatives of these families, each returning a
+:class:`networkx.Graph` whose nodes are consecutive integers starting at 0,
+along with a *certified* arboricity upper bound where the construction makes
+one available.
+
+Every generator is deterministic given its ``seed`` argument.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import networkx as nx
+
+__all__ = [
+    "GraphInstance",
+    "random_tree",
+    "random_forest",
+    "caterpillar_graph",
+    "grid_graph",
+    "planar_triangulation_graph",
+    "outerplanar_graph",
+    "forest_union_graph",
+    "random_bounded_arboricity_graph",
+    "preferential_attachment_graph",
+    "star_of_cliques",
+    "standard_test_suite",
+]
+
+
+@dataclass
+class GraphInstance:
+    """A generated graph together with the metadata experiments need.
+
+    Attributes
+    ----------
+    name:
+        Human-readable family name, e.g. ``"planar-triangulation"``.
+    graph:
+        The generated graph.  Node weights, if any, live in the ``"weight"``
+        node attribute.
+    alpha:
+        A certified upper bound on the arboricity (the value handed to the
+        distributed algorithms as their ``alpha`` parameter).
+    params:
+        The generator parameters, for reporting.
+    """
+
+    name: str
+    graph: nx.Graph
+    alpha: int
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def m(self) -> int:
+        return self.graph.number_of_edges()
+
+    @property
+    def max_degree(self) -> int:
+        if self.n == 0:
+            return 0
+        return max(dict(self.graph.degree()).values(), default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GraphInstance(name={self.name!r}, n={self.n}, m={self.m}, "
+            f"alpha<={self.alpha}, max_degree={self.max_degree})"
+        )
+
+
+def _empty_graph(n: int) -> nx.Graph:
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    return graph
+
+
+def random_tree(n: int, seed: int = 0) -> nx.Graph:
+    """Return a uniformly random labelled tree on ``n`` nodes (Pruefer)."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    graph = _empty_graph(n)
+    if n <= 1:
+        return graph
+    if n == 2:
+        graph.add_edge(0, 1)
+        return graph
+    rng = random.Random(seed)
+    sequence = [rng.randrange(n) for _ in range(n - 2)]
+    degree = [1] * n
+    for node in sequence:
+        degree[node] += 1
+    # Decode the Pruefer sequence.
+    import heapq
+
+    leaves = [node for node in range(n) if degree[node] == 1]
+    heapq.heapify(leaves)
+    for node in sequence:
+        leaf = heapq.heappop(leaves)
+        graph.add_edge(leaf, node)
+        degree[leaf] -= 1
+        degree[node] -= 1
+        if degree[node] == 1:
+            heapq.heappush(leaves, node)
+    last_two = [node for node in range(n) if degree[node] == 1]
+    graph.add_edge(last_two[0], last_two[1])
+    return graph
+
+
+def random_forest(n: int, tree_count: int = 3, seed: int = 0) -> nx.Graph:
+    """Return a forest on ``n`` nodes made of ``tree_count`` random trees."""
+    if tree_count < 1:
+        raise ValueError("tree_count must be at least 1")
+    rng = random.Random(seed)
+    nodes = list(range(n))
+    rng.shuffle(nodes)
+    graph = _empty_graph(n)
+    if n == 0:
+        return graph
+    tree_count = min(tree_count, n)
+    # Split the shuffled nodes into contiguous chunks, one tree each.
+    boundaries = sorted(rng.sample(range(1, n), tree_count - 1)) if tree_count > 1 else []
+    chunks = []
+    previous = 0
+    for boundary in boundaries + [n]:
+        chunks.append(nodes[previous:boundary])
+        previous = boundary
+    for index, chunk in enumerate(chunks):
+        if len(chunk) <= 1:
+            continue
+        subtree = random_tree(len(chunk), seed=seed * 1000 + index + 1)
+        relabel = {i: chunk[i] for i in range(len(chunk))}
+        for u, v in subtree.edges():
+            graph.add_edge(relabel[u], relabel[v])
+    return graph
+
+
+def caterpillar_graph(spine: int, legs_per_node: int = 3) -> nx.Graph:
+    """Return a caterpillar tree: a path with ``legs_per_node`` leaves per node.
+
+    Caterpillars are the worst case for the trivial forest 3-approximation
+    (Observation A.1): every spine node is internal, so the trivial algorithm
+    takes the whole spine while the optimum can skip alternate nodes.
+    """
+    if spine < 1:
+        raise ValueError("spine must be at least 1")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(spine))
+    for index in range(spine - 1):
+        graph.add_edge(index, index + 1)
+    next_label = spine
+    for index in range(spine):
+        for _ in range(legs_per_node):
+            graph.add_edge(index, next_label)
+            next_label += 1
+    return graph
+
+
+def grid_graph(rows: int, cols: int, diagonal: bool = False) -> nx.Graph:
+    """Return a planar grid (arboricity at most 2, or 3 with diagonals)."""
+    graph = nx.Graph()
+    label = lambda r, c: r * cols + c  # noqa: E731 - tiny local helper
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_node(label(r, c))
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                graph.add_edge(label(r, c), label(r, c + 1))
+            if r + 1 < rows:
+                graph.add_edge(label(r, c), label(r + 1, c))
+            if diagonal and r + 1 < rows and c + 1 < cols:
+                graph.add_edge(label(r, c), label(r + 1, c + 1))
+    return graph
+
+
+def planar_triangulation_graph(n: int, seed: int = 0) -> nx.Graph:
+    """Return a planar graph via the Delaunay triangulation of random points.
+
+    Delaunay triangulations are planar, hence have arboricity at most 3 by
+    Nash--Williams (a planar graph has ``m <= 3n - 6``).
+    """
+    if n < 3:
+        return random_tree(n, seed=seed)
+    import numpy as np
+    from scipy.spatial import Delaunay
+
+    rng = np.random.default_rng(seed)
+    points = rng.random((n, 2))
+    triangulation = Delaunay(points)
+    graph = _empty_graph(n)
+    for simplex in triangulation.simplices:
+        a, b, c = (int(x) for x in simplex)
+        graph.add_edge(a, b)
+        graph.add_edge(b, c)
+        graph.add_edge(a, c)
+    return graph
+
+
+def outerplanar_graph(n: int, chord_fraction: float = 0.5, seed: int = 0) -> nx.Graph:
+    """Return a maximal-ish outerplanar graph (arboricity at most 2).
+
+    Construction: a cycle on ``n`` nodes plus a set of non-crossing chords
+    generated by recursively splitting intervals of the cycle.  Outerplanar
+    graphs have ``m <= 2n - 3``, hence arboricity at most 2.
+    """
+    if n < 3:
+        return random_tree(n, seed=seed)
+    rng = random.Random(seed)
+    graph = _empty_graph(n)
+    for index in range(n):
+        graph.add_edge(index, (index + 1) % n)
+
+    def add_chords(low: int, high: int) -> None:
+        # Add a chord across [low, high] and recurse, never crossing.
+        if high - low < 3:
+            return
+        if rng.random() > chord_fraction:
+            return
+        mid = rng.randrange(low + 2, high)
+        graph.add_edge(low, mid)
+        add_chords(low, mid)
+        add_chords(mid, high)
+
+    add_chords(0, n - 1)
+    return graph
+
+
+def forest_union_graph(n: int, alpha: int, seed: int = 0) -> nx.Graph:
+    """Return the union of ``alpha`` random spanning trees on ``n`` nodes.
+
+    The edge set is a union of ``alpha`` forests by construction, so the
+    arboricity is at most ``alpha`` (and typically very close to it).  This is
+    the canonical "arboricity exactly alpha" workload for the experiments.
+    """
+    if alpha < 1:
+        raise ValueError("alpha must be at least 1")
+    graph = _empty_graph(n)
+    for index in range(alpha):
+        tree = random_tree(n, seed=seed * 7919 + index)
+        rng = random.Random(seed * 104729 + index)
+        permutation = list(range(n))
+        rng.shuffle(permutation)
+        for u, v in tree.edges():
+            graph.add_edge(permutation[u], permutation[v])
+    return graph
+
+
+def random_bounded_arboricity_graph(
+    n: int, alpha: int, edge_probability: float = 1.0, seed: int = 0
+) -> nx.Graph:
+    """Return a random graph built by giving every node at most ``alpha`` out-edges.
+
+    Each node picks up to ``alpha`` random earlier nodes as out-neighbours
+    (each kept with probability ``edge_probability``).  The natural
+    orientation towards earlier nodes has out-degree at most ``alpha``, so the
+    graph decomposes into ``alpha`` pseudoforests and has arboricity at most
+    ``alpha + 1`` (we report ``alpha`` as the pseudoarboricity certificate,
+    which is what the algorithms need per footnote 2 of the paper).
+    """
+    if alpha < 1:
+        raise ValueError("alpha must be at least 1")
+    rng = random.Random(seed)
+    graph = _empty_graph(n)
+    for node in range(1, n):
+        available = list(range(node))
+        rng.shuffle(available)
+        picked = 0
+        for candidate in available:
+            if picked >= alpha:
+                break
+            if rng.random() <= edge_probability:
+                graph.add_edge(node, candidate)
+                picked += 1
+    return graph
+
+
+def preferential_attachment_graph(n: int, attachment: int = 3, seed: int = 0) -> nx.Graph:
+    """Return a Barabasi--Albert graph (a "social network"-like sparse graph).
+
+    Each arriving node attaches to ``attachment`` existing nodes, so the
+    arrival orientation has out-degree at most ``attachment``; the graph is
+    ``attachment``-degenerate and its arboricity is at most ``attachment``.
+    The degree distribution is heavy-tailed, giving a large maximum degree
+    with small arboricity -- exactly the regime in which the paper's
+    ``O(log Delta)`` algorithms are interesting.
+    """
+    if n <= attachment:
+        return random_tree(n, seed=seed)
+    return nx.barabasi_albert_graph(n, attachment, seed=seed)
+
+
+def star_of_cliques(clique_count: int, clique_size: int) -> nx.Graph:
+    """Return a hub node attached to ``clique_count`` disjoint cliques.
+
+    Used by the Theorem 1.3 (general graphs) experiments: the cliques push the
+    arboricity up to about ``clique_size / 2`` while the hub pushes the
+    maximum degree up to ``clique_count * clique_size``.
+    """
+    if clique_count < 1 or clique_size < 1:
+        raise ValueError("clique_count and clique_size must be at least 1")
+    graph = nx.Graph()
+    hub = 0
+    graph.add_node(hub)
+    next_label = 1
+    for _ in range(clique_count):
+        members = list(range(next_label, next_label + clique_size))
+        next_label += clique_size
+        for i, u in enumerate(members):
+            graph.add_edge(hub, u)
+            for v in members[i + 1:]:
+                graph.add_edge(u, v)
+    return graph
+
+
+def standard_test_suite(
+    scale: str = "small", seed: int = 0
+) -> List[GraphInstance]:
+    """Return the shared workload used across tests and benchmarks.
+
+    Parameters
+    ----------
+    scale:
+        ``"tiny"`` (fast unit tests), ``"small"`` (integration tests), or
+        ``"medium"`` (benchmarks).
+    seed:
+        Seed forwarded to every generator.
+    """
+    sizes = {
+        "tiny": {"tree": 30, "planar": 40, "forest_union": 40, "ba": 50, "grid": (5, 6), "outer": 30},
+        "small": {"tree": 120, "planar": 150, "forest_union": 150, "ba": 200, "grid": (10, 12), "outer": 100},
+        "medium": {"tree": 600, "planar": 700, "forest_union": 600, "ba": 1000, "grid": (22, 25), "outer": 400},
+    }
+    if scale not in sizes:
+        raise ValueError(f"unknown scale {scale!r}; expected tiny/small/medium")
+    size = sizes[scale]
+    rows, cols = size["grid"]
+    instances = [
+        GraphInstance(
+            name="random-tree",
+            graph=random_tree(size["tree"], seed=seed),
+            alpha=1,
+            params={"n": size["tree"], "seed": seed},
+        ),
+        GraphInstance(
+            name="caterpillar",
+            graph=caterpillar_graph(max(4, size["tree"] // 4), legs_per_node=3),
+            alpha=1,
+            params={"spine": max(4, size["tree"] // 4)},
+        ),
+        GraphInstance(
+            name="grid",
+            graph=grid_graph(rows, cols),
+            alpha=2,
+            params={"rows": rows, "cols": cols},
+        ),
+        GraphInstance(
+            name="outerplanar",
+            graph=outerplanar_graph(size["outer"], seed=seed),
+            alpha=2,
+            params={"n": size["outer"], "seed": seed},
+        ),
+        GraphInstance(
+            name="planar-triangulation",
+            graph=planar_triangulation_graph(size["planar"], seed=seed),
+            alpha=3,
+            params={"n": size["planar"], "seed": seed},
+        ),
+        GraphInstance(
+            name="forest-union-alpha3",
+            graph=forest_union_graph(size["forest_union"], alpha=3, seed=seed),
+            alpha=3,
+            params={"n": size["forest_union"], "alpha": 3, "seed": seed},
+        ),
+        GraphInstance(
+            name="forest-union-alpha5",
+            graph=forest_union_graph(size["forest_union"], alpha=5, seed=seed + 1),
+            alpha=5,
+            params={"n": size["forest_union"], "alpha": 5, "seed": seed + 1},
+        ),
+        GraphInstance(
+            name="preferential-attachment",
+            graph=preferential_attachment_graph(size["ba"], attachment=4, seed=seed),
+            alpha=4,
+            params={"n": size["ba"], "attachment": 4, "seed": seed},
+        ),
+    ]
+    return instances

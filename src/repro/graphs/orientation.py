@@ -1,0 +1,206 @@
+"""Low out-degree edge orientations and forest/pseudoforest partitions.
+
+Observation 3.5 of the paper states that a graph with arboricity at most
+``alpha`` can be oriented so that every node has out-degree at most
+``alpha``.  The paper's algorithms never construct this orientation -- it is
+used only in the analysis -- but the reproduction needs it in three places:
+
+* verifying the structural assumptions of generated test graphs,
+* the Morgan--Solomon--Wein and Lenzen--Wattenhofer baselines, which do use
+  orientations algorithmically, and
+* Remark 4.5, where a ``(2 + eps) * alpha`` out-degree orientation is computed
+  distributively with the Barenboim--Elkin peeling procedure (the distributed
+  version lives in :mod:`repro.core.unknown_params`; the centralized
+  reference implementation lives here).
+
+An *orientation* is represented as a ``dict`` mapping each undirected edge
+``(u, v)`` (as stored by networkx) to the node out of which it points, i.e.
+``orientation[(u, v)] = u`` means the edge is directed ``u -> v``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Tuple
+
+import networkx as nx
+
+from repro.graphs.arboricity import degeneracy_ordering, pseudoarboricity
+
+__all__ = [
+    "degeneracy_orientation",
+    "minimum_outdegree_orientation",
+    "orientation_outdegrees",
+    "barenboim_elkin_orientation",
+    "pseudoforest_partition",
+    "spanning_forest_partition",
+]
+
+Edge = Tuple[Hashable, Hashable]
+Orientation = Dict[Edge, Hashable]
+
+
+def orientation_outdegrees(graph: nx.Graph, orientation: Orientation) -> Dict[Hashable, int]:
+    """Return the out-degree of every node under ``orientation``."""
+    out = {node: 0 for node in graph.nodes()}
+    for edge in graph.edges():
+        tail = orientation[edge]
+        out[tail] += 1
+    return out
+
+
+def degeneracy_orientation(graph: nx.Graph) -> Orientation:
+    """Orient every edge from the earlier-peeled endpoint to the later one.
+
+    The resulting maximum out-degree equals the degeneracy ``d`` of the
+    graph, which satisfies ``alpha <= d <= 2*alpha - 1``.  This is the cheap
+    (linear-time) orientation used by default by the baselines.
+    """
+    ordering, _ = degeneracy_ordering(graph)
+    position = {node: index for index, node in enumerate(ordering)}
+    orientation: Orientation = {}
+    for u, v in graph.edges():
+        # The node peeled first had low degree at peel time; orienting its
+        # edges outward bounds its out-degree by its peel-time degree.
+        orientation[(u, v)] = u if position[u] < position[v] else v
+    return orientation
+
+
+def minimum_outdegree_orientation(graph: nx.Graph) -> Tuple[Orientation, int]:
+    """Return an orientation minimising the maximum out-degree, and that value.
+
+    The optimum equals the pseudoarboricity.  The orientation is extracted
+    from a feasible flow in the standard edge-selection network: each edge
+    sends one unit to the endpoint that will pay for it, and that endpoint
+    becomes the tail.
+    """
+    if graph.number_of_edges() == 0:
+        return {}, 0
+    target = pseudoarboricity(graph)
+    orientation = _orientation_with_outdegree(graph, target)
+    if orientation is None:  # pragma: no cover - pseudoarboricity guarantees feasibility
+        raise RuntimeError("flow-based orientation failed at the pseudoarboricity bound")
+    return orientation, target
+
+
+def _orientation_with_outdegree(graph: nx.Graph, bound: int) -> Orientation | None:
+    """Return an orientation with maximum out-degree <= bound, or ``None``."""
+    m = graph.number_of_edges()
+    flow_net = nx.DiGraph()
+    source, sink = "__source__", "__sink__"
+    edge_list = list(graph.edges())
+    for index, (u, v) in enumerate(edge_list):
+        edge_node = ("__edge__", index)
+        flow_net.add_edge(source, edge_node, capacity=1)
+        flow_net.add_edge(edge_node, ("__vertex__", u), capacity=1)
+        flow_net.add_edge(edge_node, ("__vertex__", v), capacity=1)
+    for node in graph.nodes():
+        flow_net.add_edge(("__vertex__", node), sink, capacity=bound)
+    flow_value, flow_dict = nx.maximum_flow(flow_net, source, sink)
+    if flow_value < m:
+        return None
+    orientation: Orientation = {}
+    for index, (u, v) in enumerate(edge_list):
+        edge_node = ("__edge__", index)
+        sent_to_u = flow_dict[edge_node].get(("__vertex__", u), 0)
+        orientation[(u, v)] = u if sent_to_u >= 1 else v
+    return orientation
+
+
+def barenboim_elkin_orientation(
+    graph: nx.Graph, alpha: int, epsilon: float = 0.5
+) -> Tuple[Orientation, int]:
+    """Centralized reference of the Barenboim--Elkin peeling orientation.
+
+    Nodes of degree at most ``(2 + epsilon) * alpha`` are repeatedly peeled in
+    parallel batches; each peeled node orients all its remaining incident
+    edges outward.  After ``O(log n / epsilon)`` batches every node is
+    peeled, and the maximum out-degree is at most ``(2 + epsilon) * alpha``.
+
+    Returns the orientation and the number of peeling phases used (which is
+    what the distributed implementation pays in rounds).
+    """
+    if alpha < 1:
+        alpha = 1
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    threshold = (2 + epsilon) * alpha
+    remaining = graph.copy()
+    orientation: Orientation = {}
+    canonical = {}
+    for u, v in graph.edges():
+        canonical[frozenset((u, v))] = (u, v)
+    phases = 0
+    while remaining.number_of_nodes() > 0:
+        peel = [node for node, deg in remaining.degree() if deg <= threshold]
+        if not peel:
+            # Cannot happen when alpha is a genuine arboricity upper bound:
+            # a graph with all degrees above (2+eps)*alpha has average degree
+            # above 2*alpha, contradicting m <= alpha * (n - 1).
+            raise ValueError(
+                "peeling stalled: the supplied alpha is below the true arboricity"
+            )
+        peel_set = set(peel)
+        for node in peel:
+            for neighbor in remaining.neighbors(node):
+                key = canonical[frozenset((node, neighbor))]
+                if neighbor in peel_set:
+                    # Both endpoints peeled this phase: orient by an arbitrary
+                    # but consistent tie-break (smaller string representation).
+                    if key not in orientation:
+                        tail = min(node, neighbor, key=repr)
+                        orientation[key] = tail
+                else:
+                    orientation[key] = node
+        remaining.remove_nodes_from(peel)
+        phases += 1
+    return orientation, phases
+
+
+def pseudoforest_partition(graph: nx.Graph, orientation: Orientation | None = None) -> List[nx.Graph]:
+    """Partition the edges into pseudoforests, one per out-edge slot.
+
+    Given an orientation with maximum out-degree ``d``, assigning the ``i``-th
+    out-edge of every node to part ``i`` yields ``d`` subgraphs in which every
+    node has out-degree at most one -- i.e. pseudoforests (each connected
+    component has at most one cycle).  This realises footnote 2 of the paper.
+    """
+    if orientation is None:
+        orientation, _ = minimum_outdegree_orientation(graph)
+    slots: Dict[Hashable, int] = {node: 0 for node in graph.nodes()}
+    parts: List[nx.Graph] = []
+    for u, v in graph.edges():
+        tail = orientation[(u, v)]
+        index = slots[tail]
+        slots[tail] += 1
+        while len(parts) <= index:
+            part = nx.Graph()
+            part.add_nodes_from(graph.nodes())
+            parts.append(part)
+        parts[index].add_edge(u, v)
+    return parts
+
+
+def spanning_forest_partition(graph: nx.Graph) -> List[nx.Graph]:
+    """Greedily peel spanning forests until no edges remain.
+
+    This is a simple heuristic forest partition: each round extracts a
+    maximal spanning forest of the remaining edges.  The number of forests
+    produced is at least the arboricity and at most roughly twice it; it is
+    used for illustration and sanity checks, not in the analysis.
+    """
+    remaining = nx.Graph()
+    remaining.add_nodes_from(graph.nodes())
+    remaining.add_edges_from(graph.edges())
+    forests: List[nx.Graph] = []
+    while remaining.number_of_edges() > 0:
+        forest = nx.Graph()
+        forest.add_nodes_from(graph.nodes())
+        components = nx.utils.UnionFind(remaining.nodes())
+        for u, v in list(remaining.edges()):
+            if components[u] != components[v]:
+                components.union(u, v)
+                forest.add_edge(u, v)
+        remaining.remove_edges_from(forest.edges())
+        forests.append(forest)
+    return forests

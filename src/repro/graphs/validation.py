@@ -1,0 +1,110 @@
+"""Structural validators shared by the test-suite and the benchmark harness.
+
+These helpers check the objects the algorithms produce: dominating sets,
+vertex covers, orientations, forest and pseudoforest partitions.  They are
+deliberately written as straightforward, independent re-computations so that
+they can serve as oracles in property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.graphs.weights import node_weight
+
+__all__ = [
+    "closed_neighborhood",
+    "is_dominating_set",
+    "undominated_nodes",
+    "dominating_set_weight",
+    "is_vertex_cover",
+    "is_valid_orientation",
+    "is_pseudoforest",
+    "is_forest_partition",
+]
+
+
+def closed_neighborhood(graph: nx.Graph, node: Hashable) -> Set[Hashable]:
+    """Return ``N+(v) = {v} union N(v)``, the closed neighbourhood of ``v``."""
+    neighborhood = set(graph.neighbors(node))
+    neighborhood.add(node)
+    return neighborhood
+
+
+def undominated_nodes(graph: nx.Graph, candidate: Iterable[Hashable]) -> Set[Hashable]:
+    """Return the set of nodes not dominated by ``candidate``."""
+    candidate_set = set(candidate)
+    unknown = candidate_set - set(graph.nodes())
+    if unknown:
+        raise ValueError(f"candidate contains nodes not in the graph: {sorted(map(repr, unknown))[:5]}")
+    dominated = set(candidate_set)
+    for node in candidate_set:
+        dominated.update(graph.neighbors(node))
+    return set(graph.nodes()) - dominated
+
+
+def is_dominating_set(graph: nx.Graph, candidate: Iterable[Hashable]) -> bool:
+    """Return ``True`` iff every node is in ``candidate`` or adjacent to it."""
+    return not undominated_nodes(graph, candidate)
+
+
+def dominating_set_weight(graph: nx.Graph, candidate: Iterable[Hashable]) -> int:
+    """Return the total weight of ``candidate`` (weight 1 per node if unweighted)."""
+    return sum(node_weight(graph, node) for node in set(candidate))
+
+
+def is_vertex_cover(graph: nx.Graph, candidate: Iterable[Hashable]) -> bool:
+    """Return ``True`` iff every edge has at least one endpoint in ``candidate``."""
+    candidate_set = set(candidate)
+    return all(u in candidate_set or v in candidate_set for u, v in graph.edges())
+
+
+def is_valid_orientation(
+    graph: nx.Graph, orientation: Dict[Tuple[Hashable, Hashable], Hashable], max_outdegree: int | None = None
+) -> bool:
+    """Check that ``orientation`` assigns a tail endpoint to every edge.
+
+    When ``max_outdegree`` is given, additionally check that no node has more
+    than that many outgoing edges.
+    """
+    outdegree: Dict[Hashable, int] = {node: 0 for node in graph.nodes()}
+    for edge in graph.edges():
+        if edge not in orientation:
+            return False
+        tail = orientation[edge]
+        if tail not in edge:
+            return False
+        outdegree[tail] += 1
+    if max_outdegree is not None:
+        return all(count <= max_outdegree for count in outdegree.values())
+    return True
+
+
+def is_pseudoforest(graph: nx.Graph) -> bool:
+    """Return ``True`` iff every connected component has at most one cycle.
+
+    A component with ``k`` nodes has at most one cycle iff it has at most
+    ``k`` edges.
+    """
+    for component in nx.connected_components(graph):
+        subgraph = graph.subgraph(component)
+        if subgraph.number_of_edges() > subgraph.number_of_nodes():
+            return False
+    return True
+
+
+def is_forest_partition(graph: nx.Graph, parts: Sequence[nx.Graph]) -> bool:
+    """Check that ``parts`` partitions the edges of ``graph`` into forests."""
+    seen = set()
+    for part in parts:
+        if part.number_of_edges() > 0 and not nx.is_forest(part):
+            return False
+        for u, v in part.edges():
+            key = frozenset((u, v))
+            if key in seen or not graph.has_edge(u, v):
+                return False
+            seen.add(key)
+    expected = {frozenset((u, v)) for u, v in graph.edges()}
+    return seen == expected

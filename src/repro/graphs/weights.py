@@ -1,0 +1,97 @@
+"""Node weight assignment schemes for the weighted dominating set problem.
+
+Following the paper's preliminaries (Section 2), weights are positive
+integers bounded by ``n^c`` for a constant ``c`` -- this is what makes a
+packing value transmittable in a CONGEST message of ``O(log n)`` bits.  Every
+scheme below assigns the ``"weight"`` node attribute in place and also
+returns the mapping, so callers can use either style.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, Iterable
+
+import networkx as nx
+
+__all__ = [
+    "assign_uniform_weights",
+    "assign_random_weights",
+    "assign_degree_weights",
+    "assign_inverse_degree_weights",
+    "assign_adversarial_weights",
+    "node_weight",
+    "total_weight",
+]
+
+
+def node_weight(graph: nx.Graph, node: Hashable) -> int:
+    """Return the weight of ``node`` (1 when no weight has been assigned)."""
+    return graph.nodes[node].get("weight", 1)
+
+
+def total_weight(graph: nx.Graph, nodes: Iterable[Hashable]) -> int:
+    """Return the total weight of a node set."""
+    return sum(node_weight(graph, node) for node in nodes)
+
+
+def _store(graph: nx.Graph, weights: Dict[Hashable, int]) -> Dict[Hashable, int]:
+    for node, weight in weights.items():
+        if weight <= 0:
+            raise ValueError("weights must be positive integers")
+        graph.nodes[node]["weight"] = int(weight)
+    return weights
+
+
+def assign_uniform_weights(graph: nx.Graph, weight: int = 1) -> Dict[Hashable, int]:
+    """Give every node the same positive integer weight (default 1)."""
+    return _store(graph, {node: weight for node in graph.nodes()})
+
+
+def assign_random_weights(
+    graph: nx.Graph, low: int = 1, high: int = 100, seed: int = 0
+) -> Dict[Hashable, int]:
+    """Give every node an independent uniform integer weight in ``[low, high]``."""
+    if low < 1 or high < low:
+        raise ValueError("need 1 <= low <= high")
+    rng = random.Random(seed)
+    return _store(graph, {node: rng.randint(low, high) for node in graph.nodes()})
+
+
+def assign_degree_weights(graph: nx.Graph, base: int = 1) -> Dict[Hashable, int]:
+    """Weight each node ``base + degree``: high-degree dominators are expensive.
+
+    This stresses the weighted algorithms: the nodes that dominate many
+    others are exactly the ones a weight-oblivious algorithm would pick.
+    """
+    return _store(graph, {node: base + graph.degree(node) for node in graph.nodes()})
+
+
+def assign_inverse_degree_weights(graph: nx.Graph, scale: int = 100) -> Dict[Hashable, int]:
+    """Weight each node roughly ``scale / (1 + degree)``: hubs are cheap."""
+    weights = {}
+    for node in graph.nodes():
+        weights[node] = max(1, scale // (1 + graph.degree(node)))
+    return _store(graph, weights)
+
+
+def assign_adversarial_weights(
+    graph: nx.Graph, expensive_fraction: float = 0.3, expensive: int = 1000, seed: int = 0
+) -> Dict[Hashable, int]:
+    """Make a random fraction of the *internal* (non-leaf) nodes very expensive.
+
+    On trees this punishes the trivial "take all internal nodes" strategy of
+    Observation A.1, which only applies to the unweighted problem, and more
+    generally rewards algorithms that genuinely account for weights.
+    """
+    if not 0 <= expensive_fraction <= 1:
+        raise ValueError("expensive_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    weights = {}
+    for node in graph.nodes():
+        is_internal = graph.degree(node) > 1
+        if is_internal and rng.random() < expensive_fraction:
+            weights[node] = expensive
+        else:
+            weights[node] = 1
+    return _store(graph, weights)

@@ -1,0 +1,45 @@
+"""The Theorem 1.4 lower bound construction (Figure 1) and its reduction.
+
+The paper's lower bound transfers the Kuhn--Moscibroda--Wattenhofer hardness
+of approximating minimum *fractional vertex cover* to minimum dominating set
+on graphs of arboricity 2.  The construction takes a base graph ``G`` (in the
+original proof, a KMW cluster-tree graph), makes ``Delta^2`` copies, attaches
+a fresh node to all copies of every original node, and subdivides every copy
+edge; the result ``H`` has arboricity 2 and maximum degree ``Delta^2``, and
+any ``c``-approximate dominating set of ``H`` can be converted -- locally --
+into a ``c*(1+1/Delta)``-approximate fractional vertex cover of ``G``.
+
+This subpackage reproduces the construction and the conversion:
+
+* :mod:`repro.lowerbound.kmw_graph` -- KMW-style *base* graphs.  The genuine
+  KMW cluster trees certify locality hardness, which no experiment can
+  measure; what the reduction itself needs is only that the base graph is
+  bipartite (integrality gap 1 for vertex cover) with ``m >= n``, and those
+  properties are generated and certified here.
+* :mod:`repro.lowerbound.reduction` -- the Figure 1 construction of ``H``,
+  its structural certificates (arboricity 2 via an explicit acyclic
+  2-out-degree orientation, maximum degree, node/edge counts, Eq. (2)), and
+  the dominating-set-to-fractional-vertex-cover extraction used in the proof.
+"""
+
+from repro.lowerbound.kmw_graph import (
+    KMWBaseGraph,
+    bipartite_regular_base_graph,
+    layered_cluster_tree_graph,
+)
+from repro.lowerbound.reduction import (
+    LowerBoundInstance,
+    build_lower_bound_graph,
+    extract_fractional_vertex_cover,
+    verify_structural_properties,
+)
+
+__all__ = [
+    "KMWBaseGraph",
+    "LowerBoundInstance",
+    "bipartite_regular_base_graph",
+    "build_lower_bound_graph",
+    "extract_fractional_vertex_cover",
+    "layered_cluster_tree_graph",
+    "verify_structural_properties",
+]

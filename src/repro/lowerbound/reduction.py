@@ -1,0 +1,235 @@
+"""The Figure 1 construction and the dominating-set -> fractional-VC reduction.
+
+Given a base graph ``G`` (see :mod:`repro.lowerbound.kmw_graph`), the
+construction of Theorem 1.4 builds a graph ``H``:
+
+1. take ``copies`` disjoint copies ``G_1, ..., G_copies`` of ``G`` (the paper
+   uses ``Delta^2`` copies, where ``Delta`` is the maximum degree of ``G``);
+2. add a set ``T`` of ``n`` fresh nodes, one per original node of ``G``, and
+   join the ``T``-node of ``v`` to the copy of ``v`` in every ``G_i``;
+3. subdivide every edge inside every copy with a fresh "middle" node.
+
+The resulting ``H`` has arboricity 2 (middle nodes orient their two edges
+outward, ``T``-nodes orient all their edges inward, everything else points at
+a middle node or a ``T``-node, so the orientation is acyclic with out-degree
+2), maximum degree ``copies`` (at the ``T``-nodes, assuming
+``copies >= Delta``), and satisfies Eq. (2):
+``OPT_MDS(H) <= copies * OPT_MVC(G) + n``.
+
+The second half of the proof converts a dominating set ``S`` of ``H`` into a
+fractional vertex cover of ``G``: middle nodes in ``S`` are replaced by one of
+their endpoints, the per-copy restrictions ``S_i`` are then vertex covers of
+``G``, and ``y_v = |{i : v in S_i}| / copies`` is a feasible fractional vertex
+cover of total value at most ``|S| / copies``.
+:func:`extract_fractional_vertex_cover` implements that conversion and the
+benchmarks verify the chain of inequalities on concrete instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.graphs.arboricity import arboricity
+from repro.graphs.validation import is_dominating_set, is_vertex_cover
+from repro.lowerbound.kmw_graph import KMWBaseGraph
+
+__all__ = [
+    "LowerBoundInstance",
+    "build_lower_bound_graph",
+    "extract_fractional_vertex_cover",
+    "verify_structural_properties",
+]
+
+
+def _copy_node(copy_index: int, node: Hashable) -> Tuple[str, int, Hashable]:
+    return ("copy", copy_index, node)
+
+
+def _middle_node(copy_index: int, u: Hashable, v: Hashable) -> Tuple[str, int, frozenset]:
+    return ("middle", copy_index, frozenset((u, v)))
+
+
+def _t_node(node: Hashable) -> Tuple[str, Hashable]:
+    return ("T", node)
+
+
+@dataclass
+class LowerBoundInstance:
+    """The constructed graph ``H`` plus the bookkeeping the reduction needs."""
+
+    base: KMWBaseGraph
+    copies: int
+    graph: nx.Graph
+    t_nodes: Set = field(default_factory=set)
+    middle_nodes: Set = field(default_factory=set)
+    copy_nodes: Set = field(default_factory=set)
+
+    @property
+    def n_h(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def m_h(self) -> int:
+        return self.graph.number_of_edges()
+
+    def expected_node_count(self) -> int:
+        """``copies * (n + m) + n`` as stated in Section 5."""
+        return self.copies * (self.base.n + self.base.m) + self.base.n
+
+    def expected_edge_count(self) -> int:
+        """``copies * (2m + n)`` as stated in Section 5."""
+        return self.copies * (2 * self.base.m + self.base.n)
+
+    def certificate_orientation(self) -> Dict[Tuple[Hashable, Hashable], Hashable]:
+        """Return the acyclic out-degree-2 orientation witnessing arboricity 2.
+
+        Middle nodes orient both incident edges outward; every copy node
+        orients its edge towards its ``T``-node... more precisely, each
+        ``copy-to-T`` edge is oriented out of the copy node.  ``T``-nodes get
+        only incoming edges.  Out-degrees: middle nodes 2, copy nodes 1,
+        ``T``-nodes 0.
+        """
+        orientation = {}
+        for edge in self.graph.edges():
+            u, v = edge
+            if u in self.middle_nodes:
+                orientation[edge] = u
+            elif v in self.middle_nodes:
+                orientation[edge] = v
+            elif u in self.t_nodes:
+                orientation[edge] = v
+            else:  # v is the T node
+                orientation[edge] = u
+        return orientation
+
+
+def build_lower_bound_graph(base: KMWBaseGraph, copies: Optional[int] = None) -> LowerBoundInstance:
+    """Build ``H`` from the base graph following Figure 1.
+
+    ``copies`` defaults to ``Delta^2`` exactly as in the paper; a smaller
+    value can be passed to keep instances laptop-sized (the structural
+    certificates are unaffected, only the constant in the locality argument
+    changes), and the choice is recorded in the returned instance.
+    """
+    base.validate()
+    if copies is None:
+        copies = base.max_degree ** 2
+    if copies < 1:
+        raise ValueError("copies must be at least 1")
+
+    graph = nx.Graph()
+    t_nodes, middle_nodes, copy_nodes = set(), set(), set()
+
+    for node in base.graph.nodes():
+        t_node = _t_node(node)
+        graph.add_node(t_node)
+        t_nodes.add(t_node)
+
+    for copy_index in range(copies):
+        for node in base.graph.nodes():
+            copy_node = _copy_node(copy_index, node)
+            graph.add_node(copy_node)
+            copy_nodes.add(copy_node)
+            graph.add_edge(copy_node, _t_node(node))
+        for u, v in base.graph.edges():
+            middle = _middle_node(copy_index, u, v)
+            graph.add_node(middle)
+            middle_nodes.add(middle)
+            graph.add_edge(_copy_node(copy_index, u), middle)
+            graph.add_edge(_copy_node(copy_index, v), middle)
+
+    return LowerBoundInstance(
+        base=base,
+        copies=copies,
+        graph=graph,
+        t_nodes=t_nodes,
+        middle_nodes=middle_nodes,
+        copy_nodes=copy_nodes,
+    )
+
+
+def verify_structural_properties(instance: LowerBoundInstance, check_arboricity: bool = False) -> Dict[str, bool]:
+    """Check the structural claims Section 5 makes about ``H``.
+
+    Returns a dictionary of named boolean checks; ``check_arboricity=True``
+    additionally runs the exact (max-flow based) arboricity computation,
+    which is feasible only for small instances -- the certificate orientation
+    check is the scalable stand-in.
+    """
+    graph = instance.graph
+    base = instance.base
+    results = {}
+    results["node_count_matches"] = instance.n_h == instance.expected_node_count()
+    results["edge_count_matches"] = instance.m_h == instance.expected_edge_count()
+
+    degrees = dict(graph.degree())
+    t_degrees = {node: degrees[node] for node in instance.t_nodes}
+    results["t_degree_is_copies"] = all(value == instance.copies for value in t_degrees.values())
+    expected_max_degree = max(
+        instance.copies,
+        max((base.graph.degree(node) + 1 for node in base.graph.nodes()), default=0),
+        2,
+    )
+    results["max_degree_matches"] = max(degrees.values(), default=0) == expected_max_degree
+
+    orientation = instance.certificate_orientation()
+    outdegree: Dict[Hashable, int] = {node: 0 for node in graph.nodes()}
+    for edge, tail in orientation.items():
+        outdegree[tail] += 1
+    results["orientation_outdegree_at_most_2"] = all(value <= 2 for value in outdegree.values())
+    directed = nx.DiGraph()
+    directed.add_nodes_from(graph.nodes())
+    for (u, v), tail in orientation.items():
+        head = v if tail == u else u
+        directed.add_edge(tail, head)
+    results["orientation_acyclic"] = nx.is_directed_acyclic_graph(directed)
+
+    if check_arboricity:
+        results["arboricity_is_2"] = arboricity(graph) == 2
+    return results
+
+
+def extract_fractional_vertex_cover(
+    instance: LowerBoundInstance, dominating_set: Iterable[Hashable]
+) -> Dict[Hashable, float]:
+    """Convert a dominating set of ``H`` into a fractional vertex cover of ``G``.
+
+    Follows the proof of Theorem 1.4: middle nodes in the set are replaced by
+    one of their endpoints (which cannot increase the size), the per-copy
+    restriction ``S_i`` is then a vertex cover of the base graph, and
+    ``y_v = |{i : copy of v in S_i}| / copies``.
+
+    Raises ``ValueError`` if the input is not a dominating set of ``H`` --
+    the conversion is only meaningful for genuine dominating sets.
+    """
+    selected = set(dominating_set)
+    if not is_dominating_set(instance.graph, selected):
+        raise ValueError("the provided set does not dominate H")
+
+    per_copy: List[Set[Hashable]] = [set() for _ in range(instance.copies)]
+    for node in selected:
+        if node in instance.middle_nodes:
+            _, copy_index, endpoints = node
+            # Replace the middle node by one endpoint (deterministic choice).
+            endpoint = min(endpoints, key=repr)
+            per_copy[copy_index].add(endpoint)
+        elif node in instance.copy_nodes:
+            _, copy_index, original = node
+            per_copy[copy_index].add(original)
+        # T nodes contribute nothing to the vertex cover.
+
+    for copy_index, cover in enumerate(per_copy):
+        if not is_vertex_cover(instance.base.graph, cover):
+            raise AssertionError(
+                f"copy {copy_index} does not induce a vertex cover -- this "
+                "contradicts the argument of Theorem 1.4 and indicates a bug"
+            )
+
+    fractional: Dict[Hashable, float] = {node: 0.0 for node in instance.base.graph.nodes()}
+    for cover in per_copy:
+        for node in cover:
+            fractional[node] += 1.0 / instance.copies
+    return fractional

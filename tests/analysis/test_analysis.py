@@ -1,0 +1,149 @@
+"""Tests for OPT estimation, run verification, experiments and tables."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro import solve_mds, solve_weighted_mds
+from repro.analysis.experiments import (
+    ExperimentRecord,
+    aggregate_records,
+    run_algorithm_on_instance,
+    sweep,
+)
+from repro.analysis.opt import EXACT_THRESHOLD, estimate_opt
+from repro.analysis.tables import format_table, render_records, render_summary
+from repro.analysis.verify import approximation_ratio, verify_run
+from repro.baselines.exact import exact_minimum_dominating_set
+from repro.graphs.generators import GraphInstance, forest_union_graph, random_tree
+from repro.graphs.weights import assign_random_weights
+
+
+class TestOptEstimation:
+    def test_small_graph_uses_exact(self, small_forest_union):
+        estimate = estimate_opt(small_forest_union)
+        assert estimate.exact
+        _, opt = exact_minimum_dominating_set(small_forest_union)
+        assert estimate.value == opt
+        assert estimate.kind == "exact"
+
+    def test_large_graph_uses_lp(self):
+        graph = forest_union_graph(EXACT_THRESHOLD + 30, alpha=2, seed=1)
+        estimate = estimate_opt(graph)
+        assert not estimate.exact
+        assert estimate.kind == "lp-lower-bound"
+
+    def test_force_lp(self, small_tree):
+        estimate = estimate_opt(small_tree, force_lp=True)
+        assert not estimate.exact
+
+    def test_force_exact(self):
+        graph = forest_union_graph(60, alpha=2, seed=2)
+        estimate = estimate_opt(graph, exact_threshold=10, force_exact=True)
+        assert estimate.exact
+
+    def test_conflicting_flags(self, small_tree):
+        with pytest.raises(ValueError):
+            estimate_opt(small_tree, force_exact=True, force_lp=True)
+
+    def test_lp_bound_below_exact(self, small_forest_union):
+        exact = estimate_opt(small_forest_union, force_exact=True)
+        lp = estimate_opt(small_forest_union, force_lp=True)
+        assert lp.value <= exact.value + 1e-6
+
+
+class TestVerification:
+    def test_approximation_ratio_degenerate_cases(self):
+        assert approximation_ratio(0.0, 0.0) == 1.0
+        assert approximation_ratio(5.0, 0.0) == float("inf")
+        assert approximation_ratio(6.0, 2.0) == 3.0
+
+    def test_report_for_paper_algorithm(self, small_forest_union):
+        result = solve_mds(small_forest_union, alpha=3, epsilon=0.2)
+        report = verify_run(small_forest_union, result)
+        assert report.is_dominating
+        assert report.within_guarantee
+        assert report.packing_feasible
+        assert report.dual_bound_holds
+        assert report.ratio >= 1.0
+        assert "rounds" in report.summary()
+
+    def test_report_reuses_provided_opt(self, small_forest_union):
+        opt = estimate_opt(small_forest_union)
+        result = solve_mds(small_forest_union, alpha=3)
+        report = verify_run(small_forest_union, result, opt=opt)
+        assert report.opt is opt
+
+    def test_weighted_run(self, weighted_forest_union):
+        result = solve_weighted_mds(weighted_forest_union, alpha=3)
+        report = verify_run(weighted_forest_union, result)
+        assert report.is_dominating and report.within_guarantee
+
+
+class TestExperiments:
+    def _instances(self):
+        graphs = [
+            GraphInstance("tree", random_tree(30, seed=1), alpha=1),
+            GraphInstance("fu", forest_union_graph(35, alpha=2, seed=2), alpha=2),
+        ]
+        return graphs
+
+    def test_run_single_record(self):
+        instance = self._instances()[0]
+        record = run_algorithm_on_instance(
+            "E1", instance, lambda inst: solve_mds(inst.graph, alpha=inst.alpha)
+        )
+        assert record.experiment == "E1"
+        assert record.is_dominating
+        assert record.ratio >= 1.0
+        assert record.as_row()["ok"]
+
+    def test_sweep_runs_all_combinations(self):
+        instances = self._instances()
+        solvers = {
+            "eps-0.2": lambda inst: solve_mds(inst.graph, alpha=inst.alpha, epsilon=0.2),
+            "eps-0.5": lambda inst: solve_mds(inst.graph, alpha=inst.alpha, epsilon=0.5),
+        }
+        records = sweep("E1", instances, solvers)
+        assert len(records) == 4
+        assert {record.params["solver_label"] for record in records} == {"eps-0.2", "eps-0.5"}
+
+    def test_aggregate(self):
+        instances = self._instances()
+        records = sweep(
+            "E1", instances, {"paper": lambda inst: solve_mds(inst.graph, alpha=inst.alpha)}
+        )
+        summary = aggregate_records(records)
+        stats = next(iter(summary.values()))
+        assert stats["runs"] == 2
+        assert stats["violations"] == 0
+        assert stats["max_ratio"] >= stats["mean_ratio"]
+
+
+class TestTables:
+    def test_format_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_basic(self):
+        table = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": None}])
+        assert "a" in table and "b" in table
+        assert "2.500" in table and "-" in table
+
+    def test_boolean_rendering(self):
+        table = format_table([{"ok": True}, {"ok": False}])
+        assert "yes" in table and "NO" in table
+
+    def test_render_records(self):
+        instance = GraphInstance("tree", random_tree(25, seed=3), alpha=1)
+        record = run_algorithm_on_instance(
+            "E1", instance, lambda inst: solve_mds(inst.graph, alpha=inst.alpha)
+        )
+        table = render_records([record])
+        assert "E1" in table and "tree" in table
+
+    def test_render_summary(self):
+        instance = GraphInstance("tree", random_tree(25, seed=4), alpha=1)
+        records = sweep("E1", [instance], {"paper": lambda inst: solve_mds(inst.graph, alpha=inst.alpha)})
+        text = render_summary(aggregate_records(records))
+        assert "mean_ratio" in text

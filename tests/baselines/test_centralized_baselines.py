@@ -1,0 +1,136 @@
+"""Tests for the centralized baselines: greedy, Bansal--Umboh, KMW, Sun."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.baselines.bansal_umboh import bansal_umboh_dominating_set
+from repro.baselines.exact import exact_minimum_weight_dominating_set
+from repro.baselines.greedy import greedy_dominating_set
+from repro.baselines.kmw import kmw_lp_rounding_dominating_set
+from repro.baselines.lp import lp_dominating_set_lower_bound
+from repro.baselines.sun import sun_reverse_delete_dominating_set
+from repro.graphs.arboricity import arboricity
+from repro.graphs.generators import forest_union_graph, preferential_attachment_graph, random_tree
+from repro.graphs.validation import is_dominating_set
+from repro.graphs.weights import assign_random_weights
+
+
+class TestGreedy:
+    def test_star(self):
+        solution, weight = greedy_dominating_set(nx.star_graph(9))
+        assert solution == {0} and weight == 1
+
+    def test_valid_on_suite(self, unweighted_instances):
+        for instance in unweighted_instances:
+            solution, _ = greedy_dominating_set(instance.graph)
+            assert is_dominating_set(instance.graph, solution), instance.name
+
+    def test_weighted_graph(self, weighted_forest_union):
+        solution, weight = greedy_dominating_set(weighted_forest_union)
+        assert is_dominating_set(weighted_forest_union, solution)
+        assert weight == sum(weighted_forest_union.nodes[v]["weight"] for v in solution)
+
+    def test_logarithmic_guarantee(self, small_forest_union):
+        solution, weight = greedy_dominating_set(small_forest_union)
+        _, opt = exact_minimum_weight_dominating_set(small_forest_union)
+        max_degree = max(dict(small_forest_union.degree()).values())
+        assert weight <= (math.log(max_degree + 1) + 1) * opt + 1e-9
+
+    def test_isolated_nodes_selected(self):
+        graph = nx.empty_graph(3)
+        solution, weight = greedy_dominating_set(graph)
+        assert solution == {0, 1, 2}
+
+    def test_prefers_cheap_cover(self):
+        graph = nx.star_graph(6)
+        graph.nodes[0]["weight"] = 1000
+        for leaf in range(1, 7):
+            graph.nodes[leaf]["weight"] = 1
+        solution, weight = greedy_dominating_set(graph)
+        assert weight <= 7
+
+
+class TestBansalUmboh:
+    def test_valid_and_within_factor(self, unweighted_instances):
+        for instance in unweighted_instances:
+            result = bansal_umboh_dominating_set(instance.graph, alpha=instance.alpha)
+            assert is_dominating_set(instance.graph, result.dominating_set), instance.name
+            assert result.weight <= (2 * instance.alpha + 1) * result.lp_value + 1e-6, instance.name
+
+    def test_weighted_instance(self, weighted_forest_union):
+        result = bansal_umboh_dominating_set(weighted_forest_union, alpha=3)
+        assert is_dominating_set(weighted_forest_union, result.dominating_set)
+        assert result.weight <= 7 * result.lp_value + 1e-6
+
+    def test_lp_value_lower_bounds_opt(self, small_forest_union):
+        result = bansal_umboh_dominating_set(small_forest_union, alpha=3)
+        _, opt = exact_minimum_weight_dominating_set(small_forest_union)
+        assert result.lp_value <= opt + 1e-6
+
+    def test_invalid_alpha(self, small_tree):
+        with pytest.raises(ValueError):
+            bansal_umboh_dominating_set(small_tree, alpha=0)
+
+    def test_nominal_rounds_grow_with_precision(self, small_tree):
+        loose = bansal_umboh_dominating_set(small_tree, alpha=1, epsilon=0.5)
+        tight = bansal_umboh_dominating_set(small_tree, alpha=1, epsilon=0.1)
+        assert tight.nominal_rounds > loose.nominal_rounds
+
+
+class TestKMWRounding:
+    def test_valid_dominating_set(self, unweighted_instances):
+        for instance in unweighted_instances:
+            result = kmw_lp_rounding_dominating_set(instance.graph, seed=1)
+            assert is_dominating_set(instance.graph, result.dominating_set), instance.name
+
+    def test_expected_logarithmic_quality(self, small_forest_union):
+        _, opt = exact_minimum_weight_dominating_set(small_forest_union)
+        max_degree = max(dict(small_forest_union.degree()).values())
+        weights = [
+            kmw_lp_rounding_dominating_set(small_forest_union, seed=seed).weight
+            for seed in range(5)
+        ]
+        average = sum(weights) / len(weights)
+        assert average <= 3 * (math.log(max_degree + 2) + 1) * opt
+
+    def test_deterministic_given_seed(self, small_forest_union):
+        first = kmw_lp_rounding_dominating_set(small_forest_union, seed=3)
+        second = kmw_lp_rounding_dominating_set(small_forest_union, seed=3)
+        assert first.dominating_set == second.dominating_set
+
+
+class TestSunReverseDelete:
+    def test_valid_on_suite(self, weighted_instances):
+        for instance in weighted_instances:
+            result = sun_reverse_delete_dominating_set(instance.graph)
+            assert is_dominating_set(instance.graph, result.dominating_set), instance.name
+
+    def test_reverse_delete_never_increases_weight(self, weighted_forest_union):
+        result = sun_reverse_delete_dominating_set(weighted_forest_union)
+        assert len(result.dominating_set) <= result.before_reverse_delete
+        assert result.removed_by_reverse_delete >= 0
+
+    def test_quality_close_to_alpha_plus_one(self, small_forest_union):
+        """Sun's factor is (alpha+1); allow slack for our uniform dual ascent."""
+        result = sun_reverse_delete_dominating_set(small_forest_union)
+        _, opt = exact_minimum_weight_dominating_set(small_forest_union)
+        alpha = arboricity(small_forest_union)
+        assert result.weight <= 2 * (alpha + 1) * opt
+
+    def test_star_graph(self):
+        star = nx.star_graph(7)
+        result = sun_reverse_delete_dominating_set(star)
+        assert is_dominating_set(star, result.dominating_set)
+        assert result.weight <= 2
+
+    def test_weighted_star_avoids_expensive_hub(self):
+        star = nx.star_graph(5)
+        star.nodes[0]["weight"] = 1000
+        for leaf in range(1, 6):
+            star.nodes[leaf]["weight"] = 1
+        result = sun_reverse_delete_dominating_set(star)
+        assert result.weight <= 6

@@ -1,0 +1,74 @@
+"""Tests for the distributed baselines (LW-style and the combinatorial one)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.exact import exact_minimum_dominating_set
+from repro.baselines.lenzen_wattenhofer import LWDeterministicAlgorithm, LWRandomizedAlgorithm
+from repro.baselines.msw import MSWStyleAlgorithm
+from repro.congest.simulator import run_algorithm
+from repro.graphs.generators import preferential_attachment_graph
+from repro.graphs.validation import is_dominating_set
+
+
+class TestLWDeterministic:
+    def test_valid_on_suite(self, unweighted_instances):
+        for instance in unweighted_instances:
+            result = run_algorithm(instance.graph, LWDeterministicAlgorithm(), alpha=instance.alpha)
+            assert is_dominating_set(instance.graph, result.selected_nodes()), instance.name
+
+    def test_rounds_logarithmic_in_delta(self, small_ba):
+        result = run_algorithm(small_ba, LWDeterministicAlgorithm(), alpha=3)
+        max_degree = max(dict(small_ba.degree()).values())
+        assert result.rounds <= 2 * (math.ceil(math.log2(max_degree + 2)) + 3)
+
+    def test_deterministic(self, small_forest_union):
+        first = run_algorithm(small_forest_union, LWDeterministicAlgorithm(), alpha=3, seed=1)
+        second = run_algorithm(small_forest_union, LWDeterministicAlgorithm(), alpha=3, seed=9)
+        assert first.selected_nodes() == second.selected_nodes()
+
+
+class TestLWRandomized:
+    def test_valid_on_suite(self, unweighted_instances):
+        for instance in unweighted_instances:
+            result = run_algorithm(
+                instance.graph, LWRandomizedAlgorithm(), alpha=instance.alpha, seed=5
+            )
+            assert is_dominating_set(instance.graph, result.selected_nodes()), instance.name
+
+    def test_rounds_logarithmic_in_n(self, small_forest_union):
+        result = run_algorithm(small_forest_union, LWRandomizedAlgorithm(), alpha=3, seed=2)
+        n = small_forest_union.number_of_nodes()
+        assert result.rounds <= 4 * (math.ceil(math.log2(n)) + 4)
+
+    def test_valid_across_seeds(self, small_forest_union):
+        for seed in range(4):
+            result = run_algorithm(small_forest_union, LWRandomizedAlgorithm(), alpha=3, seed=seed)
+            assert is_dominating_set(small_forest_union, result.selected_nodes())
+
+
+class TestCombinatorialBaseline:
+    def test_valid_on_suite(self, unweighted_instances):
+        for instance in unweighted_instances:
+            result = run_algorithm(instance.graph, MSWStyleAlgorithm(), alpha=instance.alpha)
+            assert is_dominating_set(instance.graph, result.selected_nodes()), instance.name
+
+    def test_requires_alpha(self, small_forest_union):
+        with pytest.raises(ValueError):
+            run_algorithm(small_forest_union, MSWStyleAlgorithm(), alpha=None)
+
+    def test_quality_on_skewed_degree_graph(self):
+        """On a high-Delta, low-alpha graph the combinatorial baseline stays
+        within a modest multiple of OPT (its selling point vs plain greedy-thresholds)."""
+        graph = preferential_attachment_graph(150, attachment=3, seed=3)
+        result = run_algorithm(graph, MSWStyleAlgorithm(), alpha=3)
+        _, opt = exact_minimum_dominating_set(graph)
+        assert len(result.selected_nodes()) <= (2 * 3 + 1) * opt + 0.35 * graph.number_of_nodes()
+
+    def test_rounds_logarithmic_in_delta(self, small_ba):
+        result = run_algorithm(small_ba, MSWStyleAlgorithm(), alpha=3)
+        max_degree = max(dict(small_ba.degree()).values())
+        assert result.rounds <= 2 * (math.ceil(math.log2(max_degree + 2)) + 3)

@@ -1,0 +1,132 @@
+"""Tests for the exact solvers and the LP relaxations."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import (
+    _branch_and_bound,
+    exact_minimum_dominating_set,
+    exact_minimum_weight_dominating_set,
+)
+from repro.baselines.lp import (
+    fractional_dominating_set_lp,
+    fractional_vertex_cover_lp,
+    lp_dominating_set_lower_bound,
+)
+from repro.graphs.generators import random_tree, star_of_cliques
+from repro.graphs.validation import is_dominating_set
+from repro.graphs.weights import assign_random_weights
+
+
+class TestExactSolver:
+    def test_star_graph_optimum_is_one(self):
+        star = nx.star_graph(8)
+        solution, weight = exact_minimum_dominating_set(star)
+        assert weight == 1 and solution == {0}
+
+    def test_path_graph_optimum(self):
+        # A path on 3k nodes has domination number k.
+        path = nx.path_graph(9)
+        _, weight = exact_minimum_dominating_set(path)
+        assert weight == 3
+
+    def test_cycle_graph_optimum(self):
+        _, weight = exact_minimum_dominating_set(nx.cycle_graph(9))
+        assert weight == 3
+
+    def test_empty_graph(self):
+        solution, weight = exact_minimum_weight_dominating_set(nx.Graph())
+        assert solution == set() and weight == 0
+
+    def test_isolated_nodes_all_selected(self):
+        _, weight = exact_minimum_dominating_set(nx.empty_graph(4))
+        assert weight == 4
+
+    def test_solution_is_dominating(self, small_forest_union):
+        solution, _ = exact_minimum_dominating_set(small_forest_union)
+        assert is_dominating_set(small_forest_union, solution)
+
+    def test_weighted_optimum_respects_weights(self):
+        graph = nx.star_graph(5)
+        graph.nodes[0]["weight"] = 100
+        for leaf in range(1, 6):
+            graph.nodes[leaf]["weight"] = 1
+        _, weight = exact_minimum_weight_dominating_set(graph)
+        # Taking all five leaves (weight 5) beats the expensive hub (100).
+        assert weight == 5
+
+    def test_unweighted_solver_ignores_weights(self):
+        graph = nx.star_graph(5)
+        graph.nodes[0]["weight"] = 100
+        _, weight = exact_minimum_dominating_set(graph)
+        assert weight == 1
+
+    def test_matches_branch_and_bound_on_small_instances(self):
+        for seed in range(4):
+            graph = nx.gnp_random_graph(9, 0.3, seed=seed)
+            assign_random_weights(graph, 1, 9, seed=seed)
+            _, milp_weight = exact_minimum_weight_dominating_set(graph)
+            _, bnb_weight = _branch_and_bound(graph)
+            assert milp_weight == bnb_weight
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=2, max_value=18), st.integers(min_value=0, max_value=10 ** 6))
+    def test_optimum_on_trees_at_most_third_of_nodes_plus_one(self, n, seed):
+        graph = random_tree(n, seed=seed)
+        solution, weight = exact_minimum_dominating_set(graph)
+        assert is_dominating_set(graph, solution)
+        assert weight <= (n + 2) // 3 + 1
+
+
+class TestDominatingSetLP:
+    def test_lower_bounds_exact_optimum(self, small_forest_union):
+        lp = lp_dominating_set_lower_bound(small_forest_union)
+        _, opt = exact_minimum_dominating_set(small_forest_union)
+        assert lp <= opt + 1e-6
+
+    def test_star_lp_value_is_one(self):
+        solution, value = fractional_dominating_set_lp(nx.star_graph(6))
+        assert value == pytest.approx(1.0, abs=1e-6)
+
+    def test_solution_is_feasible(self, small_grid):
+        solution, _ = fractional_dominating_set_lp(small_grid)
+        for node in small_grid.nodes():
+            total = solution[node] + sum(solution[v] for v in small_grid.neighbors(node))
+            assert total >= 1 - 1e-6
+
+    def test_weighted_lp_respects_weights(self):
+        graph = nx.star_graph(4)
+        graph.nodes[0]["weight"] = 50
+        for leaf in range(1, 5):
+            graph.nodes[leaf]["weight"] = 1
+        _, value = fractional_dominating_set_lp(graph)
+        assert value <= 4 + 1e-6
+
+    def test_empty_graph(self):
+        solution, value = fractional_dominating_set_lp(nx.Graph())
+        assert solution == {} and value == 0.0
+
+
+class TestVertexCoverLP:
+    def test_bipartite_integrality(self):
+        # On bipartite graphs the LP optimum equals the integral optimum
+        # (Koenig); for K_{3,3} that is 3.
+        _, value = fractional_vertex_cover_lp(nx.complete_bipartite_graph(3, 3))
+        assert value == pytest.approx(3.0, abs=1e-6)
+
+    def test_odd_cycle_is_half_integral(self):
+        _, value = fractional_vertex_cover_lp(nx.cycle_graph(5))
+        assert value == pytest.approx(2.5, abs=1e-6)
+
+    def test_solution_covers_edges(self, small_grid):
+        solution, _ = fractional_vertex_cover_lp(small_grid)
+        for u, v in small_grid.edges():
+            assert solution[u] + solution[v] >= 1 - 1e-6
+
+    def test_edgeless_graph(self):
+        solution, value = fractional_vertex_cover_lp(nx.empty_graph(3))
+        assert value == 0.0 and set(solution) == {0, 1, 2}

@@ -1,0 +1,102 @@
+"""Shared fixtures for the test-suite.
+
+The fixtures provide small, deterministic graph instances that are reused
+across many test modules, so individual tests stay fast while still covering
+the graph families the paper targets (trees, planar, unions of forests,
+preferential attachment).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import (
+    GraphInstance,
+    caterpillar_graph,
+    forest_union_graph,
+    grid_graph,
+    outerplanar_graph,
+    planar_triangulation_graph,
+    preferential_attachment_graph,
+    random_tree,
+)
+from repro.graphs.weights import assign_random_weights, assign_uniform_weights
+
+
+@pytest.fixture
+def small_tree() -> nx.Graph:
+    """A 40-node random tree (arboricity 1)."""
+    return random_tree(40, seed=7)
+
+
+@pytest.fixture
+def small_forest_union() -> nx.Graph:
+    """A 50-node union of three random spanning trees (arboricity <= 3)."""
+    return forest_union_graph(50, alpha=3, seed=11)
+
+
+@pytest.fixture
+def small_planar() -> nx.Graph:
+    """A 45-node Delaunay triangulation (planar, arboricity <= 3)."""
+    return planar_triangulation_graph(45, seed=3)
+
+
+@pytest.fixture
+def small_grid() -> nx.Graph:
+    """A 5x7 grid (planar bipartite, arboricity <= 2)."""
+    return grid_graph(5, 7)
+
+
+@pytest.fixture
+def small_outerplanar() -> nx.Graph:
+    """A 30-node outerplanar graph (arboricity <= 2)."""
+    return outerplanar_graph(30, seed=5)
+
+
+@pytest.fixture
+def small_caterpillar() -> nx.Graph:
+    """A caterpillar tree with 10 spine nodes and 3 legs each."""
+    return caterpillar_graph(10, legs_per_node=3)
+
+
+@pytest.fixture
+def small_ba() -> nx.Graph:
+    """An 80-node preferential attachment graph (arboricity <= 3, skewed degrees)."""
+    return preferential_attachment_graph(80, attachment=3, seed=9)
+
+
+@pytest.fixture
+def weighted_forest_union() -> nx.Graph:
+    """The forest-union instance with random integer weights in [1, 30]."""
+    graph = forest_union_graph(50, alpha=3, seed=11)
+    assign_random_weights(graph, 1, 30, seed=13)
+    return graph
+
+
+@pytest.fixture
+def unweighted_instances() -> list[GraphInstance]:
+    """A small unweighted workload spanning the targeted graph families."""
+    instances = [
+        GraphInstance("tree", random_tree(35, seed=1), alpha=1),
+        GraphInstance("grid", grid_graph(5, 6), alpha=2),
+        GraphInstance("outerplanar", outerplanar_graph(28, seed=2), alpha=2),
+        GraphInstance("forest-union-3", forest_union_graph(40, alpha=3, seed=3), alpha=3),
+        GraphInstance("ba-3", preferential_attachment_graph(45, attachment=3, seed=4), alpha=3),
+    ]
+    for instance in instances:
+        assign_uniform_weights(instance.graph)
+    return instances
+
+
+@pytest.fixture
+def weighted_instances() -> list[GraphInstance]:
+    """The same workload with random integer weights."""
+    instances = [
+        GraphInstance("tree-w", random_tree(35, seed=1), alpha=1),
+        GraphInstance("forest-union-3-w", forest_union_graph(40, alpha=3, seed=3), alpha=3),
+        GraphInstance("ba-3-w", preferential_attachment_graph(45, attachment=3, seed=4), alpha=3),
+    ]
+    for index, instance in enumerate(instances):
+        assign_random_weights(instance.graph, 1, 25, seed=20 + index)
+    return instances

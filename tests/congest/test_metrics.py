@@ -1,0 +1,35 @@
+"""Tests for the metrics containers."""
+
+from __future__ import annotations
+
+from repro.congest.metrics import RoundMetrics, RunMetrics
+
+
+class TestRunMetrics:
+    def test_record_accumulates(self):
+        run = RunMetrics(bandwidth_budget_bits=64)
+        run.record(RoundMetrics(round_index=0, messages=10, bits=100, max_message_bits=16))
+        run.record(RoundMetrics(round_index=1, messages=5, bits=40, max_message_bits=32))
+        assert run.rounds == 2
+        assert run.total_messages == 15
+        assert run.total_bits == 140
+        assert run.max_message_bits == 32
+        assert len(run.per_round) == 2
+
+    def test_average_messages(self):
+        run = RunMetrics()
+        run.record(RoundMetrics(round_index=0, messages=4))
+        run.record(RoundMetrics(round_index=1, messages=6))
+        assert run.average_messages_per_round == 5.0
+
+    def test_average_of_empty_run_is_zero(self):
+        assert RunMetrics().average_messages_per_round == 0.0
+
+    def test_summary_mentions_budget(self):
+        run = RunMetrics(bandwidth_budget_bits=128)
+        run.record(RoundMetrics(round_index=0, messages=1, bits=8, max_message_bits=8))
+        assert "budget=128" in run.summary()
+
+    def test_summary_marks_local_model(self):
+        run = RunMetrics(bandwidth_budget_bits=0)
+        assert "LOCAL" in run.summary()

@@ -1,0 +1,101 @@
+"""Tests for the Network wrapper."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.congest.network import Network
+from repro.graphs.generators import random_tree
+from repro.graphs.weights import assign_random_weights
+
+
+class TestConstruction:
+    def test_basic_counts(self, small_tree):
+        network = Network(small_tree, alpha=1)
+        assert network.n == small_tree.number_of_nodes()
+        assert network.m == small_tree.number_of_edges()
+        assert len(network) == network.n
+
+    def test_max_degree(self):
+        star = nx.star_graph(5)
+        network = Network(star)
+        assert network.max_degree == 5
+
+    def test_rejects_directed(self):
+        with pytest.raises(TypeError):
+            Network(nx.DiGraph([(0, 1)]))
+
+    def test_rejects_multigraph(self):
+        with pytest.raises(TypeError):
+            Network(nx.MultiGraph([(0, 1)]))
+
+    def test_weights_read_from_graph(self):
+        graph = random_tree(10, seed=1)
+        assign_random_weights(graph, 2, 9, seed=2)
+        network = Network(graph)
+        for node in graph.nodes():
+            assert network.context(node).weight == graph.nodes[node]["weight"]
+
+    def test_default_weight_is_one(self, small_tree):
+        network = Network(small_tree)
+        assert all(network.context(node).weight == 1 for node in small_tree.nodes())
+
+
+class TestConfig:
+    def test_contains_global_knowledge(self, small_tree):
+        network = Network(small_tree, alpha=1, config={"epsilon": 0.2})
+        config = network.context(0).config
+        assert config["n"] == small_tree.number_of_nodes()
+        assert config["max_degree"] == network.max_degree
+        assert config["alpha"] == 1
+        assert config["epsilon"] == 0.2
+
+    def test_unknown_delta_mode(self, small_tree):
+        network = Network(small_tree, alpha=1, knows_max_degree=False)
+        assert "max_degree" not in network.context(0).config
+
+    def test_unknown_alpha_mode(self, small_tree):
+        network = Network(small_tree)
+        assert "alpha" not in network.context(0).config
+
+    def test_config_is_read_only(self, small_tree):
+        network = Network(small_tree, alpha=1)
+        with pytest.raises(TypeError):
+            network.context(0).config["n"] = 5
+
+
+class TestNodeContexts:
+    def test_neighbors_match_graph(self, small_grid):
+        network = Network(small_grid)
+        for node in small_grid.nodes():
+            assert set(network.context(node).neighbors) == set(small_grid.neighbors(node))
+
+    def test_degree_properties(self, small_grid):
+        network = Network(small_grid)
+        context = network.context(0)
+        assert context.degree == small_grid.degree(0)
+        assert context.closed_degree == small_grid.degree(0) + 1
+
+    def test_are_neighbors(self, small_grid):
+        network = Network(small_grid)
+        u, v = next(iter(small_grid.edges()))
+        assert network.are_neighbors(u, v)
+
+    def test_per_node_rng_deterministic_across_networks(self, small_tree):
+        first = Network(small_tree, seed=42)
+        second = Network(small_tree, seed=42)
+        assert first.context(0).rng.random() == second.context(0).rng.random()
+
+    def test_per_node_rng_differs_between_nodes(self, small_tree):
+        network = Network(small_tree, seed=42)
+        assert network.context(0).rng.random() != network.context(1).rng.random()
+
+    def test_reset_clears_state(self, small_tree):
+        network = Network(small_tree)
+        context = network.context(0)
+        context.state["marker"] = 1
+        context.finish()
+        network.reset()
+        assert context.state == {}
+        assert not context.finished

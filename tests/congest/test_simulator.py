@@ -1,0 +1,178 @@
+"""Tests for the synchronous round executor."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.congest.algorithm import SynchronousAlgorithm
+from repro.congest.errors import AlgorithmError, BandwidthViolation, NonConvergenceError
+from repro.congest.message import Broadcast
+from repro.congest.network import Network
+from repro.congest.simulator import Simulator, run_algorithm
+
+
+class CountNeighborsAlgorithm(SynchronousAlgorithm):
+    """Round 0: broadcast a token; round 1: count received tokens; stop."""
+
+    name = "count-neighbors"
+
+    def round(self, node, round_index, inbox):
+        if round_index == 0:
+            return Broadcast({"token": True})
+        node.state["output"] = len(inbox)
+        node.finish()
+        return None
+
+
+class SilentAlgorithm(SynchronousAlgorithm):
+    name = "silent"
+
+    def round(self, node, round_index, inbox):
+        node.state["output"] = True
+        node.finish()
+        return None
+
+
+class ChattyAlgorithm(SynchronousAlgorithm):
+    """Sends an oversized message to trigger the bandwidth check."""
+
+    name = "chatty"
+
+    def round(self, node, round_index, inbox):
+        node.finish()
+        return Broadcast({"blob": "x" * 4096})
+
+
+class NonNeighborSender(SynchronousAlgorithm):
+    name = "non-neighbor-sender"
+
+    def round(self, node, round_index, inbox):
+        node.finish()
+        target = node.config["target"]
+        if node.node_id != target:
+            return {target: {"hello": True}}
+        return None
+
+
+class NeverTerminates(SynchronousAlgorithm):
+    name = "never-terminates"
+
+    def round(self, node, round_index, inbox):
+        return None
+
+
+class TwoHopFlood(SynchronousAlgorithm):
+    """Relays a token for a configurable number of rounds, then stops."""
+
+    name = "two-hop-flood"
+
+    def setup(self, node):
+        node.state["seen"] = node.node_id == node.config["source"]
+
+    def round(self, node, round_index, inbox):
+        if any(message.get("token") for message in inbox.values()):
+            node.state["seen"] = True
+        if round_index >= node.config["rounds"]:
+            node.state["output"] = node.state["seen"]
+            node.finish()
+            return None
+        if node.state["seen"]:
+            return Broadcast({"token": True})
+        return None
+
+
+class TestBasicExecution:
+    def test_neighbor_counting(self, small_grid):
+        result = run_algorithm(small_grid, CountNeighborsAlgorithm())
+        for node in small_grid.nodes():
+            assert result.outputs[node] == small_grid.degree(node)
+
+    def test_round_count(self, small_grid):
+        result = run_algorithm(small_grid, CountNeighborsAlgorithm())
+        assert result.rounds == 2
+
+    def test_silent_algorithm_one_round_no_messages(self, small_tree):
+        result = run_algorithm(small_tree, SilentAlgorithm())
+        assert result.rounds == 1
+        assert result.metrics.total_messages == 0
+
+    def test_metrics_accumulate(self, small_grid):
+        result = run_algorithm(small_grid, CountNeighborsAlgorithm())
+        assert result.metrics.total_messages == 2 * small_grid.number_of_edges()
+        assert result.metrics.total_bits > 0
+        assert result.metrics.max_message_bits >= 1
+
+    def test_selected_nodes_from_boolean_outputs(self, small_tree):
+        result = run_algorithm(small_tree, SilentAlgorithm())
+        assert result.selected_nodes() == set(small_tree.nodes())
+
+    def test_selected_nodes_from_dict_outputs(self, small_tree):
+        class DictOutput(SilentAlgorithm):
+            def output(self, node):
+                return {"in_ds": node.node_id == 0}
+
+        result = run_algorithm(small_tree, DictOutput())
+        assert result.selected_nodes() == {0}
+
+
+class TestModelEnforcement:
+    def test_bandwidth_violation_raised(self, small_tree):
+        with pytest.raises(BandwidthViolation):
+            run_algorithm(small_tree, ChattyAlgorithm())
+
+    def test_bandwidth_violation_ignored_when_not_strict(self, small_tree):
+        result = run_algorithm(small_tree, ChattyAlgorithm(), strict=False)
+        assert result.metrics.max_message_bits > result.metrics.bandwidth_budget_bits
+
+    def test_local_algorithms_skip_the_check(self, small_tree):
+        class LocalChatty(ChattyAlgorithm):
+            congest = False
+
+        result = run_algorithm(small_tree, LocalChatty())
+        assert result.metrics.bandwidth_budget_bits == 0
+
+    def test_sending_to_non_neighbor_rejected(self):
+        path = nx.path_graph(4)
+        with pytest.raises(AlgorithmError):
+            run_algorithm(path, NonNeighborSender(), config={"target": 3})
+
+    def test_round_limit_enforced(self, small_tree):
+        with pytest.raises(NonConvergenceError):
+            run_algorithm(small_tree, NeverTerminates(), max_rounds=10)
+
+    def test_algorithm_max_rounds_respected(self, small_tree):
+        class Limited(NeverTerminates):
+            def max_rounds(self, network):
+                return 5
+
+        with pytest.raises(NonConvergenceError) as info:
+            run_algorithm(small_tree, Limited())
+        assert info.value.rounds == 5
+
+
+class TestMessageDelivery:
+    def test_messages_travel_one_hop_per_round(self):
+        path = nx.path_graph(5)
+        # After r relay rounds the token reaches distance r from the source.
+        result = run_algorithm(path, TwoHopFlood(), config={"source": 0, "rounds": 2})
+        assert result.outputs[0] and result.outputs[1] and result.outputs[2]
+        assert not result.outputs[3] and not result.outputs[4]
+
+    def test_flood_eventually_reaches_everyone(self):
+        path = nx.path_graph(5)
+        result = run_algorithm(path, TwoHopFlood(), config={"source": 0, "rounds": 6})
+        assert all(result.outputs.values())
+
+    def test_runs_are_reproducible(self, small_ba):
+        first = run_algorithm(small_ba, CountNeighborsAlgorithm(), seed=1)
+        second = run_algorithm(small_ba, CountNeighborsAlgorithm(), seed=1)
+        assert first.outputs == second.outputs
+        assert first.metrics.total_messages == second.metrics.total_messages
+
+    def test_simulator_reusable_across_networks(self, small_tree, small_grid):
+        simulator = Simulator()
+        algorithm = CountNeighborsAlgorithm()
+        first = simulator.run(Network(small_tree), algorithm)
+        second = simulator.run(Network(small_grid), algorithm)
+        assert first.rounds == second.rounds == 2

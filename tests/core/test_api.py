@@ -1,0 +1,94 @@
+"""Tests for the high-level convenience API."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro import (
+    DominatingSetResult,
+    solve_mds,
+    solve_mds_forest,
+    solve_mds_general,
+    solve_mds_randomized,
+    solve_mds_unknown_arboricity,
+    solve_mds_unknown_degree,
+    solve_weighted_mds,
+)
+from repro.graphs.generators import forest_union_graph, random_tree
+from repro.graphs.weights import assign_random_weights
+
+
+class TestSolveMds:
+    def test_returns_result_dataclass(self, small_forest_union):
+        result = solve_mds(small_forest_union, alpha=3)
+        assert isinstance(result, DominatingSetResult)
+        assert result.is_valid
+        assert result.weight == len(result.dominating_set)
+        assert len(result) == len(result.dominating_set)
+
+    def test_dispatches_to_unweighted_algorithm(self, small_forest_union):
+        result = solve_mds(small_forest_union, alpha=3)
+        assert "unweighted" in result.algorithm
+
+    def test_dispatches_to_weighted_algorithm(self, weighted_forest_union):
+        result = solve_mds(weighted_forest_union, alpha=3)
+        assert "deterministic" in result.algorithm
+
+    def test_alpha_defaults_to_degeneracy(self, small_forest_union):
+        result = solve_mds(small_forest_union)
+        assert result.is_valid
+        assert result.guarantee is not None
+
+    def test_invalid_alpha_rejected(self, small_forest_union):
+        with pytest.raises(ValueError):
+            solve_mds(small_forest_union, alpha=0)
+
+    def test_guarantee_reported(self, small_forest_union):
+        result = solve_mds(small_forest_union, alpha=3, epsilon=0.5)
+        assert result.guarantee == pytest.approx(7 * 1.5)
+
+    def test_metrics_available(self, small_forest_union):
+        result = solve_mds(small_forest_union, alpha=3)
+        assert result.metrics.rounds == result.rounds
+        assert result.metrics.total_messages > 0
+
+
+class TestOtherSolvers:
+    def test_solve_weighted(self, weighted_forest_union):
+        result = solve_weighted_mds(weighted_forest_union, alpha=3)
+        assert result.is_valid
+
+    def test_solve_randomized(self, weighted_forest_union):
+        result = solve_mds_randomized(weighted_forest_union, alpha=3, t=2, seed=4)
+        assert result.is_valid
+
+    def test_solve_general(self):
+        graph = nx.gnp_random_graph(40, 0.2, seed=3)
+        result = solve_mds_general(graph, k=2, seed=1)
+        assert result.is_valid
+
+    def test_solve_forest(self):
+        graph = random_tree(30, seed=2)
+        result = solve_mds_forest(graph)
+        assert result.is_valid
+        assert result.guarantee == 3.0
+        assert result.rounds <= 2
+
+    def test_solve_unknown_degree(self, weighted_forest_union):
+        result = solve_mds_unknown_degree(weighted_forest_union, alpha=3)
+        assert result.is_valid
+
+    def test_solve_unknown_arboricity(self, small_forest_union):
+        result = solve_mds_unknown_arboricity(small_forest_union)
+        assert result.is_valid
+
+    def test_results_are_reproducible(self, weighted_forest_union):
+        first = solve_mds_randomized(weighted_forest_union, alpha=3, t=1, seed=11)
+        second = solve_mds_randomized(weighted_forest_union, alpha=3, t=1, seed=11)
+        assert first.dominating_set == second.dominating_set
+
+    def test_different_seeds_may_differ_but_stay_valid(self, weighted_forest_union):
+        for seed in range(3):
+            result = solve_mds_randomized(weighted_forest_union, alpha=3, t=1, seed=seed)
+            assert result.is_valid

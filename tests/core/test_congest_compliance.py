@@ -1,0 +1,74 @@
+"""CONGEST-model compliance of every algorithm in the repository.
+
+Every message sent by the paper's algorithms must fit in ``O(log n)`` bits.
+The simulator enforces this in strict mode; these tests run every algorithm
+on a common instance and assert that no violation occurs and that the largest
+observed message is well within the budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.lenzen_wattenhofer import LWDeterministicAlgorithm, LWRandomizedAlgorithm
+from repro.baselines.msw import MSWStyleAlgorithm
+from repro.congest.simulator import run_algorithm
+from repro.core.general_graphs import GeneralGraphMDSAlgorithm
+from repro.core.randomized import RandomizedMDSAlgorithm
+from repro.core.trees import ForestMDSAlgorithm
+from repro.core.unknown_params import UnknownArboricityMDSAlgorithm, UnknownDegreeMDSAlgorithm
+from repro.core.unweighted import UnweightedMDSAlgorithm
+from repro.core.weighted import WeightedMDSAlgorithm
+from repro.graphs.generators import forest_union_graph
+from repro.graphs.weights import assign_random_weights
+
+
+CONGEST_ALGORITHMS = [
+    ("theorem-3.1", lambda: UnweightedMDSAlgorithm(epsilon=0.2), False),
+    ("theorem-1.1", lambda: WeightedMDSAlgorithm(epsilon=0.2), True),
+    ("theorem-1.2", lambda: RandomizedMDSAlgorithm(t=2), True),
+    ("theorem-1.3", lambda: GeneralGraphMDSAlgorithm(k=2), True),
+    ("observation-a.1", lambda: ForestMDSAlgorithm(), False),
+    ("lw-deterministic", lambda: LWDeterministicAlgorithm(), False),
+    ("lw-randomized", lambda: LWRandomizedAlgorithm(), False),
+    ("combinatorial-baseline", lambda: MSWStyleAlgorithm(), False),
+]
+
+
+@pytest.mark.parametrize("label,factory,weighted", CONGEST_ALGORITHMS)
+def test_messages_fit_in_congest_budget(label, factory, weighted):
+    graph = forest_union_graph(70, alpha=3, seed=17)
+    if weighted:
+        assign_random_weights(graph, 1, 50, seed=23)
+    # Strict mode: any oversized message raises BandwidthViolation.
+    result = run_algorithm(graph, factory(), alpha=3, seed=3, strict=True)
+    budget = result.metrics.bandwidth_budget_bits
+    assert budget > 0
+    assert result.metrics.max_message_bits <= budget
+    # Messages must stay tiny in absolute terms too: a handful of scalars.
+    assert result.metrics.max_message_bits <= 16 * 16
+
+
+@pytest.mark.parametrize(
+    "label,factory",
+    [
+        ("remark-4.4", lambda: UnknownDegreeMDSAlgorithm(epsilon=0.25)),
+        ("remark-4.5", lambda: UnknownArboricityMDSAlgorithm(epsilon=0.3)),
+    ],
+)
+def test_unknown_parameter_variants_fit_in_budget(label, factory):
+    graph = forest_union_graph(50, alpha=2, seed=29)
+    assign_random_weights(graph, 1, 40, seed=31)
+    alpha = 2 if label == "remark-4.4" else None
+    result = run_algorithm(
+        graph, factory(), alpha=alpha, seed=1, strict=True, knows_max_degree=False
+    )
+    assert result.metrics.max_message_bits <= result.metrics.bandwidth_budget_bits
+
+
+def test_per_round_message_count_bounded_by_twice_edges():
+    """No node ever sends more than one message per edge per round."""
+    graph = forest_union_graph(60, alpha=3, seed=37)
+    result = run_algorithm(graph, UnweightedMDSAlgorithm(epsilon=0.3), alpha=3)
+    for round_metrics in result.metrics.per_round:
+        assert round_metrics.messages <= 2 * graph.number_of_edges()

@@ -1,0 +1,91 @@
+"""Tests for Theorem 1.3: the general-graph randomized algorithm."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.baselines.exact import exact_minimum_weight_dominating_set
+from repro.congest.simulator import run_algorithm
+from repro.core.general_graphs import GeneralGraphMDSAlgorithm
+from repro.graphs.generators import star_of_cliques
+from repro.graphs.validation import dominating_set_weight, is_dominating_set
+from repro.graphs.weights import assign_random_weights
+
+
+def _solve(graph, k=2, seed=0):
+    algorithm = GeneralGraphMDSAlgorithm(k=k)
+    result = run_algorithm(graph, algorithm, seed=seed)
+    return algorithm, result
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_valid_on_dense_random_graph(self, k):
+        graph = nx.gnp_random_graph(50, 0.2, seed=3)
+        _, result = _solve(graph, k=k, seed=1)
+        assert is_dominating_set(graph, result.selected_nodes())
+
+    def test_valid_on_star_of_cliques(self):
+        graph = star_of_cliques(6, 5)
+        _, result = _solve(graph, k=2, seed=2)
+        assert is_dominating_set(graph, result.selected_nodes())
+
+    def test_valid_on_weighted_graph(self):
+        graph = nx.gnp_random_graph(40, 0.25, seed=5)
+        assign_random_weights(graph, 1, 30, seed=6)
+        _, result = _solve(graph, k=2, seed=3)
+        assert is_dominating_set(graph, result.selected_nodes())
+
+    def test_does_not_need_alpha(self):
+        graph = nx.complete_graph(15)
+        _, result = _solve(graph, k=2, seed=0)
+        assert is_dominating_set(graph, result.selected_nodes())
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            GeneralGraphMDSAlgorithm(k=0)
+
+
+class TestQuality:
+    def test_within_guarantee_in_expectation(self):
+        graph = nx.gnp_random_graph(60, 0.15, seed=7)
+        _, opt = exact_minimum_weight_dominating_set(graph)
+        algorithm = GeneralGraphMDSAlgorithm(k=2)
+        max_degree = max(dict(graph.degree()).values())
+        guarantee = algorithm.approximation_guarantee(max_degree)
+        weights = []
+        for seed in range(5):
+            result = run_algorithm(graph, algorithm, seed=seed)
+            weights.append(dominating_set_weight(graph, result.selected_nodes()))
+        assert sum(weights) / len(weights) <= guarantee * opt
+
+    def test_guarantee_formula_matches_theorem(self):
+        algorithm = GeneralGraphMDSAlgorithm(k=2)
+        # gamma = (Delta+1)^{1/2}; factor = gamma*(gamma+1)*(k+1).
+        delta = 63
+        gamma = 64 ** 0.5
+        assert algorithm.approximation_guarantee(delta) == pytest.approx(gamma * (gamma + 1) * 3)
+
+
+class TestRoundComplexity:
+    def test_rounds_are_o_k_squared(self):
+        graph = nx.gnp_random_graph(70, 0.15, seed=9)
+        max_degree = max(dict(graph.degree()).values())
+        for k in (1, 2, 3):
+            algorithm = GeneralGraphMDSAlgorithm(k=k)
+            result = run_algorithm(graph, algorithm, seed=1)
+            assert result.rounds <= algorithm.expected_round_bound(max_degree)
+
+    def test_larger_k_does_not_explode_rounds(self):
+        graph = nx.gnp_random_graph(60, 0.2, seed=11)
+        r1 = _solve(graph, k=1, seed=0)[1].rounds
+        r3 = _solve(graph, k=3, seed=0)[1].rounds
+        # k = 1 means one phase with p jumping straight to 1 (few rounds);
+        # k = 3 needs about k^2 rounds; both stay tiny compared to n.
+        assert r1 <= r3 <= graph.number_of_nodes()
+
+    def test_skips_partial_phase(self):
+        graph = nx.gnp_random_graph(40, 0.2, seed=13)
+        _, result = _solve(graph, k=2, seed=2)
+        assert all(not output["in_partial"] for output in result.outputs.values())

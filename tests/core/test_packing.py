@@ -1,0 +1,85 @@
+"""Tests for packing values and the weak-duality certificate (Section 2)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.packing import (
+    certified_lower_bound,
+    is_feasible_packing,
+    neighborhood_load,
+    packing_from_outputs,
+    packing_value_sum,
+)
+from repro.graphs.weights import assign_uniform_weights
+
+
+@pytest.fixture
+def path():
+    return nx.path_graph(4)
+
+
+class TestFeasibility:
+    def test_zero_packing_always_feasible(self, path):
+        assert is_feasible_packing(path, {node: 0.0 for node in path.nodes()})
+
+    def test_uniform_initialisation_is_feasible(self, path):
+        # x_v = 1/(Delta+1) with Delta = 2.
+        packing = {node: 1.0 / 3.0 for node in path.nodes()}
+        assert is_feasible_packing(path, packing)
+
+    def test_overloaded_neighborhood_detected(self, path):
+        packing = {node: 0.6 for node in path.nodes()}
+        assert not is_feasible_packing(path, packing)
+
+    def test_negative_values_rejected(self, path):
+        packing = {node: 0.0 for node in path.nodes()}
+        packing[0] = -0.5
+        assert not is_feasible_packing(path, packing)
+
+    def test_respects_node_weights(self, path):
+        assign_uniform_weights(path, weight=10)
+        packing = {node: 2.0 for node in path.nodes()}
+        assert is_feasible_packing(path, packing)
+
+    def test_tolerance_absorbs_rounding(self, path):
+        packing = {node: (1.0 / 3.0) * (1 + 1e-12) for node in path.nodes()}
+        assert is_feasible_packing(path, packing)
+
+    def test_missing_nodes_count_as_zero(self, path):
+        assert is_feasible_packing(path, {0: 0.5})
+
+
+class TestLoadsAndSums:
+    def test_neighborhood_load(self, path):
+        packing = {0: 0.1, 1: 0.2, 2: 0.3, 3: 0.4}
+        assert neighborhood_load(path, packing, 1) == pytest.approx(0.6)
+
+    def test_packing_value_sum(self):
+        assert packing_value_sum({0: 0.5, 1: 1.5}) == 2.0
+
+    def test_certified_lower_bound_feasible(self, path):
+        packing = {node: 0.25 for node in path.nodes()}
+        assert certified_lower_bound(path, packing) == pytest.approx(1.0)
+
+    def test_certified_lower_bound_rejects_infeasible(self, path):
+        with pytest.raises(ValueError):
+            certified_lower_bound(path, {node: 1.0 for node in path.nodes()})
+
+
+class TestExtraction:
+    def test_packing_from_outputs(self):
+        outputs = {0: {"x_partial": 0.5, "in_ds": True}, 1: {"x_partial": 0.25}}
+        assert packing_from_outputs(outputs) == {0: 0.5, 1: 0.25}
+
+    def test_missing_key_defaults_to_zero(self):
+        outputs = {0: {"in_ds": True}, 1: {"x_partial": 0.75}}
+        assert packing_from_outputs(outputs) == {0: 0.0, 1: 0.75}
+
+    def test_non_mapping_outputs_default_to_zero(self):
+        assert packing_from_outputs({0: True, 1: {"x_partial": 0.5}}) == {0: 0.0, 1: 0.5}
+
+    def test_alternate_key(self):
+        outputs = {0: {"x": 0.125}}
+        assert packing_from_outputs(outputs, key="x") == {0: 0.125}

@@ -1,0 +1,157 @@
+"""Tests for the Lemma 4.1 partial dominating set phase.
+
+These tests check the two properties of Lemma 4.1 directly on executions:
+
+(a) ``w_S <= alpha * (1/(1+eps) - lambda*(alpha+1))^{-1} * sum_{v in N+(S)} x_v``
+(b) every node left undominated has ``x_v >= lambda * tau_v``,
+
+together with packing feasibility (Observation 4.2) and the complementary
+bound of Observation 4.3 (dominated nodes have ``x_v <= lambda * tau_v``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.congest.simulator import run_algorithm
+from repro.core.packing import is_feasible_packing, packing_from_outputs
+from repro.core.partial import (
+    PartialDominatingSet,
+    partial_iteration_count,
+    theorem11_lambda,
+)
+from repro.graphs.validation import closed_neighborhood
+from repro.graphs.weights import assign_random_weights, node_weight
+
+
+class TestIterationCount:
+    def test_zero_when_lambda_below_uniform_start(self):
+        assert partial_iteration_count(max_degree=10, epsilon=0.5, lambda_value=0.01) == 0
+
+    def test_one_iteration_when_just_above(self):
+        # start = 1/11; lambda slightly above it needs exactly one iteration.
+        assert partial_iteration_count(max_degree=10, epsilon=0.5, lambda_value=0.1) == 1
+
+    def test_monotone_in_lambda(self):
+        low = partial_iteration_count(100, 0.2, 0.05)
+        high = partial_iteration_count(100, 0.2, 0.5)
+        assert low <= high
+
+    def test_scales_inverse_with_epsilon(self):
+        fine = partial_iteration_count(1000, 0.05, 0.2)
+        coarse = partial_iteration_count(1000, 0.5, 0.2)
+        assert fine > coarse
+
+    def test_logarithmic_in_degree(self):
+        r = partial_iteration_count(10 ** 5, 0.3, 0.2)
+        assert r <= math.log(10 ** 5 + 1) / math.log(1.3) + 2
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            partial_iteration_count(10, 0.0, 0.1)
+
+    def test_theorem11_lambda_value(self):
+        assert theorem11_lambda(2, 0.25) == pytest.approx(1.0 / (5 * 1.25))
+
+
+def _run_partial(graph, alpha, epsilon=0.2, lambda_value=None):
+    algorithm = PartialDominatingSet(epsilon=epsilon, lambda_value=lambda_value)
+    result = run_algorithm(graph, algorithm, alpha=alpha)
+    return algorithm, result
+
+
+class TestLemma41Properties:
+    @pytest.mark.parametrize("epsilon", [0.1, 0.3, 0.6])
+    def test_packing_feasible(self, small_forest_union, epsilon):
+        _, result = _run_partial(small_forest_union, alpha=3, epsilon=epsilon)
+        packing = packing_from_outputs(result.outputs)
+        assert is_feasible_packing(small_forest_union, packing)
+
+    def test_property_b_undominated_nodes(self, small_forest_union):
+        epsilon = 0.2
+        alpha = 3
+        lam = theorem11_lambda(alpha, epsilon)
+        _, result = _run_partial(small_forest_union, alpha=alpha, epsilon=epsilon)
+        for node, output in result.outputs.items():
+            if not output["dominated_by_partial"]:
+                assert output["x_partial"] >= lam * output["tau"] - 1e-12
+
+    def test_observation_43_dominated_nodes(self, small_forest_union):
+        epsilon = 0.2
+        alpha = 3
+        lam = theorem11_lambda(alpha, epsilon)
+        _, result = _run_partial(small_forest_union, alpha=alpha, epsilon=epsilon)
+        for node, output in result.outputs.items():
+            if output["dominated_by_partial"]:
+                assert output["x_partial"] <= lam * output["tau"] + 1e-12
+
+    def test_property_a_weight_bound(self, weighted_forest_union):
+        epsilon = 0.25
+        alpha = 3
+        lam = theorem11_lambda(alpha, epsilon)
+        _, result = _run_partial(weighted_forest_union, alpha=alpha, epsilon=epsilon)
+        graph = weighted_forest_union
+        partial_set = {node for node, output in result.outputs.items() if output["in_partial"]}
+        dominated_by_s = set()
+        for node in partial_set:
+            dominated_by_s.update(closed_neighborhood(graph, node))
+        packing = packing_from_outputs(result.outputs)
+        covered_packing = sum(packing[node] for node in dominated_by_s)
+        weight_s = sum(node_weight(graph, node) for node in partial_set)
+        factor = alpha / (1.0 / (1.0 + epsilon) - lam * (alpha + 1))
+        assert weight_s <= factor * covered_packing + 1e-6
+
+    def test_tau_is_min_weight_in_closed_neighborhood(self, weighted_forest_union):
+        _, result = _run_partial(weighted_forest_union, alpha=3)
+        graph = weighted_forest_union
+        for node, output in result.outputs.items():
+            expected = min(node_weight(graph, member) for member in closed_neighborhood(graph, node))
+            assert output["tau"] == expected
+
+    def test_partial_set_members_are_dominated(self, small_forest_union):
+        _, result = _run_partial(small_forest_union, alpha=3)
+        for node, output in result.outputs.items():
+            if output["in_partial"]:
+                assert output["dominated_by_partial"]
+
+    def test_no_extension_nodes(self, small_forest_union):
+        _, result = _run_partial(small_forest_union, alpha=3)
+        assert all(not output["in_extension"] for output in result.outputs.values())
+
+    def test_tiny_lambda_gives_empty_partial_set(self, small_forest_union):
+        _, result = _run_partial(small_forest_union, alpha=3, lambda_value=1e-9)
+        assert all(not output["in_partial"] for output in result.outputs.values())
+        # With r = 0 the run is only the weight exchange plus the finalize round.
+        assert result.rounds <= 3
+
+    def test_round_complexity_scales_with_log_delta_over_eps(self, small_ba):
+        fast = _run_partial(small_ba, alpha=3, epsilon=0.5)[1]
+        slow = _run_partial(small_ba, alpha=3, epsilon=0.05)[1]
+        assert fast.rounds < slow.rounds
+        max_degree = max(dict(small_ba.degree()).values())
+        bound = 2 * (math.log(max_degree + 1) / math.log(1.05) + 2) + 4
+        assert slow.rounds <= bound
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            PartialDominatingSet(epsilon=0.0)
+        with pytest.raises(ValueError):
+            PartialDominatingSet(epsilon=1.0)
+
+    def test_missing_alpha_raises(self, small_tree):
+        algorithm = PartialDominatingSet(epsilon=0.2)
+        with pytest.raises(ValueError):
+            run_algorithm(small_tree, algorithm, alpha=None)
+
+    def test_weighted_instance_respects_properties(self, weighted_forest_union):
+        epsilon = 0.3
+        alpha = 3
+        lam = theorem11_lambda(alpha, epsilon)
+        _, result = _run_partial(weighted_forest_union, alpha=alpha, epsilon=epsilon)
+        packing = packing_from_outputs(result.outputs)
+        assert is_feasible_packing(weighted_forest_union, packing)
+        for node, output in result.outputs.items():
+            if not output["dominated_by_partial"]:
+                assert output["x_partial"] >= lam * output["tau"] - 1e-12

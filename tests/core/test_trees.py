@@ -1,0 +1,93 @@
+"""Tests for Observation A.1: the single-round forest 3-approximation."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import exact_minimum_dominating_set
+from repro.congest.simulator import run_algorithm
+from repro.core.trees import ForestMDSAlgorithm
+from repro.graphs.generators import caterpillar_graph, random_forest, random_tree
+from repro.graphs.validation import is_dominating_set
+
+
+def _solve(graph):
+    return run_algorithm(graph, ForestMDSAlgorithm())
+
+
+class TestCorrectness:
+    def test_path(self):
+        path = nx.path_graph(7)
+        result = _solve(path)
+        assert is_dominating_set(path, result.selected_nodes())
+        assert result.selected_nodes() == {1, 2, 3, 4, 5}
+
+    def test_star(self):
+        star = nx.star_graph(9)
+        result = _solve(star)
+        assert result.selected_nodes() == {0}
+
+    def test_single_node(self):
+        graph = nx.empty_graph(1)
+        assert _solve(graph).selected_nodes() == {0}
+
+    def test_single_edge_picks_exactly_one(self):
+        graph = nx.path_graph(2)
+        result = _solve(graph)
+        assert len(result.selected_nodes()) == 1
+        assert is_dominating_set(graph, result.selected_nodes())
+
+    def test_isolated_nodes_join(self):
+        graph = nx.empty_graph(5)
+        assert _solve(graph).selected_nodes() == set(range(5))
+
+    def test_forest_with_mixed_components(self):
+        graph = nx.disjoint_union(nx.path_graph(2), nx.star_graph(4))
+        graph = nx.disjoint_union(graph, nx.empty_graph(1))
+        result = _solve(graph)
+        assert is_dominating_set(graph, result.selected_nodes())
+
+    def test_random_forest(self):
+        graph = random_forest(60, tree_count=5, seed=4)
+        result = _solve(graph)
+        assert is_dominating_set(graph, result.selected_nodes())
+
+
+class TestApproximation:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_three_approximation_on_random_trees(self, seed):
+        graph = random_tree(50, seed=seed)
+        result = _solve(graph)
+        _, opt = exact_minimum_dominating_set(graph)
+        assert len(result.selected_nodes()) <= 3 * opt
+
+    def test_caterpillar_worst_case_stays_within_three(self):
+        graph = caterpillar_graph(15, legs_per_node=1)
+        result = _solve(graph)
+        _, opt = exact_minimum_dominating_set(graph)
+        assert len(result.selected_nodes()) <= 3 * opt
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=40), st.integers(min_value=0, max_value=10 ** 6))
+    def test_property_three_approximation(self, n, seed):
+        graph = random_tree(n, seed=seed)
+        result = _solve(graph)
+        selected = result.selected_nodes()
+        assert is_dominating_set(graph, selected)
+        _, opt = exact_minimum_dominating_set(graph)
+        assert len(selected) <= 3 * opt
+
+
+class TestRoundComplexity:
+    def test_at_most_one_communication_round(self, small_tree):
+        result = _solve(small_tree)
+        # One round carries messages; the second is the silent local decision.
+        assert result.rounds <= 2
+        assert all(metrics.messages == 0 for metrics in result.metrics.per_round[1:])
+
+    def test_isolated_graph_needs_no_communication(self):
+        result = _solve(nx.empty_graph(4))
+        assert result.metrics.total_messages == 0

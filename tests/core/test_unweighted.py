@@ -1,0 +1,126 @@
+"""Tests for Theorem 3.1: the unweighted deterministic algorithm."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.baselines.exact import exact_minimum_dominating_set
+from repro.congest.simulator import run_algorithm
+from repro.core.packing import is_feasible_packing, packing_from_outputs, packing_value_sum
+from repro.core.unweighted import UnweightedMDSAlgorithm
+from repro.graphs.generators import forest_union_graph, random_tree, star_of_cliques
+from repro.graphs.validation import is_dominating_set
+from repro.graphs.weights import assign_random_weights
+
+
+def _solve(graph, alpha, epsilon=0.2, seed=0):
+    algorithm = UnweightedMDSAlgorithm(epsilon=epsilon)
+    result = run_algorithm(graph, algorithm, alpha=alpha, seed=seed)
+    return algorithm, result
+
+
+class TestCorrectness:
+    def test_output_is_dominating_set(self, unweighted_instances):
+        for instance in unweighted_instances:
+            _, result = _solve(instance.graph, alpha=instance.alpha)
+            assert is_dominating_set(instance.graph, result.selected_nodes()), instance.name
+
+    def test_single_node_graph(self):
+        graph = nx.empty_graph(1)
+        _, result = _solve(graph, alpha=1)
+        assert result.selected_nodes() == {0}
+
+    def test_single_edge_graph(self):
+        graph = nx.path_graph(2)
+        _, result = _solve(graph, alpha=1)
+        assert is_dominating_set(graph, result.selected_nodes())
+
+    def test_star_graph_small_solution(self):
+        star = nx.star_graph(30)
+        _, result = _solve(star, alpha=1)
+        assert is_dominating_set(star, result.selected_nodes())
+        # OPT is 1 (the hub); the guarantee allows (2*1+1)*(1.2) = 3.6.
+        assert len(result.selected_nodes()) <= 3
+
+    def test_disconnected_graph(self):
+        graph = nx.disjoint_union(nx.path_graph(5), nx.cycle_graph(6))
+        graph.add_node(99)
+        _, result = _solve(graph, alpha=2)
+        assert is_dominating_set(graph, result.selected_nodes())
+
+    def test_rejects_weighted_input(self, weighted_forest_union):
+        with pytest.raises(ValueError):
+            _solve(weighted_forest_union, alpha=3)
+
+
+class TestApproximationGuarantee:
+    @pytest.mark.parametrize("epsilon", [0.1, 0.3, 0.5])
+    def test_ratio_within_guarantee_on_suite(self, unweighted_instances, epsilon):
+        for instance in unweighted_instances:
+            algorithm, result = _solve(instance.graph, alpha=instance.alpha, epsilon=epsilon)
+            _, opt = exact_minimum_dominating_set(instance.graph)
+            guarantee = algorithm.approximation_guarantee(instance.alpha)
+            assert len(result.selected_nodes()) <= guarantee * opt + 1e-9, instance.name
+
+    def test_guarantee_formula(self):
+        algorithm = UnweightedMDSAlgorithm(epsilon=0.5)
+        assert algorithm.approximation_guarantee(2) == pytest.approx(5 * 1.5)
+
+    def test_packing_certificate(self, small_forest_union):
+        _, result = _solve(small_forest_union, alpha=3)
+        packing = packing_from_outputs(result.outputs)
+        assert is_feasible_packing(small_forest_union, packing)
+        # Weak duality: the packing sum is at most OPT (Lemma 2.1).
+        _, opt = exact_minimum_dominating_set(small_forest_union)
+        assert packing_value_sum(packing) <= opt + 1e-6
+
+    def test_size_bounded_by_guarantee_times_packing_sum(self, small_forest_union):
+        """|S u T| <= (2a+1)(1+eps) * sum_v x_v -- the inequality inside Claim 3.3."""
+        epsilon = 0.2
+        alpha = 3
+        algorithm, result = _solve(small_forest_union, alpha=alpha, epsilon=epsilon)
+        packing = packing_from_outputs(result.outputs)
+        bound = algorithm.approximation_guarantee(alpha) * packing_value_sum(packing)
+        assert len(result.selected_nodes()) <= bound + 1e-6
+
+    def test_deterministic_output(self, small_forest_union):
+        _, first = _solve(small_forest_union, alpha=3, seed=1)
+        _, second = _solve(small_forest_union, alpha=3, seed=99)
+        assert first.selected_nodes() == second.selected_nodes()
+
+
+class TestRoundComplexity:
+    def test_round_bound_formula(self, small_ba):
+        epsilon = 0.2
+        _, result = _solve(small_ba, alpha=3, epsilon=epsilon)
+        max_degree = max(dict(small_ba.degree()).values())
+        r_bound = math.log((max_degree + 1)) / math.log(1 + epsilon) + 2
+        assert result.rounds <= 2 * r_bound + 6
+
+    def test_rounds_grow_with_delta_not_n(self):
+        # Two graphs with identical max degree (grids: Delta = 4) but very
+        # different sizes must take exactly the same number of rounds, since
+        # the schedule depends only on Delta, alpha and epsilon.
+        from repro.graphs.generators import grid_graph
+
+        small = grid_graph(5, 6)
+        large = grid_graph(20, 22)
+        _, result_small = _solve(small, alpha=2)
+        _, result_large = _solve(large, alpha=2)
+        assert result_small.rounds == result_large.rounds
+
+    def test_rounds_decrease_with_larger_epsilon(self, small_ba):
+        _, tight = _solve(small_ba, alpha=3, epsilon=0.05)
+        _, loose = _solve(small_ba, alpha=3, epsilon=0.5)
+        assert loose.rounds < tight.rounds
+
+    def test_high_degree_low_arboricity(self):
+        # A star of cliques has Delta >> alpha; rounds must track log(Delta).
+        graph = star_of_cliques(10, 4)
+        _, result = _solve(graph, alpha=3, epsilon=0.3)
+        assert is_dominating_set(graph, result.selected_nodes())
+        max_degree = max(dict(graph.degree()).values())
+        assert result.rounds <= 2 * (math.log(max_degree + 1) / math.log(1.3) + 2) + 6

@@ -1,0 +1,134 @@
+"""Tests for Theorem 1.1: the deterministic weighted algorithm."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.baselines.exact import exact_minimum_weight_dominating_set
+from repro.congest.simulator import run_algorithm
+from repro.core.packing import is_feasible_packing, packing_from_outputs, packing_value_sum
+from repro.core.weighted import WeightedMDSAlgorithm, select_cheapest_dominator
+from repro.graphs.generators import forest_union_graph, random_tree
+from repro.graphs.validation import dominating_set_weight, is_dominating_set
+from repro.graphs.weights import (
+    assign_adversarial_weights,
+    assign_degree_weights,
+    assign_inverse_degree_weights,
+    assign_random_weights,
+)
+
+
+def _solve(graph, alpha, epsilon=0.2, seed=0, lambda_value=None):
+    algorithm = WeightedMDSAlgorithm(epsilon=epsilon, lambda_value=lambda_value)
+    result = run_algorithm(graph, algorithm, alpha=alpha, seed=seed)
+    return algorithm, result
+
+
+def _weight_schemes(graph, seed):
+    yield "random", lambda: assign_random_weights(graph, 1, 40, seed=seed)
+    yield "degree", lambda: assign_degree_weights(graph)
+    yield "inverse-degree", lambda: assign_inverse_degree_weights(graph, scale=60)
+    yield "adversarial", lambda: assign_adversarial_weights(graph, 0.4, 200, seed=seed)
+
+
+class TestCorrectness:
+    def test_valid_on_weighted_instances(self, weighted_instances):
+        for instance in weighted_instances:
+            _, result = _solve(instance.graph, alpha=instance.alpha)
+            assert is_dominating_set(instance.graph, result.selected_nodes()), instance.name
+
+    @pytest.mark.parametrize("scheme_index", [0, 1, 2, 3])
+    def test_valid_under_every_weight_scheme(self, scheme_index):
+        graph = forest_union_graph(45, alpha=3, seed=5)
+        schemes = list(_weight_schemes(graph, seed=scheme_index))
+        name, apply_weights = schemes[scheme_index]
+        apply_weights()
+        _, result = _solve(graph, alpha=3)
+        assert is_dominating_set(graph, result.selected_nodes()), name
+
+    def test_isolated_weighted_node(self):
+        graph = nx.Graph()
+        graph.add_node(0, weight=17)
+        _, result = _solve(graph, alpha=1)
+        assert result.selected_nodes() == {0}
+
+    def test_two_node_weighted_graph_picks_cheaper(self):
+        graph = nx.Graph()
+        graph.add_node(0, weight=100)
+        graph.add_node(1, weight=1)
+        graph.add_edge(0, 1)
+        _, result = _solve(graph, alpha=1)
+        selected = result.selected_nodes()
+        assert is_dominating_set(graph, selected)
+        assert dominating_set_weight(graph, selected) <= 2
+
+
+class TestApproximationGuarantee:
+    @pytest.mark.parametrize("epsilon", [0.1, 0.4])
+    def test_ratio_within_guarantee(self, weighted_instances, epsilon):
+        for instance in weighted_instances:
+            algorithm, result = _solve(instance.graph, alpha=instance.alpha, epsilon=epsilon)
+            _, opt = exact_minimum_weight_dominating_set(instance.graph)
+            weight = dominating_set_weight(instance.graph, result.selected_nodes())
+            assert weight <= algorithm.approximation_guarantee(instance.alpha) * opt + 1e-9
+
+    def test_weight_aware_beats_expensive_hubs(self):
+        """With expensive internal nodes, the weighted algorithm avoids them."""
+        graph = random_tree(60, seed=3)
+        assign_adversarial_weights(graph, expensive_fraction=1.0, expensive=1000, seed=1)
+        _, result = _solve(graph, alpha=1, epsilon=0.2)
+        weight = dominating_set_weight(graph, result.selected_nodes())
+        _, opt = exact_minimum_weight_dominating_set(graph)
+        assert weight <= 3 * 1.2 * opt
+
+    def test_packing_certificate_and_duality(self, weighted_forest_union):
+        _, result = _solve(weighted_forest_union, alpha=3)
+        packing = packing_from_outputs(result.outputs)
+        assert is_feasible_packing(weighted_forest_union, packing)
+        _, opt = exact_minimum_weight_dominating_set(weighted_forest_union)
+        assert packing_value_sum(packing) <= opt + 1e-6
+
+    def test_weight_bounded_by_guarantee_times_packing_sum(self, weighted_forest_union):
+        epsilon = 0.25
+        alpha = 3
+        algorithm, result = _solve(weighted_forest_union, alpha=alpha, epsilon=epsilon)
+        packing = packing_from_outputs(result.outputs)
+        weight = dominating_set_weight(weighted_forest_union, result.selected_nodes())
+        assert weight <= algorithm.approximation_guarantee(alpha) * packing_value_sum(packing) + 1e-6
+
+    def test_custom_lambda_still_valid(self, weighted_forest_union):
+        _, result = _solve(weighted_forest_union, alpha=3, lambda_value=0.02)
+        assert is_dominating_set(weighted_forest_union, result.selected_nodes())
+
+
+class TestExtensionStep:
+    def test_cheapest_dominator_prefers_self_on_ties(self, small_tree):
+        algorithm, result = _solve(small_tree, alpha=1)
+        # With unit weights every tau is 1, so every undominated node selects
+        # itself; hence every extension node was undominated after the partial
+        # phase.
+        for node, output in result.outputs.items():
+            if output["in_extension"]:
+                assert not output["dominated_by_partial"]
+
+    def test_extension_node_has_minimum_weight(self, weighted_forest_union):
+        graph = weighted_forest_union
+        _, result = _solve(graph, alpha=3)
+        outputs = result.outputs
+        for node, output in outputs.items():
+            if output["dominated_by_partial"] or output["in_partial"]:
+                continue
+            # The undominated node's tau must equal the weight of some chosen
+            # node in its closed neighborhood.
+            neighborhood = set(graph.neighbors(node)) | {node}
+            chosen = [v for v in neighborhood if outputs[v]["in_ds"]]
+            assert chosen, f"undominated node {node} has no dominator"
+            assert min(graph.nodes[v].get("weight", 1) for v in chosen) <= output["tau"]
+
+    def test_rounds_overhead_of_extension_is_constant(self, small_forest_union):
+        from repro.core.partial import PartialDominatingSet
+
+        partial = run_algorithm(small_forest_union, PartialDominatingSet(epsilon=0.2), alpha=3)
+        _, full = _solve(small_forest_union, alpha=3, epsilon=0.2)
+        assert full.rounds - partial.rounds <= 2

@@ -1,0 +1,171 @@
+"""Tests for arboricity, degeneracy, pseudoarboricity and density."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.arboricity import (
+    arboricity,
+    arboricity_upper_bound,
+    degeneracy,
+    degeneracy_ordering,
+    maximum_density,
+    pseudoarboricity,
+)
+from repro.graphs.generators import forest_union_graph, grid_graph, random_tree
+
+
+class TestDegeneracy:
+    def test_empty_graph(self):
+        assert degeneracy(nx.Graph()) == 0
+
+    def test_isolated_nodes(self):
+        graph = nx.empty_graph(5)
+        assert degeneracy(graph) == 0
+
+    def test_tree_degeneracy_is_one(self, small_tree):
+        assert degeneracy(small_tree) == 1
+
+    def test_cycle_degeneracy_is_two(self):
+        assert degeneracy(nx.cycle_graph(10)) == 2
+
+    def test_complete_graph(self):
+        assert degeneracy(nx.complete_graph(6)) == 5
+
+    def test_grid(self):
+        assert degeneracy(grid_graph(4, 5)) == 2
+
+    def test_ordering_covers_all_nodes(self, small_forest_union):
+        ordering, value = degeneracy_ordering(small_forest_union)
+        assert sorted(ordering) == sorted(small_forest_union.nodes())
+        assert value >= 1
+
+    def test_ordering_certifies_degeneracy(self, small_forest_union):
+        """Orienting towards later-peeled nodes bounds out-degree by the degeneracy."""
+        ordering, value = degeneracy_ordering(small_forest_union)
+        position = {node: index for index, node in enumerate(ordering)}
+        for node in small_forest_union.nodes():
+            later = sum(
+                1
+                for neighbor in small_forest_union.neighbors(node)
+                if position[neighbor] > position[node]
+            )
+            assert later <= value
+
+    def test_directed_graph_rejected(self):
+        with pytest.raises(TypeError):
+            degeneracy(nx.DiGraph([(0, 1)]))
+
+    def test_multigraph_rejected(self):
+        with pytest.raises(TypeError):
+            degeneracy(nx.MultiGraph([(0, 1), (0, 1)]))
+
+
+class TestArboricity:
+    def test_empty_graph(self):
+        assert arboricity(nx.empty_graph(4)) == 0
+
+    def test_single_edge(self):
+        assert arboricity(nx.path_graph(2)) == 1
+
+    def test_tree_is_one(self):
+        assert arboricity(random_tree(25, seed=2)) == 1
+
+    def test_cycle_is_two(self):
+        # A cycle has m = n, so some subgraph (the cycle itself) has
+        # m/(n-1) > 1; Nash-Williams gives arboricity 2.
+        assert arboricity(nx.cycle_graph(8)) == 2
+
+    def test_complete_graphs(self):
+        # K_n has arboricity ceil(n/2).
+        assert arboricity(nx.complete_graph(4)) == 2
+        assert arboricity(nx.complete_graph(5)) == 3
+        assert arboricity(nx.complete_graph(6)) == 3
+
+    def test_petersen(self):
+        # Petersen graph: 15 edges, 10 nodes -> ceil(15/9) = 2 and it is
+        # achievable (known arboricity 2).
+        assert arboricity(nx.petersen_graph()) == 2
+
+    def test_complete_bipartite(self):
+        # K_{3,3}: 9 edges, 6 nodes -> ceil(9/5) = 2.
+        assert arboricity(nx.complete_bipartite_graph(3, 3)) == 2
+
+    def test_grid_is_two(self):
+        assert arboricity(grid_graph(4, 4)) == 2
+
+    def test_upper_bound_dominates_exact(self, small_forest_union):
+        assert arboricity(small_forest_union) <= arboricity_upper_bound(small_forest_union)
+
+    def test_upper_bound_empty(self):
+        assert arboricity_upper_bound(nx.empty_graph(3)) == 0
+
+    def test_inexact_mode_returns_upper_bound(self, small_forest_union):
+        assert arboricity(small_forest_union, exact=False) == arboricity_upper_bound(
+            small_forest_union
+        )
+
+    def test_forest_union_respects_construction(self):
+        for alpha in (2, 3, 4):
+            graph = forest_union_graph(30, alpha=alpha, seed=alpha)
+            assert arboricity(graph) <= alpha
+
+    def test_nash_williams_lower_bound(self, small_forest_union):
+        graph = small_forest_union
+        n, m = graph.number_of_nodes(), graph.number_of_edges()
+        assert arboricity(graph) >= math.ceil(m / (n - 1))
+
+
+class TestPseudoarboricity:
+    def test_cycle_is_one(self):
+        # A cycle can be oriented as a directed cycle: out-degree 1 everywhere.
+        assert pseudoarboricity(nx.cycle_graph(9)) == 1
+
+    def test_tree_is_one(self):
+        assert pseudoarboricity(random_tree(20, seed=3)) == 1
+
+    def test_complete_graph(self):
+        # K_5: max density 10/5 = 2.
+        assert pseudoarboricity(nx.complete_graph(5)) == 2
+
+    def test_empty(self):
+        assert pseudoarboricity(nx.empty_graph(4)) == 0
+
+    def test_sandwich_with_arboricity(self, small_forest_union):
+        pseudo = pseudoarboricity(small_forest_union)
+        arbo = arboricity(small_forest_union)
+        assert pseudo <= arbo <= pseudo + 1
+
+    def test_maximum_density_matches_pseudoarboricity(self, small_forest_union):
+        assert maximum_density(small_forest_union) == pseudoarboricity(small_forest_union)
+
+
+class TestHypothesisInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1), st.integers(min_value=6, max_value=14))
+    def test_random_graph_sandwich(self, seed, n):
+        """alpha is sandwiched between the density lower bound and the degeneracy."""
+        graph = nx.gnp_random_graph(n, 0.35, seed=seed)
+        if graph.number_of_edges() == 0:
+            assert arboricity(graph) == 0
+            return
+        alpha = arboricity(graph)
+        assert alpha <= degeneracy(graph)
+        assert alpha >= math.ceil(graph.number_of_edges() / (graph.number_of_nodes() - 1))
+        pseudo = pseudoarboricity(graph)
+        assert pseudo <= alpha <= pseudo + 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    def test_arboricity_monotone_under_subgraph(self, seed):
+        """Removing edges can never increase the arboricity."""
+        graph = nx.gnp_random_graph(10, 0.4, seed=seed)
+        alpha_full = arboricity(graph)
+        reduced = graph.copy()
+        reduced.remove_edges_from(list(reduced.edges())[: reduced.number_of_edges() // 2])
+        assert arboricity(reduced) <= alpha_full

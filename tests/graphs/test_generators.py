@@ -1,0 +1,207 @@
+"""Tests for the graph family generators."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.arboricity import arboricity, degeneracy
+from repro.graphs.generators import (
+    GraphInstance,
+    caterpillar_graph,
+    forest_union_graph,
+    grid_graph,
+    outerplanar_graph,
+    planar_triangulation_graph,
+    preferential_attachment_graph,
+    random_bounded_arboricity_graph,
+    random_forest,
+    random_tree,
+    standard_test_suite,
+    star_of_cliques,
+)
+
+
+class TestRandomTree:
+    def test_is_tree(self):
+        for n in (1, 2, 3, 10, 50):
+            graph = random_tree(n, seed=n)
+            if n >= 1:
+                assert graph.number_of_nodes() == n
+            if n >= 2:
+                assert nx.is_tree(graph)
+
+    def test_deterministic_given_seed(self):
+        assert set(random_tree(30, seed=4).edges()) == set(random_tree(30, seed=4).edges())
+
+    def test_different_seeds_differ(self):
+        assert set(random_tree(30, seed=1).edges()) != set(random_tree(30, seed=2).edges())
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            random_tree(-1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=60), st.integers(min_value=0, max_value=1000))
+    def test_always_tree(self, n, seed):
+        graph = random_tree(n, seed=seed)
+        assert graph.number_of_edges() == n - 1
+        assert nx.is_connected(graph)
+
+
+class TestRandomForest:
+    def test_is_forest(self):
+        graph = random_forest(40, tree_count=4, seed=1)
+        assert nx.is_forest(graph)
+        assert graph.number_of_nodes() == 40
+
+    def test_component_count_at_least_tree_count(self):
+        graph = random_forest(40, tree_count=4, seed=2)
+        assert nx.number_connected_components(graph) >= 4
+
+    def test_invalid_tree_count(self):
+        with pytest.raises(ValueError):
+            random_forest(10, tree_count=0)
+
+
+class TestCaterpillar:
+    def test_is_tree(self, small_caterpillar):
+        assert nx.is_tree(small_caterpillar)
+
+    def test_node_count(self):
+        graph = caterpillar_graph(6, legs_per_node=2)
+        assert graph.number_of_nodes() == 6 + 6 * 2
+
+    def test_invalid_spine(self):
+        with pytest.raises(ValueError):
+            caterpillar_graph(0)
+
+
+class TestGrid:
+    def test_node_and_edge_count(self):
+        graph = grid_graph(3, 4)
+        assert graph.number_of_nodes() == 12
+        assert graph.number_of_edges() == 3 * 3 + 2 * 4
+
+    def test_planar(self):
+        is_planar, _ = nx.check_planarity(grid_graph(5, 5))
+        assert is_planar
+
+    def test_diagonal_variant_has_more_edges(self):
+        assert grid_graph(4, 4, diagonal=True).number_of_edges() > grid_graph(4, 4).number_of_edges()
+
+    def test_arboricity_at_most_two(self):
+        assert arboricity(grid_graph(4, 5)) <= 2
+
+
+class TestPlanarTriangulation:
+    def test_planarity(self, small_planar):
+        is_planar, _ = nx.check_planarity(small_planar)
+        assert is_planar
+
+    def test_arboricity_at_most_three(self, small_planar):
+        assert arboricity(small_planar) <= 3
+
+    def test_tiny_instances_fall_back_to_trees(self):
+        assert nx.is_tree(planar_triangulation_graph(2, seed=1)) or planar_triangulation_graph(2, seed=1).number_of_edges() <= 1
+
+    def test_connected(self, small_planar):
+        assert nx.is_connected(small_planar)
+
+
+class TestOuterplanar:
+    def test_edge_bound(self, small_outerplanar):
+        n = small_outerplanar.number_of_nodes()
+        assert small_outerplanar.number_of_edges() <= 2 * n - 3
+
+    def test_arboricity_at_most_two(self, small_outerplanar):
+        assert arboricity(small_outerplanar) <= 2
+
+    def test_planar(self, small_outerplanar):
+        is_planar, _ = nx.check_planarity(small_outerplanar)
+        assert is_planar
+
+
+class TestForestUnion:
+    @pytest.mark.parametrize("alpha", [1, 2, 3, 5])
+    def test_arboricity_bounded(self, alpha):
+        graph = forest_union_graph(35, alpha=alpha, seed=alpha)
+        assert arboricity(graph) <= alpha
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            forest_union_graph(10, alpha=0)
+
+    def test_connected_for_alpha_ge_one(self):
+        assert nx.is_connected(forest_union_graph(40, alpha=2, seed=3))
+
+
+class TestRandomBoundedArboricity:
+    @pytest.mark.parametrize("alpha", [1, 2, 4])
+    def test_degeneracy_bounded(self, alpha):
+        graph = random_bounded_arboricity_graph(60, alpha=alpha, seed=alpha)
+        assert degeneracy(graph) <= alpha
+
+    def test_edge_probability_zero_gives_empty(self):
+        graph = random_bounded_arboricity_graph(20, alpha=2, edge_probability=0.0, seed=1)
+        assert graph.number_of_edges() == 0
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            random_bounded_arboricity_graph(10, alpha=0)
+
+
+class TestPreferentialAttachment:
+    def test_degeneracy_bounded_by_attachment(self, small_ba):
+        assert degeneracy(small_ba) <= 3
+
+    def test_has_skewed_degrees(self, small_ba):
+        degrees = sorted(dict(small_ba.degree()).values())
+        assert degrees[-1] >= 3 * degrees[0]
+
+    def test_small_n_falls_back_to_tree(self):
+        graph = preferential_attachment_graph(3, attachment=5, seed=1)
+        assert nx.is_forest(graph)
+
+
+class TestStarOfCliques:
+    def test_node_count(self):
+        graph = star_of_cliques(3, 4)
+        assert graph.number_of_nodes() == 1 + 3 * 4
+
+    def test_hub_degree(self):
+        graph = star_of_cliques(4, 5)
+        assert graph.degree(0) == 20
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            star_of_cliques(0, 3)
+
+
+class TestStandardSuite:
+    def test_contains_expected_families(self):
+        suite = standard_test_suite("tiny", seed=0)
+        names = {instance.name for instance in suite}
+        assert {"random-tree", "grid", "planar-triangulation", "forest-union-alpha3"} <= names
+
+    def test_alpha_certificates_hold(self):
+        for instance in standard_test_suite("tiny", seed=1):
+            assert arboricity(instance.graph) <= instance.alpha
+
+    def test_scales_are_ordered(self):
+        tiny = sum(instance.n for instance in standard_test_suite("tiny"))
+        small = sum(instance.n for instance in standard_test_suite("small"))
+        assert tiny < small
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            standard_test_suite("huge")
+
+    def test_instance_properties(self):
+        instance = standard_test_suite("tiny")[0]
+        assert isinstance(instance, GraphInstance)
+        assert instance.n == instance.graph.number_of_nodes()
+        assert instance.m == instance.graph.number_of_edges()
+        assert instance.max_degree == max(dict(instance.graph.degree()).values())

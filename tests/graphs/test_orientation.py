@@ -1,0 +1,113 @@
+"""Tests for low out-degree orientations and edge partitions."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.arboricity import arboricity, degeneracy, pseudoarboricity
+from repro.graphs.generators import forest_union_graph, grid_graph, random_tree
+from repro.graphs.orientation import (
+    barenboim_elkin_orientation,
+    degeneracy_orientation,
+    minimum_outdegree_orientation,
+    orientation_outdegrees,
+    pseudoforest_partition,
+    spanning_forest_partition,
+)
+from repro.graphs.validation import is_forest_partition, is_pseudoforest, is_valid_orientation
+
+
+class TestDegeneracyOrientation:
+    def test_covers_every_edge(self, small_forest_union):
+        orientation = degeneracy_orientation(small_forest_union)
+        assert set(orientation) == set(small_forest_union.edges())
+
+    def test_valid_and_bounded_by_degeneracy(self, small_forest_union):
+        orientation = degeneracy_orientation(small_forest_union)
+        bound = degeneracy(small_forest_union)
+        assert is_valid_orientation(small_forest_union, orientation, max_outdegree=bound)
+
+    def test_tree_outdegree_one(self, small_tree):
+        orientation = degeneracy_orientation(small_tree)
+        assert is_valid_orientation(small_tree, orientation, max_outdegree=1)
+
+    def test_outdegrees_sum_to_edge_count(self, small_grid):
+        orientation = degeneracy_orientation(small_grid)
+        out = orientation_outdegrees(small_grid, orientation)
+        assert sum(out.values()) == small_grid.number_of_edges()
+
+
+class TestMinimumOutdegreeOrientation:
+    def test_achieves_pseudoarboricity(self, small_forest_union):
+        orientation, value = minimum_outdegree_orientation(small_forest_union)
+        assert value == pseudoarboricity(small_forest_union)
+        assert is_valid_orientation(small_forest_union, orientation, max_outdegree=value)
+
+    def test_cycle_gets_outdegree_one(self):
+        cycle = nx.cycle_graph(7)
+        orientation, value = minimum_outdegree_orientation(cycle)
+        assert value == 1
+        assert is_valid_orientation(cycle, orientation, max_outdegree=1)
+
+    def test_empty_graph(self):
+        orientation, value = minimum_outdegree_orientation(nx.empty_graph(3))
+        assert orientation == {} and value == 0
+
+    def test_complete_graph(self):
+        graph = nx.complete_graph(6)
+        orientation, value = minimum_outdegree_orientation(graph)
+        assert value == pseudoarboricity(graph)
+        assert is_valid_orientation(graph, orientation, max_outdegree=value)
+
+
+class TestBarenboimElkin:
+    def test_respects_soft_bound(self, small_forest_union):
+        alpha = arboricity(small_forest_union)
+        orientation, phases = barenboim_elkin_orientation(small_forest_union, alpha, epsilon=0.5)
+        bound = int((2 + 0.5) * alpha)
+        assert is_valid_orientation(small_forest_union, orientation, max_outdegree=bound)
+        assert phases >= 1
+
+    def test_tree(self, small_tree):
+        orientation, _ = barenboim_elkin_orientation(small_tree, 1, epsilon=0.5)
+        assert is_valid_orientation(small_tree, orientation, max_outdegree=2)
+
+    def test_rejects_nonpositive_epsilon(self, small_tree):
+        with pytest.raises(ValueError):
+            barenboim_elkin_orientation(small_tree, 1, epsilon=0.0)
+
+    def test_underestimated_alpha_raises(self):
+        # A clique cannot be peeled with threshold (2+eps)*1.
+        with pytest.raises(ValueError):
+            barenboim_elkin_orientation(nx.complete_graph(12), 1, epsilon=0.1)
+
+
+class TestPartitions:
+    def test_pseudoforest_partition_is_partition(self, small_forest_union):
+        parts = pseudoforest_partition(small_forest_union)
+        seen = set()
+        for part in parts:
+            assert is_pseudoforest(part)
+            for u, v in part.edges():
+                key = frozenset((u, v))
+                assert key not in seen
+                seen.add(key)
+        assert len(seen) == small_forest_union.number_of_edges()
+
+    def test_pseudoforest_partition_size_matches_orientation(self, small_grid):
+        orientation, value = minimum_outdegree_orientation(small_grid)
+        parts = pseudoforest_partition(small_grid, orientation)
+        assert len(parts) == value
+
+    def test_spanning_forest_partition(self, small_forest_union):
+        forests = spanning_forest_partition(small_forest_union)
+        assert is_forest_partition(small_forest_union, forests)
+
+    def test_spanning_forest_partition_of_tree_is_single_forest(self, small_tree):
+        forests = spanning_forest_partition(small_tree)
+        assert len(forests) == 1
+
+    def test_spanning_forest_count_at_least_arboricity(self, small_forest_union):
+        forests = spanning_forest_partition(small_forest_union)
+        assert len(forests) >= arboricity(small_forest_union)

@@ -1,0 +1,128 @@
+"""Tests for the structural validators."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import random_tree
+from repro.graphs.orientation import degeneracy_orientation, spanning_forest_partition
+from repro.graphs.validation import (
+    closed_neighborhood,
+    dominating_set_weight,
+    is_dominating_set,
+    is_forest_partition,
+    is_pseudoforest,
+    is_valid_orientation,
+    is_vertex_cover,
+    undominated_nodes,
+)
+from repro.graphs.weights import assign_uniform_weights
+
+
+class TestDomination:
+    def test_closed_neighborhood(self):
+        path = nx.path_graph(4)
+        assert closed_neighborhood(path, 1) == {0, 1, 2}
+
+    def test_star_center_dominates(self):
+        star = nx.star_graph(6)
+        assert is_dominating_set(star, {0})
+        assert not is_dominating_set(star, {1})
+
+    def test_path_alternating(self):
+        path = nx.path_graph(5)
+        assert is_dominating_set(path, {1, 3})
+        assert not is_dominating_set(path, {1})
+
+    def test_empty_candidate_on_nonempty_graph(self):
+        assert not is_dominating_set(nx.path_graph(3), set())
+
+    def test_empty_graph(self):
+        assert is_dominating_set(nx.Graph(), set())
+
+    def test_isolated_node_needs_itself(self):
+        graph = nx.Graph()
+        graph.add_nodes_from([0, 1])
+        graph.add_edge(0, 1)
+        graph.add_node(2)
+        assert not is_dominating_set(graph, {0})
+        assert is_dominating_set(graph, {0, 2})
+
+    def test_undominated_nodes(self):
+        path = nx.path_graph(6)
+        assert undominated_nodes(path, {0}) == {2, 3, 4, 5}
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValueError):
+            undominated_nodes(nx.path_graph(3), {99})
+
+    def test_dominating_set_weight(self):
+        graph = nx.path_graph(4)
+        assign_uniform_weights(graph, weight=5)
+        assert dominating_set_weight(graph, {0, 2}) == 10
+
+    def test_weight_ignores_duplicates(self):
+        graph = nx.path_graph(3)
+        assert dominating_set_weight(graph, [0, 0, 1]) == 2
+
+
+class TestVertexCover:
+    def test_path_cover(self):
+        path = nx.path_graph(4)
+        assert is_vertex_cover(path, {1, 2})
+        assert not is_vertex_cover(path, {0, 3})
+
+    def test_empty_graph_any_cover(self):
+        assert is_vertex_cover(nx.empty_graph(3), set())
+
+    def test_full_vertex_set_always_covers(self, small_grid):
+        assert is_vertex_cover(small_grid, set(small_grid.nodes()))
+
+
+class TestOrientationValidation:
+    def test_valid_orientation(self, small_tree):
+        orientation = degeneracy_orientation(small_tree)
+        assert is_valid_orientation(small_tree, orientation)
+
+    def test_missing_edge_detected(self, small_tree):
+        orientation = degeneracy_orientation(small_tree)
+        orientation.pop(next(iter(orientation)))
+        assert not is_valid_orientation(small_tree, orientation)
+
+    def test_foreign_tail_detected(self):
+        graph = nx.path_graph(3)
+        orientation = {edge: 99 for edge in graph.edges()}
+        assert not is_valid_orientation(graph, orientation)
+
+    def test_outdegree_bound_enforced(self):
+        star = nx.star_graph(4)
+        orientation = {edge: 0 for edge in star.edges()}
+        assert is_valid_orientation(star, orientation, max_outdegree=4)
+        assert not is_valid_orientation(star, orientation, max_outdegree=3)
+
+
+class TestPseudoforestAndPartition:
+    def test_tree_is_pseudoforest(self, small_tree):
+        assert is_pseudoforest(small_tree)
+
+    def test_single_cycle_is_pseudoforest(self):
+        assert is_pseudoforest(nx.cycle_graph(5))
+
+    def test_theta_graph_is_not_pseudoforest(self):
+        graph = nx.cycle_graph(6)
+        graph.add_edge(0, 3)
+        assert not is_pseudoforest(graph)
+
+    def test_forest_partition_accepts_valid(self, small_forest_union):
+        forests = spanning_forest_partition(small_forest_union)
+        assert is_forest_partition(small_forest_union, forests)
+
+    def test_forest_partition_rejects_missing_edges(self, small_forest_union):
+        forests = spanning_forest_partition(small_forest_union)
+        forests[0].remove_edge(*next(iter(forests[0].edges())))
+        assert not is_forest_partition(small_forest_union, forests)
+
+    def test_forest_partition_rejects_cycles(self):
+        cycle = nx.cycle_graph(4)
+        assert not is_forest_partition(cycle, [cycle])

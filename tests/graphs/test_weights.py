@@ -1,0 +1,92 @@
+"""Tests for node weight assignment schemes."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import random_tree
+from repro.graphs.weights import (
+    assign_adversarial_weights,
+    assign_degree_weights,
+    assign_inverse_degree_weights,
+    assign_random_weights,
+    assign_uniform_weights,
+    node_weight,
+    total_weight,
+)
+
+
+@pytest.fixture
+def tree():
+    return random_tree(25, seed=1)
+
+
+class TestBasics:
+    def test_default_weight_is_one(self, tree):
+        assert node_weight(tree, 0) == 1
+
+    def test_total_weight_default(self, tree):
+        assert total_weight(tree, tree.nodes()) == tree.number_of_nodes()
+
+    def test_uniform_assignment(self, tree):
+        weights = assign_uniform_weights(tree, weight=7)
+        assert set(weights.values()) == {7}
+        assert node_weight(tree, 3) == 7
+
+    def test_weights_stored_as_attributes(self, tree):
+        assign_uniform_weights(tree, weight=2)
+        assert all(tree.nodes[node]["weight"] == 2 for node in tree.nodes())
+
+
+class TestRandomWeights:
+    def test_range_respected(self, tree):
+        weights = assign_random_weights(tree, 5, 9, seed=3)
+        assert all(5 <= value <= 9 for value in weights.values())
+
+    def test_deterministic(self, tree):
+        first = assign_random_weights(tree, 1, 100, seed=3)
+        second = assign_random_weights(tree, 1, 100, seed=3)
+        assert first == second
+
+    def test_invalid_range(self, tree):
+        with pytest.raises(ValueError):
+            assign_random_weights(tree, 5, 2)
+        with pytest.raises(ValueError):
+            assign_random_weights(tree, 0, 2)
+
+    def test_integer_weights(self, tree):
+        weights = assign_random_weights(tree, 1, 10, seed=1)
+        assert all(isinstance(value, int) for value in weights.values())
+
+
+class TestStructuredWeights:
+    def test_degree_weights(self, tree):
+        weights = assign_degree_weights(tree, base=2)
+        for node in tree.nodes():
+            assert weights[node] == 2 + tree.degree(node)
+
+    def test_inverse_degree_weights_positive(self, tree):
+        weights = assign_inverse_degree_weights(tree, scale=10)
+        assert all(value >= 1 for value in weights.values())
+
+    def test_inverse_degree_hubs_cheaper(self):
+        star = nx.star_graph(10)
+        weights = assign_inverse_degree_weights(star, scale=100)
+        assert weights[0] < weights[1]
+
+    def test_adversarial_only_internal_nodes_expensive(self, tree):
+        weights = assign_adversarial_weights(tree, expensive_fraction=1.0, expensive=50, seed=2)
+        for node in tree.nodes():
+            if tree.degree(node) <= 1:
+                assert weights[node] == 1
+            else:
+                assert weights[node] == 50
+
+    def test_adversarial_fraction_bounds(self, tree):
+        with pytest.raises(ValueError):
+            assign_adversarial_weights(tree, expensive_fraction=1.5)
+
+    def test_total_weight_sums(self, tree):
+        assign_uniform_weights(tree, weight=3)
+        assert total_weight(tree, [0, 1, 2]) == 9

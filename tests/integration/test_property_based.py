@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These tests draw random graphs, weights and seeds, and check the invariants
+the paper proves for *every* input: the output is always a dominating set,
+the packing certificate is always feasible, weak duality always holds, and
+the approximation guarantee is never violated.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import solve_mds, solve_mds_randomized, solve_weighted_mds
+from repro.baselines.exact import exact_minimum_weight_dominating_set
+from repro.congest.simulator import run_algorithm
+from repro.core.packing import is_feasible_packing, packing_from_outputs, packing_value_sum
+from repro.core.weighted import WeightedMDSAlgorithm
+from repro.graphs.arboricity import arboricity_upper_bound
+from repro.graphs.generators import random_bounded_arboricity_graph
+from repro.graphs.validation import is_dominating_set
+
+
+def _random_weighted_graph(n, alpha, weight_seed, structure_seed):
+    graph = random_bounded_arboricity_graph(n, alpha=alpha, seed=structure_seed)
+    rng_weights = [(weight_seed * (i + 7)) % 29 + 1 for i in range(n)]
+    for node, weight in zip(graph.nodes(), rng_weights):
+        graph.nodes[node]["weight"] = weight
+    return graph
+
+
+SLOW = settings(
+    max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestDeterministicAlgorithmProperties:
+    @SLOW
+    @given(
+        n=st.integers(min_value=2, max_value=45),
+        alpha=st.integers(min_value=1, max_value=4),
+        structure_seed=st.integers(min_value=0, max_value=10 ** 6),
+        epsilon=st.sampled_from([0.1, 0.25, 0.5, 0.9]),
+    )
+    def test_unweighted_invariants(self, n, alpha, structure_seed, epsilon):
+        graph = random_bounded_arboricity_graph(n, alpha=alpha, seed=structure_seed)
+        certified_alpha = max(1, arboricity_upper_bound(graph))
+        result = solve_mds(graph, alpha=certified_alpha, epsilon=epsilon)
+        assert result.is_valid
+        _, opt = exact_minimum_weight_dominating_set(graph)
+        assert result.weight <= result.guarantee * opt + 1e-9
+        packing = packing_from_outputs(result.outputs)
+        assert is_feasible_packing(graph, packing)
+        assert packing_value_sum(packing) <= opt + 1e-6
+
+    @SLOW
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        alpha=st.integers(min_value=1, max_value=3),
+        weight_seed=st.integers(min_value=1, max_value=10 ** 6),
+        structure_seed=st.integers(min_value=0, max_value=10 ** 6),
+    )
+    def test_weighted_invariants(self, n, alpha, weight_seed, structure_seed):
+        graph = _random_weighted_graph(n, alpha, weight_seed, structure_seed)
+        certified_alpha = max(1, arboricity_upper_bound(graph))
+        result = solve_weighted_mds(graph, alpha=certified_alpha, epsilon=0.3)
+        assert result.is_valid
+        _, opt = exact_minimum_weight_dominating_set(graph)
+        assert result.weight <= result.guarantee * opt + 1e-9
+
+    @SLOW
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        structure_seed=st.integers(min_value=0, max_value=10 ** 6),
+        run_seed=st.integers(min_value=0, max_value=10 ** 6),
+    )
+    def test_randomized_always_dominating(self, n, structure_seed, run_seed):
+        """Theorem 1.2's domination guarantee is deterministic even though the
+        weight guarantee is in expectation."""
+        graph = random_bounded_arboricity_graph(n, alpha=2, seed=structure_seed)
+        certified_alpha = max(1, arboricity_upper_bound(graph))
+        result = solve_mds_randomized(graph, alpha=certified_alpha, t=2, seed=run_seed)
+        assert result.is_valid
+        assert not any(output.get("fallback_join") for output in result.outputs.values())
+
+    @SLOW
+    @given(
+        n=st.integers(min_value=3, max_value=35),
+        p=st.sampled_from([0.1, 0.3, 0.6]),
+        seed=st.integers(min_value=0, max_value=10 ** 6),
+    )
+    def test_works_on_arbitrary_graphs_with_certified_alpha(self, n, p, seed):
+        """The guarantee degrades with alpha but never breaks, even on dense graphs."""
+        graph = nx.gnp_random_graph(n, p, seed=seed)
+        certified_alpha = max(1, arboricity_upper_bound(graph))
+        result = solve_mds(graph, alpha=certified_alpha, epsilon=0.4)
+        assert result.is_valid
+        _, opt = exact_minimum_weight_dominating_set(graph)
+        assert result.weight <= result.guarantee * opt + 1e-9
+
+
+class TestSimulatorDeterminism:
+    @SLOW
+    @given(
+        n=st.integers(min_value=2, max_value=35),
+        structure_seed=st.integers(min_value=0, max_value=10 ** 6),
+        run_seed=st.integers(min_value=0, max_value=10 ** 6),
+    )
+    def test_same_seed_same_run(self, n, structure_seed, run_seed):
+        graph = random_bounded_arboricity_graph(n, alpha=2, seed=structure_seed)
+        algorithm = WeightedMDSAlgorithm(epsilon=0.3)
+        first = run_algorithm(graph, algorithm, alpha=2, seed=run_seed)
+        second = run_algorithm(graph, algorithm, alpha=2, seed=run_seed)
+        assert first.selected_nodes() == second.selected_nodes()
+        assert first.rounds == second.rounds

@@ -1,0 +1,85 @@
+"""Tests for the KMW-style base graphs."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.lowerbound.kmw_graph import (
+    KMWBaseGraph,
+    bipartite_regular_base_graph,
+    layered_cluster_tree_graph,
+)
+
+
+class TestBipartiteRegular:
+    def test_is_bipartite(self):
+        base = bipartite_regular_base_graph(8, 3, seed=1)
+        assert base.is_bipartite
+
+    def test_has_enough_edges(self):
+        base = bipartite_regular_base_graph(8, 3, seed=2)
+        assert base.has_enough_edges
+        base.validate()
+
+    def test_node_count(self):
+        base = bipartite_regular_base_graph(10, 2, seed=3)
+        assert base.n == 20
+
+    def test_near_regular_degrees(self):
+        base = bipartite_regular_base_graph(12, 3, seed=4)
+        degrees = dict(base.graph.degree()).values()
+        assert max(degrees) <= 3
+        assert min(degrees) >= 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            bipartite_regular_base_graph(1, 3)
+        with pytest.raises(ValueError):
+            bipartite_regular_base_graph(5, 1)
+
+    def test_deterministic(self):
+        first = bipartite_regular_base_graph(8, 3, seed=7)
+        second = bipartite_regular_base_graph(8, 3, seed=7)
+        assert set(first.graph.edges()) == set(second.graph.edges())
+
+
+class TestLayeredClusterTree:
+    def test_is_bipartite(self):
+        base = layered_cluster_tree_graph(3, 2)
+        assert base.is_bipartite
+
+    def test_has_enough_edges(self):
+        base = layered_cluster_tree_graph(3, 3)
+        assert base.has_enough_edges
+        base.validate()
+
+    def test_level_sizes(self):
+        base = layered_cluster_tree_graph(2, 3)
+        # 1 + 3 + 9 = 13 nodes.
+        assert base.n == 13
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            layered_cluster_tree_graph(1, 2)
+        with pytest.raises(ValueError):
+            layered_cluster_tree_graph(3, 1)
+
+
+class TestValidation:
+    def test_non_bipartite_rejected(self):
+        instance = KMWBaseGraph(graph=nx.cycle_graph(5), description="odd-cycle")
+        with pytest.raises(ValueError):
+            instance.validate()
+
+    def test_sparse_graph_rejected(self):
+        instance = KMWBaseGraph(graph=nx.path_graph(5), description="path")
+        assert not instance.has_enough_edges
+        with pytest.raises(ValueError):
+            instance.validate()
+
+    def test_properties_exposed(self):
+        base = bipartite_regular_base_graph(6, 2, seed=0)
+        # The wrap-around patch may add one extra edge per node on small sides.
+        assert base.max_degree <= 2 + 2
+        assert base.m >= base.n

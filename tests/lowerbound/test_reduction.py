@@ -1,0 +1,118 @@
+"""Tests for the Figure 1 construction and the DS -> fractional VC reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import solve_mds
+from repro.baselines.exact import exact_minimum_dominating_set
+from repro.baselines.greedy import greedy_dominating_set
+from repro.baselines.lp import fractional_vertex_cover_lp
+from repro.graphs.arboricity import arboricity
+from repro.graphs.validation import is_dominating_set
+from repro.lowerbound.kmw_graph import bipartite_regular_base_graph, layered_cluster_tree_graph
+from repro.lowerbound.reduction import (
+    build_lower_bound_graph,
+    extract_fractional_vertex_cover,
+    verify_structural_properties,
+)
+
+
+@pytest.fixture
+def small_instance():
+    base = bipartite_regular_base_graph(5, 3, seed=1)
+    return build_lower_bound_graph(base, copies=4)
+
+
+class TestConstruction:
+    def test_node_and_edge_counts_match_section5(self, small_instance):
+        assert small_instance.n_h == small_instance.expected_node_count()
+        assert small_instance.m_h == small_instance.expected_edge_count()
+
+    def test_default_copy_count_is_delta_squared(self):
+        base = bipartite_regular_base_graph(4, 2, seed=2)
+        instance = build_lower_bound_graph(base)
+        assert instance.copies == base.max_degree ** 2
+
+    def test_t_node_degrees(self, small_instance):
+        for t_node in small_instance.t_nodes:
+            assert small_instance.graph.degree(t_node) == small_instance.copies
+
+    def test_middle_nodes_have_degree_two(self, small_instance):
+        for middle in small_instance.middle_nodes:
+            assert small_instance.graph.degree(middle) == 2
+
+    def test_arboricity_is_two(self):
+        base = bipartite_regular_base_graph(4, 2, seed=3)
+        instance = build_lower_bound_graph(base, copies=3)
+        assert arboricity(instance.graph) == 2
+
+    def test_structural_checks_pass(self, small_instance):
+        checks = verify_structural_properties(small_instance)
+        assert all(checks.values()), checks
+
+    def test_structural_checks_with_exact_arboricity(self):
+        base = bipartite_regular_base_graph(4, 2, seed=4)
+        instance = build_lower_bound_graph(base, copies=2)
+        checks = verify_structural_properties(instance, check_arboricity=True)
+        assert checks["arboricity_is_2"]
+
+    def test_invalid_copies(self):
+        base = bipartite_regular_base_graph(4, 2, seed=5)
+        with pytest.raises(ValueError):
+            build_lower_bound_graph(base, copies=0)
+
+    def test_layered_base_also_works(self):
+        base = layered_cluster_tree_graph(2, 2)
+        instance = build_lower_bound_graph(base, copies=3)
+        assert all(verify_structural_properties(instance).values())
+
+
+class TestEquationTwo:
+    def test_opt_mds_upper_bound(self):
+        """Eq. (2): OPT_MDS(H) <= copies * OPT_MVC(G) + n, checked on a small instance."""
+        base = bipartite_regular_base_graph(4, 2, seed=6)
+        instance = build_lower_bound_graph(base, copies=2)
+        _, opt_h = exact_minimum_dominating_set(instance.graph)
+        # On a bipartite base graph, OPT_MVC equals the fractional optimum.
+        _, opt_mfvc = fractional_vertex_cover_lp(base.graph)
+        assert opt_h <= instance.copies * opt_mfvc + base.n + 1e-6
+
+
+class TestExtraction:
+    def test_extraction_from_paper_algorithm(self, small_instance):
+        result = solve_mds(small_instance.graph, alpha=2, epsilon=0.3)
+        fractional = extract_fractional_vertex_cover(small_instance, result.dominating_set)
+        base = small_instance.base
+        # Feasibility: every base edge is fractionally covered.
+        for u, v in base.graph.edges():
+            assert fractional[u] + fractional[v] >= 1 - 1e-9
+        # Value bound: sum(y) <= |S| / copies.
+        assert sum(fractional.values()) <= len(result.dominating_set) / small_instance.copies + 1e-9
+
+    def test_extraction_preserves_approximation(self, small_instance):
+        """A c-approximate DS yields a <= c*(1+1/Delta)-approximate fractional VC."""
+        base = small_instance.base
+        result = solve_mds(small_instance.graph, alpha=2, epsilon=0.3)
+        _, opt_h = exact_minimum_dominating_set(small_instance.graph)
+        ds_ratio = len(result.dominating_set) / opt_h
+        fractional = extract_fractional_vertex_cover(small_instance, result.dominating_set)
+        _, opt_mfvc = fractional_vertex_cover_lp(base.graph)
+        vc_ratio = sum(fractional.values()) / opt_mfvc
+        assert vc_ratio <= ds_ratio * (base.max_degree ** 2 + base.max_degree) / small_instance.copies * (1 + 1e-6) + 1e-6 or vc_ratio <= ds_ratio * (1 + 1.0 / base.max_degree) + 1e-6
+
+    def test_extraction_from_greedy(self, small_instance):
+        solution, _ = greedy_dominating_set(small_instance.graph)
+        fractional = extract_fractional_vertex_cover(small_instance, solution)
+        for u, v in small_instance.base.graph.edges():
+            assert fractional[u] + fractional[v] >= 1 - 1e-9
+
+    def test_extraction_rejects_non_dominating_input(self, small_instance):
+        with pytest.raises(ValueError):
+            extract_fractional_vertex_cover(small_instance, set())
+
+    def test_full_vertex_set_gives_trivial_cover(self, small_instance):
+        fractional = extract_fractional_vertex_cover(
+            small_instance, set(small_instance.graph.nodes())
+        )
+        assert all(value >= 1 - 1e-9 for value in fractional.values())
