@@ -14,7 +14,27 @@ import pathlib
 
 import pytest
 
+from repro.congest.engine import set_default_engine
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(autouse=True)
+def _use_batched_engine():
+    """Run every benchmark on the batched engine.
+
+    The benchmarks measure the paper's *round/approximation* claims, which
+    are engine-independent (``tests/congest/test_engine_parity.py``), so they
+    default to the fast path; E11 is the exception that compares engines
+    explicitly.  The default is restored after each test so that unit tests
+    collected in the same pytest session keep exercising the reference
+    engine.
+    """
+    previous = set_default_engine("batched")
+    try:
+        yield
+    finally:
+        set_default_engine(previous)
 
 
 @pytest.fixture(scope="session")

@@ -33,21 +33,37 @@ from repro.congest.node import NodeContext
 from repro.congest.network import Network
 from repro.congest.algorithm import SynchronousAlgorithm
 from repro.congest.metrics import RoundMetrics, RunMetrics
+from repro.congest.engine import (
+    BatchedEngine,
+    Engine,
+    ReferenceEngine,
+    available_engines,
+    get_default_engine,
+    get_engine,
+    set_default_engine,
+)
 from repro.congest.simulator import RunResult, Simulator, run_algorithm
 
 __all__ = [
     "AlgorithmError",
     "BandwidthViolation",
+    "BatchedEngine",
     "Broadcast",
     "CongestError",
+    "Engine",
     "Network",
     "NodeContext",
     "NonConvergenceError",
+    "ReferenceEngine",
     "RoundMetrics",
     "RunMetrics",
     "RunResult",
     "Simulator",
     "SynchronousAlgorithm",
+    "available_engines",
     "estimate_payload_bits",
+    "get_default_engine",
+    "get_engine",
     "run_algorithm",
+    "set_default_engine",
 ]

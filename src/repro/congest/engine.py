@@ -1,0 +1,495 @@
+"""Pluggable round-execution engines for the CONGEST simulator.
+
+The :class:`~repro.congest.simulator.Simulator` decides *what* to run (the
+algorithm, the bandwidth budget, the round limit); an :class:`Engine` decides
+*how* the synchronous rounds are executed.  Two engines are provided:
+
+* :class:`ReferenceEngine` -- the straightforward per-node, per-message loop.
+  It is the correctness oracle: every semantic question ("in which order are
+  inbox entries inserted?", "when exactly does a bandwidth violation raise?")
+  is answered by this code.
+* :class:`BatchedEngine` -- a vectorized fast path.  It flattens the network
+  into CSR-style adjacency arrays once per run, memoizes payload bit
+  estimates, aggregates per-round message/bit metrics with NumPy reductions,
+  and builds each node's inbox lazily (only for nodes that are still active).
+  Broadcasts -- the dominant message pattern of the paper's algorithms -- cost
+  one bit estimate per *sender* instead of one per *delivery*.
+
+The two engines are observationally identical: same outputs, same round
+counts, same per-round metrics, same exceptions.  This is not accidental but
+load-bearing -- several algorithms accumulate floating point packing values
+from their inbox, so even the *insertion order* of inbox entries must match
+(float addition is not associative).  The batched engine therefore keeps a
+copy of every adjacency list sorted by global node order, which is exactly
+the order in which the reference engine's sender loop inserts deliveries.
+``tests/congest/test_engine_parity.py`` enforces the equivalence on a grid of
+algorithms and graph families.
+
+Engine selection
+----------------
+
+Every entry point (``Simulator``, ``run_algorithm``, the ``solve_*`` helpers)
+accepts ``engine="reference" | "batched"``, an :class:`Engine` instance, or
+``None`` meaning "use the process-wide default" (see
+:func:`set_default_engine`; the initial default is the reference engine).
+The benchmark harness switches its default to the batched engine, which is
+what makes the E9-scale instances tractable.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Hashable, List, Optional, Tuple, Type, Union
+
+from repro.congest.algorithm import SynchronousAlgorithm
+from repro.congest.errors import AlgorithmError, BandwidthViolation, NonConvergenceError
+from repro.congest.message import Broadcast, Payload, estimate_payload_bits
+from repro.congest.metrics import RoundMetrics, RunMetrics
+from repro.congest.network import Network
+
+__all__ = [
+    "Engine",
+    "ReferenceEngine",
+    "BatchedEngine",
+    "ENGINES",
+    "get_engine",
+    "available_engines",
+    "get_default_engine",
+    "set_default_engine",
+]
+
+#: Sentinel distinguishing "no message" from a legitimately falsy payload.
+_MISSING = object()
+
+#: Cap on the payload-bits memo so adversarial payload streams cannot grow it
+#: without bound; the paper's algorithms send a handful of distinct payloads.
+_BITS_MEMO_LIMIT = 4096
+
+
+class Engine(abc.ABC):
+    """Strategy interface: execute an algorithm's synchronous rounds.
+
+    The simulator calls :meth:`execute` with a network whose per-node state
+    has already been reset.  The engine owns the whole lifecycle from
+    ``algorithm.setup`` to collecting ``algorithm.output``; it must enforce
+    the round ``limit`` (raising :class:`NonConvergenceError`), the bandwidth
+    ``budget`` (raising :class:`BandwidthViolation` when ``strict``), and
+    reject sends to non-neighbors (:class:`AlgorithmError`).
+    """
+
+    #: Registry key and human-readable identifier.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        network: Network,
+        algorithm: SynchronousAlgorithm,
+        *,
+        budget: int,
+        limit: int,
+        strict: bool,
+    ) -> Tuple[Dict[Hashable, Any], RunMetrics]:
+        """Run ``algorithm`` to completion; return ``(outputs, metrics)``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class ReferenceEngine(Engine):
+    """The per-node, per-message Python loop (the correctness oracle).
+
+    This is the seed implementation of ``Simulator.run`` moved behind the
+    engine interface, byte-for-byte in behavior: inbox dictionaries for every
+    node are materialised eagerly each round and every delivery is accounted
+    for individually.
+    """
+
+    name = "reference"
+
+    def execute(self, network, algorithm, *, budget, limit, strict):
+        metrics = RunMetrics(bandwidth_budget_bits=budget)
+
+        for node_id in network.node_ids():
+            algorithm.setup(network.context(node_id))
+
+        # inboxes[v] maps neighbor -> payload delivered at the start of this round.
+        inboxes: Dict[Hashable, Dict[Hashable, Any]] = {
+            node_id: {} for node_id in network.node_ids()
+        }
+
+        round_index = 0
+        while True:
+            active = [
+                node_id
+                for node_id in network.node_ids()
+                if not network.context(node_id).finished
+            ]
+            if not active:
+                break
+            if round_index >= limit:
+                raise NonConvergenceError(rounds=round_index, pending=len(active))
+
+            round_metrics = RoundMetrics(round_index=round_index, active_nodes=len(active))
+            next_inboxes: Dict[Hashable, Dict[Hashable, Any]] = {
+                node_id: {} for node_id in network.node_ids()
+            }
+
+            for node_id in active:
+                context = network.context(node_id)
+                outbox = algorithm.round(context, round_index, inboxes[node_id])
+                if outbox is None:
+                    continue
+                if isinstance(outbox, Broadcast):
+                    deliveries = {neighbor: outbox.payload for neighbor in context.neighbors}
+                else:
+                    deliveries = dict(outbox)
+                for neighbor, payload in deliveries.items():
+                    if not network.are_neighbors(node_id, neighbor):
+                        raise AlgorithmError(
+                            f"node {node_id!r} attempted to send to non-neighbor {neighbor!r}"
+                        )
+                    bits = estimate_payload_bits(payload, max(2, network.n))
+                    if budget and bits > budget:
+                        if strict:
+                            raise BandwidthViolation(
+                                node_id, neighbor, bits, budget, round_index=round_index
+                            )
+                    round_metrics.messages += 1
+                    round_metrics.bits += bits
+                    round_metrics.max_message_bits = max(round_metrics.max_message_bits, bits)
+                    next_inboxes[neighbor][node_id] = payload
+
+            metrics.record(round_metrics)
+            inboxes = next_inboxes
+            round_index += 1
+
+        outputs = {
+            node_id: algorithm.output(network.context(node_id))
+            for node_id in network.node_ids()
+        }
+        return outputs, metrics
+
+
+class BatchedEngine(Engine):
+    """Vectorized fast path over CSR-style adjacency arrays.
+
+    Where the work goes, compared to the reference engine:
+
+    * **Adjacency** is flattened once per run into a degree vector plus
+      per-node neighbor lists pre-sorted by global node order (the CSR
+      ``indptr``/``indices`` split, kept as Python id lists because inbox
+      keys are arbitrary hashables).  ``Network.are_neighbors`` is never
+      consulted for broadcasts.
+    * **Broadcast accounting** is per sender, not per delivery: the payload
+      bits are estimated once (with memoization across rounds -- algorithms
+      resend structurally identical payloads), the strict bandwidth check is
+      one scalar comparison, and the round's message/bit totals are NumPy
+      reductions ``degrees[senders].sum()`` / ``dot(bits, degrees[senders])``.
+    * **Inboxes** are built lazily, only for nodes still active, by scanning
+      the receiver's order-sorted neighbor list against the previous round's
+      send buffers.  This reproduces the reference engine's inbox insertion
+      order exactly (senders in global node order), which matters because
+      algorithms fold inbox floats in iteration order.
+
+    Explicit per-neighbor outboxes (the rare unicast path) fall back to
+    per-delivery accounting identical to the reference engine, so mixed
+    rounds stay observationally equivalent, including which delivery raises
+    first on a bandwidth violation.
+    """
+
+    name = "batched"
+
+    def execute(self, network, algorithm, *, budget, limit, strict):
+        # Imported here, not at module level: the reference engine (and hence
+        # the whole package) stays importable without NumPy installed.
+        import numpy as np
+
+        metrics = RunMetrics(bandwidth_budget_bits=budget)
+
+        node_order = list(network.node_ids())
+        n = len(node_order)
+        contexts = [network.context(node_id) for node_id in node_order]
+        for context in contexts:
+            algorithm.setup(context)
+
+        index_of = {node_id: index for index, node_id in enumerate(node_order)}
+        degrees = np.fromiter(
+            (len(context.neighbors) for context in contexts), dtype=np.int64, count=n
+        )
+        # Neighbor ids sorted by global node order: the reference engine
+        # inserts deliveries while looping over senders in node order, so a
+        # receiver scanning its neighbors in that same order rebuilds the
+        # identical inbox key sequence.
+        sorted_neighbors: List[List[Hashable]] = [
+            [node_order[j] for j in sorted(index_of[u] for u in context.neighbors)]
+            for context in contexts
+        ]
+
+        bits_n = max(2, network.n)
+        bits_memo: Dict[tuple, int] = {}
+
+        # Send buffers of the previous round: broadcast payload per sender id,
+        # and explicit receiver->payload maps for unicast senders.  When the
+        # previous round was sparse, deliveries were already scattered into
+        # per-receiver dicts (``prev_scattered``) instead.
+        prev_broadcast: Dict[Hashable, Payload] = {}
+        prev_unicast: Dict[Hashable, Dict[Hashable, Payload]] = {}
+        prev_scattered: Optional[Dict[Hashable, Dict[Hashable, Payload]]] = None
+        prev_full_broadcast = False
+
+        # Nodes only ever transition to finished, so the active list can be
+        # filtered incrementally instead of rescanning all n nodes per round.
+        active = [i for i in range(n) if not contexts[i]._finished]
+
+        round_index = 0
+        while True:
+            if round_index:
+                active = [i for i in active if not contexts[i]._finished]
+            if not active:
+                break
+            if round_index >= limit:
+                raise NonConvergenceError(rounds=round_index, pending=len(active))
+
+            round_metrics = RoundMetrics(round_index=round_index, active_nodes=len(active))
+            any_mail = bool(prev_broadcast) or bool(prev_unicast) or bool(prev_scattered)
+
+            broadcast_payloads: Dict[Hashable, Payload] = {}
+            unicast_payloads: Dict[Hashable, Dict[Hashable, Payload]] = {}
+            broadcast_senders: List[int] = []
+            broadcast_bits: List[int] = []
+            unicast_senders: List[int] = []
+            unicast_messages = 0
+            unicast_bits = 0
+            unicast_max_bits = 0
+
+            for i in active:
+                context = contexts[i]
+                inbox: Dict[Hashable, Payload]
+                if not any_mail:
+                    inbox = {}
+                elif prev_scattered is not None:
+                    inbox = prev_scattered.get(context.node_id) or {}
+                elif prev_full_broadcast:
+                    # Every node broadcast last round: no membership test.
+                    inbox = {u: prev_broadcast[u] for u in sorted_neighbors[i]}
+                else:
+                    inbox = {}
+                    receiver_id = context.node_id
+                    for u in sorted_neighbors[i]:
+                        payload = prev_broadcast.get(u, _MISSING)
+                        if payload is _MISSING and prev_unicast:
+                            deliveries = prev_unicast.get(u)
+                            if deliveries is not None:
+                                payload = deliveries.get(receiver_id, _MISSING)
+                        if payload is not _MISSING:
+                            inbox[u] = payload
+
+                outbox = algorithm.round(context, round_index, inbox)
+                if outbox is None:
+                    continue
+                if isinstance(outbox, Broadcast):
+                    if not context.neighbors:
+                        # No deliveries: the reference engine neither accounts
+                        # nor budget-checks a broadcast from an isolated node.
+                        continue
+                    payload = outbox.payload
+                    bits = self._payload_bits(payload, bits_n, bits_memo)
+                    if budget and bits > budget and strict:
+                        # The reference engine raises at the first delivery,
+                        # which for a broadcast is the first listed neighbor.
+                        raise BandwidthViolation(
+                            context.node_id,
+                            context.neighbors[0],
+                            bits,
+                            budget,
+                            round_index=round_index,
+                        )
+                    broadcast_payloads[context.node_id] = payload
+                    broadcast_senders.append(i)
+                    broadcast_bits.append(bits)
+                else:
+                    sender_id = context.node_id
+                    deliveries: Dict[Hashable, Payload] = {}
+                    for neighbor, payload in dict(outbox).items():
+                        if not network.are_neighbors(sender_id, neighbor):
+                            raise AlgorithmError(
+                                f"node {sender_id!r} attempted to send to "
+                                f"non-neighbor {neighbor!r}"
+                            )
+                        bits = self._payload_bits(payload, bits_n, bits_memo)
+                        if budget and bits > budget and strict:
+                            raise BandwidthViolation(
+                                sender_id, neighbor, bits, budget, round_index=round_index
+                            )
+                        unicast_messages += 1
+                        unicast_bits += bits
+                        if bits > unicast_max_bits:
+                            unicast_max_bits = bits
+                        deliveries[neighbor] = payload
+                    if deliveries:
+                        unicast_payloads[sender_id] = deliveries
+                        unicast_senders.append(i)
+
+            if broadcast_senders:
+                sender_degrees = degrees[broadcast_senders]
+                bits_array = np.fromiter(
+                    broadcast_bits, dtype=np.int64, count=len(broadcast_bits)
+                )
+                round_metrics.messages = unicast_messages + int(sender_degrees.sum())
+                round_metrics.bits = unicast_bits + int(bits_array @ sender_degrees)
+                round_metrics.max_message_bits = max(unicast_max_bits, int(bits_array.max()))
+            else:
+                round_metrics.messages = unicast_messages
+                round_metrics.bits = unicast_bits
+                round_metrics.max_message_bits = unicast_max_bits
+
+            metrics.record(round_metrics)
+
+            # Pick the delivery strategy for the next round's inboxes.
+            prev_broadcast = broadcast_payloads
+            prev_unicast = unicast_payloads
+            prev_full_broadcast = len(broadcast_payloads) == n and not unicast_payloads
+            prev_scattered = None
+            if not prev_full_broadcast and (broadcast_payloads or unicast_payloads):
+                # Sparse rounds (few senders relative to the surviving active
+                # frontier) are cheaper delivered sender-push style than by
+                # scanning every receiver's full neighbor list.
+                active_degree_sum = int(degrees[active].sum())
+                if 2 * round_metrics.messages < active_degree_sum:
+                    prev_scattered = self._scatter(
+                        contexts,
+                        broadcast_senders,
+                        broadcast_payloads,
+                        unicast_senders,
+                        unicast_payloads,
+                    )
+            round_index += 1
+
+        outputs = {
+            node_id: algorithm.output(context)
+            for node_id, context in zip(node_order, contexts)
+        }
+        return outputs, metrics
+
+    @staticmethod
+    def _scatter(
+        contexts: List,
+        broadcast_senders: List[int],
+        broadcast_payloads: Dict[Hashable, Payload],
+        unicast_senders: List[int],
+        unicast_payloads: Dict[Hashable, Dict[Hashable, Payload]],
+    ) -> Dict[Hashable, Dict[Hashable, Payload]]:
+        """Push a sparse round's deliveries into per-receiver inbox dicts.
+
+        Both sender lists are ascending (they were appended while looping
+        over the active list in node order); merging them keeps the global
+        sender order, so each receiver's inbox keys appear in exactly the
+        order the reference engine would have inserted them.
+        """
+        inboxes: Dict[Hashable, Dict[Hashable, Payload]] = {}
+        bi, ui = 0, 0
+        nb, nu = len(broadcast_senders), len(unicast_senders)
+        while bi < nb or ui < nu:
+            if ui >= nu or (bi < nb and broadcast_senders[bi] < unicast_senders[ui]):
+                context = contexts[broadcast_senders[bi]]
+                bi += 1
+                sender_id = context.node_id
+                payload = broadcast_payloads[sender_id]
+                for receiver in context.neighbors:
+                    inbox = inboxes.get(receiver)
+                    if inbox is None:
+                        inboxes[receiver] = {sender_id: payload}
+                    else:
+                        inbox[sender_id] = payload
+            else:
+                context = contexts[unicast_senders[ui]]
+                ui += 1
+                sender_id = context.node_id
+                for receiver, payload in unicast_payloads[sender_id].items():
+                    inbox = inboxes.get(receiver)
+                    if inbox is None:
+                        inboxes[receiver] = {sender_id: payload}
+                    else:
+                        inbox[sender_id] = payload
+        return inboxes
+
+    @staticmethod
+    def _payload_bits(payload: Payload, n: int, memo: Dict[tuple, int]) -> int:
+        """Memoized :func:`estimate_payload_bits`.
+
+        The key includes each value's *type*: Python treats ``1``, ``1.0``
+        and ``True`` as equal dict keys, but the wire-format estimate differs
+        per type (bool: 1 bit, int: bit length, float: two words), so a
+        value-only key would return the wrong cached size.  Payloads with
+        unhashable values (which :func:`estimate_payload_bits` rejects
+        anyway) bypass the memo so the reference engine's ``TypeError`` is
+        reproduced verbatim.
+        """
+        try:
+            key = tuple((k, type(v), v) for k, v in payload.items())
+            bits = memo.get(key)
+        except TypeError:
+            return estimate_payload_bits(payload, n)
+        if bits is None:
+            bits = estimate_payload_bits(payload, n)
+            if len(memo) < _BITS_MEMO_LIMIT:
+                memo[key] = bits
+        return bits
+
+
+#: Registry of engine names to engine classes.
+ENGINES: Dict[str, Type[Engine]] = {
+    ReferenceEngine.name: ReferenceEngine,
+    BatchedEngine.name: BatchedEngine,
+}
+
+#: Specification accepted everywhere an engine can be chosen.
+EngineSpec = Union[None, str, Engine, Type[Engine]]
+
+_default_engine_name: str = ReferenceEngine.name
+
+
+def available_engines() -> Tuple[str, ...]:
+    """Return the registered engine names, sorted."""
+    return tuple(sorted(ENGINES))
+
+
+def get_default_engine() -> str:
+    """Return the name of the process-wide default engine."""
+    return _default_engine_name
+
+
+def set_default_engine(name: str) -> str:
+    """Set the process-wide default engine; returns the previous default.
+
+    Only affects call sites that pass ``engine=None``.  The benchmark
+    harness uses this to run everything on the batched engine.
+    """
+    global _default_engine_name
+    if name not in ENGINES:
+        raise ValueError(f"unknown engine {name!r}; available: {available_engines()}")
+    previous = _default_engine_name
+    _default_engine_name = name
+    return previous
+
+
+def get_engine(engine: EngineSpec = None) -> Engine:
+    """Resolve an engine specification to an :class:`Engine` instance.
+
+    Accepts a registered name (``"reference"`` / ``"batched"``), an
+    :class:`Engine` instance (returned as-is), an :class:`Engine` subclass
+    (instantiated), or ``None`` for the process-wide default.
+    """
+    if engine is None:
+        engine = _default_engine_name
+    if isinstance(engine, Engine):
+        return engine
+    if isinstance(engine, type) and issubclass(engine, Engine):
+        return engine()
+    try:
+        return ENGINES[engine]()
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown engine {engine!r}; available: {available_engines()}"
+        ) from None

@@ -15,15 +15,28 @@ class CongestError(Exception):
 
 
 class BandwidthViolation(CongestError):
-    """A message exceeded the CONGEST per-edge, per-round bit budget."""
+    """A message exceeded the CONGEST per-edge, per-round bit budget.
 
-    def __init__(self, sender, receiver, bits: int, budget: int):
+    Attributes
+    ----------
+    sender / receiver:
+        The endpoints of the offending message.
+    bits / budget:
+        The estimated message size and the enforced per-message budget.
+    round_index:
+        The synchronous round in which the violation occurred, or ``None``
+        when the raising context does not track rounds.
+    """
+
+    def __init__(self, sender, receiver, bits: int, budget: int, round_index=None):
         self.sender = sender
         self.receiver = receiver
         self.bits = bits
         self.budget = budget
+        self.round_index = round_index
+        where = "" if round_index is None else f" in round {round_index}"
         super().__init__(
-            f"message from {sender!r} to {receiver!r} needs ~{bits} bits, "
+            f"message from {sender!r} to {receiver!r}{where} needs ~{bits} bits, "
             f"but the CONGEST budget is {budget} bits"
         )
 

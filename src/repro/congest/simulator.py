@@ -1,17 +1,25 @@
-"""The synchronous round executor."""
+"""The synchronous round executor.
+
+The :class:`Simulator` owns the *model* parameters -- the CONGEST bandwidth
+budget, the round limit, strictness -- and delegates the actual round loop to
+a pluggable :class:`~repro.congest.engine.Engine`.  Two engines ship with the
+repository: the ``"reference"`` engine (the per-message oracle loop) and the
+``"batched"`` engine (a NumPy-vectorized fast path over CSR-style adjacency
+arrays).  They are observationally identical; see
+:mod:`repro.congest.engine` and ``tests/congest/test_engine_parity.py``.
+"""
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Optional
 
 import networkx as nx
 
 from repro.congest.algorithm import SynchronousAlgorithm
-from repro.congest.errors import AlgorithmError, BandwidthViolation, NonConvergenceError
-from repro.congest.message import Broadcast, estimate_payload_bits, word_size_bits
-from repro.congest.metrics import RoundMetrics, RunMetrics
+from repro.congest.engine import EngineSpec, get_engine
+from repro.congest.message import word_size_bits
+from repro.congest.metrics import RunMetrics
 from repro.congest.network import Network
 
 __all__ = ["Simulator", "RunResult", "run_algorithm"]
@@ -70,6 +78,14 @@ class Simulator:
         When ``True`` (default) a bandwidth violation raises immediately;
         when ``False`` it is only recorded in the metrics (useful for
         exploratory runs).
+    engine:
+        Round-execution strategy: ``"reference"`` (per-message oracle loop),
+        ``"batched"`` (vectorized fast path), an
+        :class:`~repro.congest.engine.Engine` instance, or ``None`` for the
+        process-wide default (initially ``"reference"``).  ``None`` is
+        resolved at each :meth:`run`, so a later
+        :func:`~repro.congest.engine.set_default_engine` affects already
+        constructed simulators.
     """
 
     def __init__(
@@ -77,10 +93,18 @@ class Simulator:
         bandwidth_words: int = DEFAULT_BANDWIDTH_WORDS,
         max_rounds: int = DEFAULT_MAX_ROUNDS,
         strict: bool = True,
+        engine: EngineSpec = None,
     ):
         self.bandwidth_words = bandwidth_words
         self.max_rounds = max_rounds
         self.strict = strict
+        get_engine(engine)  # fail fast on unknown engine names
+        self.engine_spec = engine
+
+    @property
+    def engine(self):
+        """The engine the next :meth:`run` will use."""
+        return get_engine(self.engine_spec)
 
     def run(self, network: Network, algorithm: SynchronousAlgorithm) -> RunResult:
         """Run ``algorithm`` on ``network`` until all nodes finish."""
@@ -88,69 +112,15 @@ class Simulator:
         budget = 0
         if algorithm.congest:
             budget = self.bandwidth_words * word_size_bits(max(2, network.n))
-        metrics = RunMetrics(bandwidth_budget_bits=budget)
-
-        for node_id in network.node_ids():
-            algorithm.setup(network.context(node_id))
 
         limit = algorithm.max_rounds(network)
         if limit is None:
             limit = self.max_rounds
         limit = min(limit, self.max_rounds)
 
-        # inboxes[v] maps neighbor -> payload delivered at the start of this round.
-        inboxes: Dict[Hashable, Dict[Hashable, Any]] = {
-            node_id: {} for node_id in network.node_ids()
-        }
-
-        round_index = 0
-        while True:
-            active = [
-                node_id
-                for node_id in network.node_ids()
-                if not network.context(node_id).finished
-            ]
-            if not active:
-                break
-            if round_index >= limit:
-                raise NonConvergenceError(rounds=round_index, pending=len(active))
-
-            round_metrics = RoundMetrics(round_index=round_index, active_nodes=len(active))
-            next_inboxes: Dict[Hashable, Dict[Hashable, Any]] = {
-                node_id: {} for node_id in network.node_ids()
-            }
-
-            for node_id in active:
-                context = network.context(node_id)
-                outbox = algorithm.round(context, round_index, inboxes[node_id])
-                if outbox is None:
-                    continue
-                if isinstance(outbox, Broadcast):
-                    deliveries = {neighbor: outbox.payload for neighbor in context.neighbors}
-                else:
-                    deliveries = dict(outbox)
-                for neighbor, payload in deliveries.items():
-                    if not network.are_neighbors(node_id, neighbor):
-                        raise AlgorithmError(
-                            f"node {node_id!r} attempted to send to non-neighbor {neighbor!r}"
-                        )
-                    bits = estimate_payload_bits(payload, max(2, network.n))
-                    if budget and bits > budget:
-                        if self.strict:
-                            raise BandwidthViolation(node_id, neighbor, bits, budget)
-                    round_metrics.messages += 1
-                    round_metrics.bits += bits
-                    round_metrics.max_message_bits = max(round_metrics.max_message_bits, bits)
-                    next_inboxes[neighbor][node_id] = payload
-
-            metrics.record(round_metrics)
-            inboxes = next_inboxes
-            round_index += 1
-
-        outputs = {
-            node_id: algorithm.output(network.context(node_id))
-            for node_id in network.node_ids()
-        }
+        outputs, metrics = self.engine.execute(
+            network, algorithm, budget=budget, limit=limit, strict=self.strict
+        )
         return RunResult(algorithm_name=algorithm.name, outputs=outputs, metrics=metrics)
 
 
@@ -164,8 +134,13 @@ def run_algorithm(
     bandwidth_words: int = DEFAULT_BANDWIDTH_WORDS,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     strict: bool = True,
+    engine: EngineSpec = None,
 ) -> RunResult:
-    """Convenience wrapper: build a :class:`Network` and run ``algorithm`` on it."""
+    """Convenience wrapper: build a :class:`Network` and run ``algorithm`` on it.
+
+    ``engine`` selects the round executor (``"reference"`` or ``"batched"``);
+    see :class:`Simulator`.
+    """
     network = Network(
         graph,
         alpha=alpha,
@@ -174,6 +149,9 @@ def run_algorithm(
         knows_max_degree=knows_max_degree,
     )
     simulator = Simulator(
-        bandwidth_words=bandwidth_words, max_rounds=max_rounds, strict=strict
+        bandwidth_words=bandwidth_words,
+        max_rounds=max_rounds,
+        strict=strict,
+        engine=engine,
     )
     return simulator.run(network, algorithm)

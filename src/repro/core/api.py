@@ -14,6 +14,25 @@ simulator directly::
 Every function returns a :class:`DominatingSetResult` that carries the set,
 its weight, the number of CONGEST rounds the distributed execution took, the
 raw per-node outputs and the traffic metrics.
+
+Engine selection
+----------------
+
+Every helper accepts an ``engine`` keyword selecting the simulator's round
+executor:
+
+* ``engine="reference"`` -- the per-message oracle loop (the initial
+  process-wide default; see :func:`repro.congest.engine.get_default_engine`);
+* ``engine="batched"`` -- a NumPy-vectorized fast path that batches broadcast
+  delivery, metric aggregation and bandwidth checks per round (5-10x faster
+  on the benchmark-scale graphs, observationally identical results);
+* an :class:`repro.congest.engine.Engine` instance, for custom executors;
+* ``None`` -- use the process-wide default, see
+  :func:`repro.congest.engine.set_default_engine`.
+
+The two built-in engines produce identical outputs, round counts and traffic
+metrics on every algorithm (enforced by ``tests/congest/test_engine_parity.py``),
+so the choice is purely a performance knob.
 """
 
 from __future__ import annotations
@@ -23,6 +42,7 @@ from typing import Any, Dict, Hashable, Optional, Set
 
 import networkx as nx
 
+from repro.congest.engine import EngineSpec
 from repro.congest.simulator import RunResult, run_algorithm
 from repro.congest.metrics import RunMetrics
 from repro.core.general_graphs import GeneralGraphMDSAlgorithm
@@ -94,6 +114,7 @@ def solve_mds(
     alpha: Optional[int] = None,
     epsilon: float = 0.1,
     seed: int = 0,
+    engine: EngineSpec = None,
 ) -> DominatingSetResult:
     """Deterministic ``(2*alpha+1)*(1+eps)`` approximation (Theorems 1.1 / 3.1).
 
@@ -106,7 +127,7 @@ def solve_mds(
         algorithm = UnweightedMDSAlgorithm(epsilon=epsilon)
     else:
         algorithm = WeightedMDSAlgorithm(epsilon=epsilon)
-    result = run_algorithm(graph, algorithm, alpha=alpha, seed=seed)
+    result = run_algorithm(graph, algorithm, alpha=alpha, seed=seed, engine=engine)
     return _package(graph, result, guarantee=algorithm.approximation_guarantee(alpha))
 
 
@@ -115,11 +136,12 @@ def solve_weighted_mds(
     alpha: Optional[int] = None,
     epsilon: float = 0.1,
     seed: int = 0,
+    engine: EngineSpec = None,
 ) -> DominatingSetResult:
     """Deterministic weighted MDS approximation (Theorem 1.1), regardless of weights."""
     alpha = _resolve_alpha(graph, alpha)
     algorithm = WeightedMDSAlgorithm(epsilon=epsilon)
-    result = run_algorithm(graph, algorithm, alpha=alpha, seed=seed)
+    result = run_algorithm(graph, algorithm, alpha=alpha, seed=seed, engine=engine)
     return _package(graph, result, guarantee=algorithm.approximation_guarantee(alpha))
 
 
@@ -128,26 +150,31 @@ def solve_mds_randomized(
     alpha: Optional[int] = None,
     t: int = 1,
     seed: int = 0,
+    engine: EngineSpec = None,
 ) -> DominatingSetResult:
     """Randomized ``alpha + O(alpha/t)`` expected approximation (Theorem 1.2)."""
     alpha = _resolve_alpha(graph, alpha)
     algorithm = RandomizedMDSAlgorithm(t=t)
-    result = run_algorithm(graph, algorithm, alpha=alpha, seed=seed)
+    result = run_algorithm(graph, algorithm, alpha=alpha, seed=seed, engine=engine)
     return _package(graph, result, guarantee=algorithm.approximation_guarantee(alpha))
 
 
-def solve_mds_general(graph: nx.Graph, k: int = 2, seed: int = 0) -> DominatingSetResult:
+def solve_mds_general(
+    graph: nx.Graph, k: int = 2, seed: int = 0, engine: EngineSpec = None
+) -> DominatingSetResult:
     """Randomized ``O(k * Delta^(2/k))`` approximation for general graphs (Theorem 1.3)."""
     algorithm = GeneralGraphMDSAlgorithm(k=k)
     max_degree = max(dict(graph.degree()).values(), default=0)
-    result = run_algorithm(graph, algorithm, alpha=None, seed=seed)
+    result = run_algorithm(graph, algorithm, alpha=None, seed=seed, engine=engine)
     return _package(graph, result, guarantee=algorithm.approximation_guarantee(max_degree))
 
 
-def solve_mds_forest(graph: nx.Graph, seed: int = 0) -> DominatingSetResult:
+def solve_mds_forest(
+    graph: nx.Graph, seed: int = 0, engine: EngineSpec = None
+) -> DominatingSetResult:
     """Single-round 3-approximation on forests (Observation A.1, unweighted)."""
     algorithm = ForestMDSAlgorithm()
-    result = run_algorithm(graph, algorithm, seed=seed)
+    result = run_algorithm(graph, algorithm, seed=seed, engine=engine)
     return _package(graph, result, guarantee=3.0)
 
 
@@ -156,11 +183,14 @@ def solve_mds_unknown_degree(
     alpha: Optional[int] = None,
     epsilon: float = 0.1,
     seed: int = 0,
+    engine: EngineSpec = None,
 ) -> DominatingSetResult:
     """Remark 4.4: the Theorem 1.1 guarantee without global knowledge of ``Delta``."""
     alpha = _resolve_alpha(graph, alpha)
     algorithm = UnknownDegreeMDSAlgorithm(epsilon=epsilon)
-    result = run_algorithm(graph, algorithm, alpha=alpha, seed=seed, knows_max_degree=False)
+    result = run_algorithm(
+        graph, algorithm, alpha=alpha, seed=seed, knows_max_degree=False, engine=engine
+    )
     return _package(graph, result, guarantee=(2 * alpha + 1) * (1 + epsilon))
 
 
@@ -168,9 +198,12 @@ def solve_mds_unknown_arboricity(
     graph: nx.Graph,
     epsilon: float = 0.25,
     seed: int = 0,
+    engine: EngineSpec = None,
 ) -> DominatingSetResult:
     """Remark 4.5: ``(2*alpha+1)*(2+O(eps))`` approximation without knowing ``alpha``."""
     algorithm = UnknownArboricityMDSAlgorithm(epsilon=epsilon)
-    result = run_algorithm(graph, algorithm, alpha=None, seed=seed, knows_max_degree=False)
+    result = run_algorithm(
+        graph, algorithm, alpha=None, seed=seed, knows_max_degree=False, engine=engine
+    )
     alpha = max(1, arboricity_upper_bound(graph))
     return _package(graph, result, guarantee=(2 * alpha + 1) * (2 + 3 * epsilon))

@@ -6,10 +6,13 @@ import networkx as nx
 import pytest
 
 from repro.congest.algorithm import SynchronousAlgorithm
+from repro.congest.engine import available_engines
 from repro.congest.errors import AlgorithmError, BandwidthViolation, NonConvergenceError
 from repro.congest.message import Broadcast
 from repro.congest.network import Network
 from repro.congest.simulator import Simulator, run_algorithm
+
+ENGINES = sorted(available_engines())
 
 
 class CountNeighborsAlgorithm(SynchronousAlgorithm):
@@ -149,6 +152,109 @@ class TestModelEnforcement:
         with pytest.raises(NonConvergenceError) as info:
             run_algorithm(small_tree, Limited())
         assert info.value.rounds == 5
+
+
+class DelayedChattyAlgorithm(SynchronousAlgorithm):
+    """Behaves for two rounds, then one designated node sends an oversized
+    broadcast -- so the violation's round and sender are both predictable."""
+
+    name = "delayed-chatty"
+
+    def round(self, node, round_index, inbox):
+        if round_index < 2:
+            return Broadcast({"ok": True})
+        node.finish()
+        if node.node_id == node.config["offender"]:
+            return Broadcast({"blob": "x" * 4096})
+        return None
+
+
+class ChattyUnicastAlgorithm(SynchronousAlgorithm):
+    """Oversized payload on the explicit per-neighbor (unicast) send path."""
+
+    name = "chatty-unicast"
+
+    def round(self, node, round_index, inbox):
+        node.finish()
+        if node.node_id == node.config["offender"] and node.neighbors:
+            return {node.neighbors[0]: {"blob": "y" * 4096}}
+        return None
+
+
+class TestBandwidthViolationsAcrossEngines:
+    """Both engines must reject oversized payloads identically, naming the
+    same offending round, sender and receiver."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_broadcast_violation_identifies_round_and_node(self, engine, small_tree):
+        offender = sorted(small_tree.nodes())[3]
+        with pytest.raises(BandwidthViolation) as info:
+            run_algorithm(
+                small_tree,
+                DelayedChattyAlgorithm(),
+                config={"offender": offender},
+                engine=engine,
+            )
+        violation = info.value
+        assert violation.sender == offender
+        assert violation.round_index == 2
+        assert violation.receiver in set(small_tree.neighbors(offender))
+        assert violation.bits > violation.budget > 0
+        assert "round 2" in str(violation)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_unicast_violation_identifies_round_and_node(self, engine, small_tree):
+        offender = next(
+            node for node in small_tree.nodes() if small_tree.degree(node) > 0
+        )
+        with pytest.raises(BandwidthViolation) as info:
+            run_algorithm(
+                small_tree,
+                ChattyUnicastAlgorithm(),
+                config={"offender": offender},
+                engine=engine,
+            )
+        violation = info.value
+        assert violation.sender == offender
+        assert violation.round_index == 0
+        assert violation.bits > violation.budget
+
+    def test_engines_agree_on_the_first_violation(self, small_tree):
+        offender = sorted(small_tree.nodes())[3]
+        violations = {}
+        for engine in ENGINES:
+            with pytest.raises(BandwidthViolation) as info:
+                run_algorithm(
+                    small_tree,
+                    DelayedChattyAlgorithm(),
+                    config={"offender": offender},
+                    engine=engine,
+                )
+            value = info.value
+            violations[engine] = (
+                value.sender,
+                value.receiver,
+                value.bits,
+                value.budget,
+                value.round_index,
+            )
+        assert len(set(violations.values())) == 1, violations
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_not_strict_records_instead_of_raising(self, engine, small_tree):
+        result = run_algorithm(small_tree, ChattyAlgorithm(), strict=False, engine=engine)
+        assert result.metrics.max_message_bits > result.metrics.bandwidth_budget_bits
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_non_neighbor_send_rejected(self, engine):
+        path = nx.path_graph(4)
+        with pytest.raises(AlgorithmError, match="non-neighbor"):
+            run_algorithm(path, NonNeighborSender(), config={"target": 3}, engine=engine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_round_limit_enforced(self, engine, small_tree):
+        with pytest.raises(NonConvergenceError):
+            run_algorithm(small_tree, NeverTerminates(), max_rounds=10, engine=engine)
 
 
 class TestMessageDelivery:

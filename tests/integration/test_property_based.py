@@ -15,12 +15,13 @@ from hypothesis import strategies as st
 
 from repro import solve_mds, solve_mds_randomized, solve_weighted_mds
 from repro.baselines.exact import exact_minimum_weight_dominating_set
+from repro.congest.engine import available_engines
 from repro.congest.simulator import run_algorithm
 from repro.core.packing import is_feasible_packing, packing_from_outputs, packing_value_sum
 from repro.core.weighted import WeightedMDSAlgorithm
 from repro.graphs.arboricity import arboricity_upper_bound
 from repro.graphs.generators import random_bounded_arboricity_graph
-from repro.graphs.validation import is_dominating_set
+from repro.graphs.validation import dominating_set_weight, is_dominating_set
 
 
 def _random_weighted_graph(n, alpha, weight_seed, structure_seed):
@@ -99,6 +100,75 @@ class TestDeterministicAlgorithmProperties:
         assert result.is_valid
         _, opt = exact_minimum_weight_dominating_set(graph)
         assert result.weight <= result.guarantee * opt + 1e-9
+
+
+class TestCrossEngineProperties:
+    """Both engines satisfy the paper's invariants on arbitrary random inputs,
+    and they satisfy them *identically*."""
+
+    @SLOW
+    @given(
+        n=st.integers(min_value=2, max_value=45),
+        alpha=st.integers(min_value=1, max_value=4),
+        weight_seed=st.integers(min_value=0, max_value=10 ** 6),
+        structure_seed=st.integers(min_value=0, max_value=10 ** 6),
+    )
+    def test_both_engines_dominate_and_report_true_weight(
+        self, n, alpha, weight_seed, structure_seed
+    ):
+        """For random (possibly weighted) graphs: each engine's output is a
+        verified dominating set, the reported weight matches a recomputation
+        from the raw per-node outputs, and the engines agree exactly."""
+        if weight_seed:
+            graph = _random_weighted_graph(n, alpha, weight_seed, structure_seed)
+        else:
+            graph = random_bounded_arboricity_graph(n, alpha=alpha, seed=structure_seed)
+        certified_alpha = max(1, arboricity_upper_bound(graph))
+        results = {
+            engine: solve_weighted_mds(
+                graph, alpha=certified_alpha, epsilon=0.3, engine=engine
+            )
+            for engine in available_engines()
+        }
+        for engine, result in results.items():
+            assert result.is_valid, engine
+            assert is_dominating_set(graph, result.dominating_set), engine
+            # The reported weight must match recomputation from the outputs.
+            from_outputs = {
+                node for node, out in result.outputs.items() if out.get("in_ds")
+            }
+            assert from_outputs == result.dominating_set, engine
+            assert result.weight == dominating_set_weight(graph, from_outputs), engine
+        reference = results["reference"]
+        for engine, result in results.items():
+            assert result.dominating_set == reference.dominating_set, engine
+            assert result.weight == reference.weight, engine
+            assert result.rounds == reference.rounds, engine
+            assert result.metrics.total_messages == reference.metrics.total_messages
+
+    @SLOW
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        structure_seed=st.integers(min_value=0, max_value=10 ** 6),
+        run_seed=st.integers(min_value=0, max_value=10 ** 6),
+    )
+    def test_randomized_engines_agree_on_random_graphs(
+        self, n, structure_seed, run_seed
+    ):
+        graph = random_bounded_arboricity_graph(n, alpha=2, seed=structure_seed)
+        certified_alpha = max(1, arboricity_upper_bound(graph))
+        results = {
+            engine: solve_mds_randomized(
+                graph, alpha=certified_alpha, t=2, seed=run_seed, engine=engine
+            )
+            for engine in available_engines()
+        }
+        for result in results.values():
+            assert result.is_valid
+        reference = results["reference"]
+        for engine, result in results.items():
+            assert result.dominating_set == reference.dominating_set, engine
+            assert result.metrics.total_bits == reference.metrics.total_bits, engine
 
 
 class TestSimulatorDeterminism:
