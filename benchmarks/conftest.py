@@ -18,6 +18,25 @@ from repro.congest.engine import set_default_engine
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+BENCHMARKS_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark everything collected from benchmarks/ with the ``bench`` marker.
+
+    ``pytest.ini`` deselects ``bench`` by default, so tier-1 runs (and CI)
+    never execute benchmarks by accident; run them explicitly with
+    ``pytest benchmarks/ -m bench``.
+    """
+    del config
+    for item in items:
+        try:
+            path = pathlib.Path(str(item.fspath)).resolve()
+        except OSError:  # pragma: no cover - defensive
+            continue
+        if BENCHMARKS_DIR.resolve() in path.parents:
+            item.add_marker(pytest.mark.bench)
+
 
 @pytest.fixture(autouse=True)
 def _use_batched_engine():

@@ -12,6 +12,10 @@ Three ablations:
    certificate that drives the approximation proof is lost.
 3. **Partial phase vs extension**: how much weight each phase contributes at
    the paper's parameter choice.
+
+The phase-weight breakdown and the intentionally-broken variant need the
+algorithm's raw per-node outputs, so this file stays hand-rolled; the plain
+lambda sweep is registered as scenario ``E10/lambda-ablation`` for the CLI.
 """
 
 from __future__ import annotations

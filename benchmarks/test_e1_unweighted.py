@@ -6,39 +6,28 @@ O(log(Delta/alpha)/eps) CONGEST rounds.
 
 Measured here: the size ratio against the exact/LP optimum and the realised
 round count, across the standard graph families and three values of eps.
+The workload lives in the scenario registry (``E1/unweighted-eps``); rerun it
+from the command line with ``python -m repro run E1/unweighted-eps``.
 """
 
 from __future__ import annotations
 
 import math
 
-from repro import solve_mds
-from repro.analysis.experiments import aggregate_records, sweep
+from repro.analysis.experiments import aggregate_records
 from repro.analysis.tables import render_records, render_summary
-from repro.graphs.generators import standard_test_suite
-
-
-def _run(epsilons, scale, seed):
-    instances = standard_test_suite(scale, seed=seed)
-    solvers = {
-        f"eps={eps}": (lambda eps: (lambda inst: solve_mds(inst.graph, alpha=inst.alpha, epsilon=eps)))(eps)
-        for eps in epsilons
-    }
-    return instances, sweep("E1", instances, solvers)
+from repro.orchestration import get_scenario
 
 
 def test_e1_unweighted_theorem31(benchmark, record_experiment, bench_seed):
-    epsilons = (0.1, 0.3, 0.5)
-    # "tiny" keeps the exact-OPT denominators cheap; E9 covers larger scales.
-    instances, records = benchmark.pedantic(
-        _run, args=(epsilons, "tiny", bench_seed), rounds=1, iterations=1
-    )
+    scenario = get_scenario("E1/unweighted-eps")
+    records = benchmark.pedantic(scenario.run, kwargs={"seed": bench_seed}, rounds=1, iterations=1)
     # Every run must be a dominating set within the proven guarantee.
     for record in records:
         assert record.is_dominating, record.instance
         assert record.within_guarantee, record.instance
         # Round complexity: 2*log_{1+eps}(Delta+1) + O(1).
-        eps = float(record.params["solver_label"].split("=")[1])
+        eps = float(record.params["epsilon"])
         bound = 2 * (math.log(record.max_degree + 1) / math.log(1 + eps) + 2) + 6
         assert record.rounds <= bound, (record.instance, record.rounds, bound)
     summary = aggregate_records(records)

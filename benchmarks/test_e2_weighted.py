@@ -5,56 +5,30 @@ arbitrary positive integer node weights (the first distributed algorithm for
 the weighted problem in this regime).
 
 Measured here: weight ratio against the exact/LP optimum under four different
-weight schemes, plus the realised round counts.
+weight schemes, plus the realised round counts.  The workload lives in the
+scenario registry (``E2/weighted-schemes``); rerun it from the command line
+with ``python -m repro run E2/weighted-schemes``.
 """
 
 from __future__ import annotations
 
 import math
 
-from repro import solve_weighted_mds
-from repro.analysis.experiments import aggregate_records, sweep
+from repro.analysis.experiments import aggregate_records
 from repro.analysis.tables import render_records, render_summary
-from repro.graphs.generators import standard_test_suite
-from repro.graphs.weights import (
-    assign_adversarial_weights,
-    assign_degree_weights,
-    assign_inverse_degree_weights,
-    assign_random_weights,
-)
+from repro.orchestration import get_scenario
 
-WEIGHT_SCHEMES = {
-    "random": lambda graph, seed: assign_random_weights(graph, 1, 100, seed=seed),
-    "degree": lambda graph, seed: assign_degree_weights(graph),
-    "inverse-degree": lambda graph, seed: assign_inverse_degree_weights(graph, scale=100),
-    "adversarial": lambda graph, seed: assign_adversarial_weights(graph, 0.4, 500, seed=seed),
-}
-
-
-def _run(scale, seed, epsilon):
-    all_records = []
-    instances = []
-    for scheme_name, scheme in WEIGHT_SCHEMES.items():
-        for instance in standard_test_suite(scale, seed=seed):
-            instance.name = f"{instance.name}[{scheme_name}]"
-            scheme(instance.graph, seed)
-            instances.append(instance)
-    records = sweep(
-        "E2",
-        instances,
-        {"theorem-1.1": lambda inst: solve_weighted_mds(inst.graph, alpha=inst.alpha, epsilon=epsilon)},
-    )
-    all_records.extend(records)
-    return all_records
+EPSILON = 0.2
 
 
 def test_e2_weighted_theorem11(benchmark, record_experiment, bench_seed):
-    epsilon = 0.2
-    records = benchmark.pedantic(_run, args=("tiny", bench_seed, epsilon), rounds=1, iterations=1)
+    scenario = get_scenario("E2/weighted-schemes")
+    records = benchmark.pedantic(scenario.run, kwargs={"seed": bench_seed}, rounds=1, iterations=1)
+    assert len(records) == 32  # 8 standard families x 4 weight schemes
     for record in records:
         assert record.is_dominating, record.instance
         assert record.within_guarantee, record.instance
-        bound = 2 * (math.log(record.max_degree + 1) / math.log(1 + epsilon) + 2) + 6
+        bound = 2 * (math.log(record.max_degree + 1) / math.log(1 + EPSILON) + 2) + 6
         assert record.rounds <= bound
     summary = aggregate_records(records)
     record_experiment(

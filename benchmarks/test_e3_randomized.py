@@ -4,62 +4,59 @@ Paper claim: for 1 <= t <= alpha/log(alpha), the randomized algorithm has
 expected approximation alpha + O(alpha/t) and runs in O(t log Delta) rounds;
 larger t trades rounds for quality.
 
-Measured here: mean weight ratio over several seeds for a sweep of t, and the
-realised round counts (which must grow roughly linearly in t).
+Measured here: mean weight ratio over several solver seeds for a sweep of t,
+and the realised round counts (which must grow roughly linearly in t).  The
+workload lives in the scenario registry (``E3/randomized-t``): its graphs are
+pinned to the benchmark seed, so sweeping the cell seed varies only the
+solver randomness -- exactly the "fixed workload, averaged solver noise"
+semantics this experiment wants.
 """
 
 from __future__ import annotations
 
-from repro import solve_mds_randomized
-from repro.analysis.opt import estimate_opt
 from repro.analysis.tables import format_table
-from repro.graphs.generators import forest_union_graph, preferential_attachment_graph
-from repro.graphs.validation import dominating_set_weight
-from repro.graphs.weights import assign_random_weights
+from repro.orchestration import get_scenario
+
+SOLVER_SEEDS = (0, 1, 2)
 
 
-def _run(seed):
-    workloads = {
-        "forest-union-a5": (forest_union_graph(250, alpha=5, seed=seed), 5),
-        "pref-attach-a4": (preferential_attachment_graph(350, attachment=4, seed=seed), 4),
-    }
-    rows = []
-    for name, (graph, alpha) in workloads.items():
-        assign_random_weights(graph, 1, 50, seed=seed)
-        opt = estimate_opt(graph)
-        for t in (1, 2, 4):
-            ratios, rounds = [], []
-            guarantee = None
-            for run_seed in range(3):
-                result = solve_mds_randomized(graph, alpha=alpha, t=t, seed=run_seed)
-                assert result.is_valid
-                guarantee = result.guarantee
-                ratios.append(dominating_set_weight(graph, result.dominating_set) / opt.value)
-                rounds.append(result.rounds)
-            rows.append(
-                {
-                    "instance": name,
-                    "alpha": alpha,
-                    "t": t,
-                    "mean ratio (3 seeds)": sum(ratios) / len(ratios),
-                    "expected guarantee": round(guarantee, 2),
-                    "mean rounds": sum(rounds) / len(rounds),
-                    "opt kind": opt.kind,
-                }
-            )
-    return rows
+def _run():
+    scenario = get_scenario("E3/randomized-t")
+    records = []
+    for seed in SOLVER_SEEDS:
+        records.extend(scenario.run(seed=seed))
+    return records
 
 
 def test_e3_randomized_theorem12(benchmark, record_experiment, bench_seed):
-    rows = benchmark.pedantic(_run, args=(bench_seed,), rounds=1, iterations=1)
-    # Expected-quality claim: the seed-averaged ratio stays below the guarantee.
-    for row in rows:
-        assert row["mean ratio (3 seeds)"] <= row["expected guarantee"]
+    records = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for record in records:
+        assert record.is_dominating, record.instance
+
+    # Aggregate across solver seeds per (instance, t).
+    grouped = {}
+    for record in records:
+        grouped.setdefault((record.instance, record.params["t"]), []).append(record)
+    rows = []
+    for (instance, t), group in sorted(grouped.items()):
+        assert len(group) == len(SOLVER_SEEDS)
+        mean_ratio = sum(record.ratio for record in group) / len(group)
+        rows.append(
+            {
+                "instance": instance,
+                "alpha": group[0].alpha,
+                "t": t,
+                f"mean ratio ({len(group)} seeds)": mean_ratio,
+                "expected guarantee": round(group[0].guarantee, 2),
+                "mean rounds": sum(record.rounds for record in group) / len(group),
+                "opt kind": group[0].opt_kind,
+            }
+        )
+        # Expected-quality claim: the seed-averaged ratio stays below the guarantee.
+        assert mean_ratio <= group[0].guarantee
     # Rounds grow with t on each instance.
     for instance in {row["instance"] for row in rows}:
-        per_t = sorted(
-            (row["t"], row["mean rounds"]) for row in rows if row["instance"] == instance
-        )
+        per_t = sorted((row["t"], row["mean rounds"]) for row in rows if row["instance"] == instance)
         assert per_t[0][1] <= per_t[-1][1]
     record_experiment(
         "E3",

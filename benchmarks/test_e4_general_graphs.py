@@ -4,67 +4,70 @@ Paper claim: with no arboricity assumption at all, the sampling extension run
 on its own gives expected approximation Delta^(1/k)(Delta^(1/k)+1)(k+1) in
 O(k^2) rounds -- improving the classic KMW bound by a log Delta factor.
 
-Measured here: mean ratio and rounds for a sweep of k on dense-ish random
-graphs and a star-of-cliques (high Delta, moderate arboricity), compared with
-the KMW-style LP-rounding baseline's expected O(log Delta) quality.
+Measured here: mean ratio and rounds over several solver seeds for a sweep of
+k (scenario ``E4/general-k``), compared with the KMW-style LP-rounding
+baseline's expected O(log Delta) quality (the centralized baseline stays out
+of the registry -- it is not a CONGEST run).
 """
 
 from __future__ import annotations
 
-import networkx as nx
-
-from repro import solve_mds_general
-from repro.analysis.opt import estimate_opt
 from repro.analysis.tables import format_table
-from repro.baselines.kmw import kmw_lp_rounding_dominating_set
-from repro.graphs.generators import star_of_cliques
 from repro.graphs.validation import dominating_set_weight
+from repro.orchestration import get_scenario
+
+SOLVER_SEEDS = (0, 1, 2)
 
 
-def _run(seed):
-    workloads = {
-        "gnp(150, 0.08)": nx.gnp_random_graph(150, 0.08, seed=seed),
-        "star-of-cliques(12x6)": star_of_cliques(12, 6),
-    }
+def _run(bench_seed):
+    scenario = get_scenario("E4/general-k")
+    records = []
+    for seed in SOLVER_SEEDS:
+        records.extend(scenario.run(seed=seed))
+
+    grouped = {}
+    opt_by_instance = {}
+    for record in records:
+        grouped.setdefault((record.instance, record.params["k"]), []).append(record)
+        opt_by_instance[record.instance] = record.opt_value
     rows = []
-    for name, graph in workloads.items():
-        opt = estimate_opt(graph)
-        max_degree = max(dict(graph.degree()).values())
-        for k in (1, 2, 3):
-            ratios, rounds = [], []
-            guarantee = None
-            for run_seed in range(3):
-                result = solve_mds_general(graph, k=k, seed=run_seed)
-                assert result.is_valid
-                guarantee = result.guarantee
-                ratios.append(dominating_set_weight(graph, result.dominating_set) / opt.value)
-                rounds.append(result.rounds)
-            rows.append(
-                {
-                    "instance": name,
-                    "Delta": max_degree,
-                    "k": k,
-                    "mean ratio": sum(ratios) / len(ratios),
-                    "guarantee O(k*Delta^(2/k))": round(guarantee, 1),
-                    "mean rounds": sum(rounds) / len(rounds),
-                }
-            )
-        kmw = kmw_lp_rounding_dominating_set(graph, seed=seed)
+    for (instance, k), group in sorted(grouped.items()):
         rows.append(
             {
-                "instance": name,
-                "Delta": max_degree,
+                "instance": instance,
+                "Delta": group[0].max_degree,
+                "k": k,
+                "mean ratio": sum(record.ratio for record in group) / len(group),
+                "guarantee O(k*Delta^(2/k))": round(group[0].guarantee, 1),
+                "mean rounds": sum(record.rounds for record in group) / len(group),
+            }
+        )
+
+    # The KMW-style LP-rounding baseline, centralized, for contrast -- scored
+    # against the same OPT estimate the scenario's records already carry.
+    from repro.baselines.kmw import kmw_lp_rounding_dominating_set
+
+    for spec in scenario.graphs:
+        instance = spec.build(SOLVER_SEEDS[0])
+        kmw = kmw_lp_rounding_dominating_set(instance.graph, seed=bench_seed)
+        rows.append(
+            {
+                "instance": instance.name,
+                "Delta": instance.max_degree,
                 "k": "KMW-LP baseline",
-                "mean ratio": dominating_set_weight(graph, kmw.dominating_set) / opt.value,
+                "mean ratio": dominating_set_weight(instance.graph, kmw.dominating_set)
+                / opt_by_instance[instance.name],
                 "guarantee O(k*Delta^(2/k))": None,
                 "mean rounds": kmw.nominal_rounds,
             }
         )
-    return rows
+    return records, rows
 
 
 def test_e4_general_graphs_theorem13(benchmark, record_experiment, bench_seed):
-    rows = benchmark.pedantic(_run, args=(bench_seed,), rounds=1, iterations=1)
+    records, rows = benchmark.pedantic(_run, args=(bench_seed,), rounds=1, iterations=1)
+    for record in records:
+        assert record.is_dominating, record.instance
     for row in rows:
         if row["guarantee O(k*Delta^(2/k))"] is not None:
             assert row["mean ratio"] <= row["guarantee O(k*Delta^(2/k))"]

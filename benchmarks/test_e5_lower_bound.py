@@ -9,6 +9,9 @@ vertex cover of G.
 
 Measured here: all structural certificates, plus the realised conversion
 ratio when the dominating set of H is produced by the paper's own algorithm.
+The structural checks need the construction's internals, so this file does
+not go through the scenario registry; the plain solve-MDS-on-H workload is
+registered as ``E5/lower-bound`` for sweeps and the CLI.
 """
 
 from __future__ import annotations

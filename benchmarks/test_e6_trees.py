@@ -8,47 +8,39 @@ rounds are unavoidable for any reasonable approximation.
 Measured here: the ratio of the trivial algorithm against the exact optimum
 on random trees, caterpillars and random forests, its round count, and (for
 contrast) the deterministic Theorem 1.1 algorithm on the same instances.
+The workload lives in the scenario registry (``E6/forests``).
 """
 
 from __future__ import annotations
 
-from repro import solve_mds, solve_mds_forest
-from repro.analysis.opt import estimate_opt
 from repro.analysis.tables import format_table
-from repro.graphs.generators import caterpillar_graph, random_forest, random_tree
-
-
-def _run(seed):
-    workloads = {
-        "random-tree-200": random_tree(200, seed=seed),
-        "random-tree-800": random_tree(800, seed=seed + 1),
-        "caterpillar-60x3": caterpillar_graph(60, legs_per_node=3),
-        "random-forest-300": random_forest(300, tree_count=6, seed=seed + 2),
-    }
-    rows = []
-    for name, graph in workloads.items():
-        opt = estimate_opt(graph)
-        trivial = solve_mds_forest(graph)
-        theorem11 = solve_mds(graph, alpha=1, epsilon=0.2)
-        assert trivial.is_valid and theorem11.is_valid
-        rows.append(
-            {
-                "instance": name,
-                "n": graph.number_of_nodes(),
-                "opt bound": round(opt.value, 1),
-                "trivial |S|": len(trivial),
-                "trivial ratio (<=3)": round(len(trivial) / opt.value, 3),
-                "trivial rounds": trivial.rounds,
-                "Thm 1.1 |S|": len(theorem11),
-                "Thm 1.1 ratio": round(theorem11.weight / opt.value, 3),
-                "Thm 1.1 rounds": theorem11.rounds,
-            }
-        )
-    return rows
+from repro.orchestration import get_scenario
 
 
 def test_e6_forest_observation_a1(benchmark, record_experiment, bench_seed):
-    rows = benchmark.pedantic(_run, args=(bench_seed,), rounds=1, iterations=1)
+    scenario = get_scenario("E6/forests")
+    records = benchmark.pedantic(scenario.run, kwargs={"seed": bench_seed}, rounds=1, iterations=1)
+    by_instance = {}
+    for record in records:
+        assert record.is_dominating, record.instance
+        by_instance.setdefault(record.instance, {})[record.params["solver_label"]] = record
+    rows = []
+    for instance, solvers in by_instance.items():
+        trivial = solvers["forest-trivial"]
+        theorem11 = solvers["theorem-1.1"]
+        rows.append(
+            {
+                "instance": instance,
+                "n": trivial.n,
+                "opt bound": round(trivial.opt_value, 1),
+                "trivial |S|": int(trivial.weight),
+                "trivial ratio (<=3)": round(trivial.ratio, 3),
+                "trivial rounds": trivial.rounds,
+                "Thm 1.1 |S|": int(theorem11.weight),
+                "Thm 1.1 ratio": round(theorem11.ratio, 3),
+                "Thm 1.1 rounds": theorem11.rounds,
+            }
+        )
     for row in rows:
         assert row["trivial ratio (<=3)"] <= 3.0 + 1e-9
         # "Single round": one communication round plus the local decision step.

@@ -7,64 +7,43 @@ rounds when alpha is unknown (Remark 4.5, via a Barenboim--Elkin style
 orientation; see the documented doubling-schedule substitution).
 
 Measured here: weight ratios and rounds of both variants next to the
-full-knowledge algorithm on the same weighted instances.
+full-knowledge algorithm on the same weighted instances (scenario
+``E7/unknown-params``).
 """
 
 from __future__ import annotations
 
-from repro import solve_mds_unknown_arboricity, solve_mds_unknown_degree, solve_weighted_mds
-from repro.analysis.opt import estimate_opt
 from repro.analysis.tables import format_table
-from repro.graphs.generators import forest_union_graph, preferential_attachment_graph
-from repro.graphs.weights import assign_random_weights
-
-
-def _run(seed):
-    workloads = {
-        "forest-union-a3-150": (forest_union_graph(150, alpha=3, seed=seed), 3),
-        "pref-attach-a4-200": (preferential_attachment_graph(200, attachment=4, seed=seed), 4),
-    }
-    rows = []
-    for name, (graph, alpha) in workloads.items():
-        assign_random_weights(graph, 1, 60, seed=seed)
-        opt = estimate_opt(graph)
-        known = solve_weighted_mds(graph, alpha=alpha, epsilon=0.2)
-        no_delta = solve_mds_unknown_degree(graph, alpha=alpha, epsilon=0.2)
-        no_alpha = solve_mds_unknown_arboricity(graph, epsilon=0.25)
-        for label, result in (
-            ("full knowledge (Thm 1.1)", known),
-            ("unknown Delta (Rem 4.4)", no_delta),
-            ("unknown alpha (Rem 4.5)", no_alpha),
-        ):
-            assert result.is_valid
-            rows.append(
-                {
-                    "instance": name,
-                    "variant": label,
-                    "weight": result.weight,
-                    "ratio": round(result.weight / opt.value, 3),
-                    "stated guarantee": round(result.guarantee, 2) if result.guarantee else None,
-                    "rounds": result.rounds,
-                }
-            )
-    return rows
+from repro.orchestration import get_scenario
 
 
 def test_e7_unknown_parameters(benchmark, record_experiment, bench_seed):
-    rows = benchmark.pedantic(_run, args=(bench_seed,), rounds=1, iterations=1)
-    for row in rows:
-        if row["stated guarantee"] is not None:
-            assert row["ratio"] <= row["stated guarantee"] + 1e-9
+    scenario = get_scenario("E7/unknown-params")
+    records = benchmark.pedantic(scenario.run, kwargs={"seed": bench_seed}, rounds=1, iterations=1)
+    rows = []
+    by_instance = {}
+    for record in records:
+        assert record.is_dominating, record.instance
+        if record.guarantee is not None:
+            assert record.ratio <= record.guarantee + 1e-9
+        by_instance.setdefault(record.instance, {})[record.params["solver_label"]] = record
+        rows.append(
+            {
+                "instance": record.instance,
+                "variant": record.params["solver_label"],
+                "weight": record.weight,
+                "ratio": round(record.ratio, 3),
+                "stated guarantee": round(record.guarantee, 2) if record.guarantee else None,
+                "rounds": record.rounds,
+            }
+        )
     # Remark 4.4 keeps the same approximation regime as the full-knowledge run
     # (within a factor 2 on these instances), at a constant-factor round cost.
-    by_instance = {}
-    for row in rows:
-        by_instance.setdefault(row["instance"], {})[row["variant"]] = row
     for variants in by_instance.values():
         known = variants["full knowledge (Thm 1.1)"]
         no_delta = variants["unknown Delta (Rem 4.4)"]
-        assert no_delta["ratio"] <= 2 * known["stated guarantee"]
-        assert no_delta["rounds"] <= 4 * known["rounds"] + 10
+        assert no_delta.ratio <= 2 * known.guarantee
+        assert no_delta.rounds <= 4 * known.rounds + 10
     record_experiment(
         "E7",
         "Remarks 4.4 / 4.5 -- unknown Delta and unknown alpha variants",

@@ -9,74 +9,67 @@ alpha.
 
 Measured here: solution quality (ratio vs the shared OPT estimate) and round
 counts for every implemented algorithm on a common high-Delta, low-alpha
-workload -- the "who wins, by roughly what factor" table.
+workload -- the "who wins, by roughly what factor" table.  The distributed
+contenders live in the scenario registry (``E8/comparison``); the
+centralized baselines are appended here because they are not CONGEST runs.
 """
 
 from __future__ import annotations
 
-from repro import solve_mds, solve_mds_randomized
-from repro.analysis.opt import estimate_opt
 from repro.analysis.tables import format_table
 from repro.baselines.bansal_umboh import bansal_umboh_dominating_set
 from repro.baselines.greedy import greedy_dominating_set
 from repro.baselines.kmw import kmw_lp_rounding_dominating_set
-from repro.baselines.lenzen_wattenhofer import LWDeterministicAlgorithm, LWRandomizedAlgorithm
-from repro.baselines.msw import MSWStyleAlgorithm
 from repro.baselines.sun import sun_reverse_delete_dominating_set
-from repro.congest.simulator import run_algorithm
-from repro.graphs.generators import preferential_attachment_graph
 from repro.graphs.validation import is_dominating_set
+from repro.orchestration import get_scenario
 
 
-def _run(seed):
-    alpha = 4
-    graph = preferential_attachment_graph(500, attachment=alpha, seed=seed)
-    opt = estimate_opt(graph)
-    max_degree = max(dict(graph.degree()).values())
-    rows = []
+def _run(bench_seed):
+    scenario = get_scenario("E8/comparison")
+    records = scenario.run(seed=bench_seed)
+    rows = [
+        {
+            "algorithm": record.params["solver_label"],
+            "|S|": int(record.weight),
+            "ratio": round(record.ratio, 3),
+            "rounds": record.rounds,
+            "distributed": True,
+        }
+        for record in records
+    ]
+    max_degree = records[0].max_degree
+    assert all(record.is_dominating for record in records)
+
+    # Centralized baselines on the same pinned instance, against the same OPT
+    # estimate the scenario's records already carry.
+    instance = scenario.graphs[0].build(bench_seed)
+    graph = instance.graph
+    alpha = instance.alpha
+    opt_value = records[0].opt_value
 
     def add(name, size, rounds, distributed=True):
         rows.append(
             {
                 "algorithm": name,
                 "|S|": size,
-                "ratio": round(size / opt.value, 3),
+                "ratio": round(size / opt_value, 3),
                 "rounds": rounds,
                 "distributed": distributed,
             }
         )
 
-    ours_det = solve_mds(graph, alpha=alpha, epsilon=0.2)
-    assert ours_det.is_valid
-    add("this paper deterministic (Thm 1.1)", len(ours_det), ours_det.rounds)
-
-    ours_rand = solve_mds_randomized(graph, alpha=alpha, t=2, seed=seed)
-    assert ours_rand.is_valid
-    add("this paper randomized (Thm 1.2)", len(ours_rand), ours_rand.rounds)
-
-    lw_det = run_algorithm(graph, LWDeterministicAlgorithm(), alpha=alpha)
-    assert is_dominating_set(graph, lw_det.selected_nodes())
-    add("LW'10-style deterministic O(a logD)", len(lw_det.selected_nodes()), lw_det.rounds)
-
-    lw_rand = run_algorithm(graph, LWRandomizedAlgorithm(), alpha=alpha, seed=seed)
-    assert is_dominating_set(graph, lw_rand.selected_nodes())
-    add("LW'10-style randomized O(a^2)", len(lw_rand.selected_nodes()), lw_rand.rounds)
-
-    comb = run_algorithm(graph, MSWStyleAlgorithm(), alpha=alpha)
-    assert is_dominating_set(graph, comb.selected_nodes())
-    add("combinatorial alpha-baseline (MSW stand-in)", len(comb.selected_nodes()), comb.rounds)
-
     bu = bansal_umboh_dominating_set(graph, alpha=alpha, epsilon=0.2)
     assert is_dominating_set(graph, bu.dominating_set)
     add("Bansal-Umboh LP rounding (2a+1)", len(bu.dominating_set), bu.nominal_rounds, False)
 
-    kmw = kmw_lp_rounding_dominating_set(graph, seed=seed)
+    kmw = kmw_lp_rounding_dominating_set(graph, seed=bench_seed)
     assert is_dominating_set(graph, kmw.dominating_set)
     add("KMW'06 LP rounding O(logD)", len(kmw.dominating_set), kmw.nominal_rounds, False)
 
-    greedy_set, greedy_weight = greedy_dominating_set(graph)
+    greedy_set, _ = greedy_dominating_set(graph)
     assert is_dominating_set(graph, greedy_set)
-    add("centralized greedy ln(D+1)", greedy_weight, None, False)
+    add("centralized greedy ln(D)", len(greedy_set), None, False)
 
     sun = sun_reverse_delete_dominating_set(graph)
     assert is_dominating_set(graph, sun.dominating_set)

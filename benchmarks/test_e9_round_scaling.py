@@ -7,67 +7,55 @@ log Delta / log log Delta dependence is unavoidable already at arboricity 2.
 
 Measured here: (i) rounds at fixed Delta as n grows (flat curve), (ii) rounds
 at fixed n as Delta grows (logarithmic curve), (iii) rounds as eps shrinks
-(linear in 1/eps).
+(linear in 1/eps).  The workloads live in the scenario registry
+(``E9/scaling`` for (i)+(ii), ``E9/eps-sweep`` for (iii)); both use the free
+counting OPT bound, since this experiment is about rounds, not ratios.
 """
 
 from __future__ import annotations
 
 import math
 
-from repro import solve_mds
 from repro.analysis.tables import format_table
-from repro.graphs.generators import caterpillar_graph, grid_graph
+from repro.orchestration import get_scenario
 
 
-def _run():
+def _run(seed):
+    scaling = get_scenario("E9/scaling").run(seed=seed)
+    eps_sweep = get_scenario("E9/eps-sweep").run(seed=seed)
     rows = []
-    # (i) Fixed Delta = 4 (grids), growing n.
-    for rows_count, cols in [(5, 6), (12, 12), (25, 25), (40, 40)]:
-        graph = grid_graph(rows_count, cols)
-        result = solve_mds(graph, alpha=2, epsilon=0.2)
-        assert result.is_valid
+    for record in scaling:
+        assert record.is_dominating, record.instance
+        series = (
+            "fixed Delta=4, growing n"
+            if record.instance.startswith("grid")
+            else "growing Delta (caterpillar legs)"
+        )
         rows.append(
             {
-                "series": "fixed Delta=4, growing n",
-                "n": graph.number_of_nodes(),
-                "Delta": 4,
-                "eps": 0.2,
-                "rounds": result.rounds,
+                "series": series,
+                "n": record.n,
+                "Delta": record.max_degree,
+                "eps": record.params["epsilon"],
+                "rounds": record.rounds,
             }
         )
-    # (ii) Fixed n-ish, growing Delta: caterpillars with more legs per spine node.
-    for legs in (2, 8, 32, 128):
-        graph = caterpillar_graph(12, legs_per_node=legs)
-        result = solve_mds(graph, alpha=1, epsilon=0.2)
-        assert result.is_valid
-        rows.append(
-            {
-                "series": "growing Delta (caterpillar legs)",
-                "n": graph.number_of_nodes(),
-                "Delta": max(dict(graph.degree()).values()),
-                "eps": 0.2,
-                "rounds": result.rounds,
-            }
-        )
-    # (iii) Fixed graph, shrinking eps.
-    graph = caterpillar_graph(12, legs_per_node=32)
-    for eps in (0.4, 0.2, 0.1, 0.05):
-        result = solve_mds(graph, alpha=1, epsilon=eps)
-        assert result.is_valid
+    for record in eps_sweep:
+        assert record.is_dominating, record.instance
         rows.append(
             {
                 "series": "shrinking eps",
-                "n": graph.number_of_nodes(),
-                "Delta": max(dict(graph.degree()).values()),
-                "eps": eps,
-                "rounds": result.rounds,
+                "n": record.n,
+                "Delta": record.max_degree,
+                "eps": record.params["epsilon"],
+                "rounds": record.rounds,
             }
         )
     return rows
 
 
 def test_e9_round_scaling(benchmark, record_experiment, bench_seed):
-    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = benchmark.pedantic(_run, args=(bench_seed,), rounds=1, iterations=1)
     fixed_delta = [row["rounds"] for row in rows if row["series"].startswith("fixed Delta")]
     # (i) Independence of n: identical round counts across a 40x size range.
     assert max(fixed_delta) - min(fixed_delta) == 0

@@ -17,32 +17,27 @@ verifies the guarantees.
 
 from __future__ import annotations
 
-import random
-
 import networkx as nx
 
 from repro import solve_mds_randomized, solve_weighted_mds
 from repro.analysis.opt import estimate_opt
 from repro.analysis.tables import format_table
 from repro.graphs.arboricity import arboricity_upper_bound
+from repro.graphs.generators import random_geometric_graph
 from repro.graphs.validation import is_dominating_set, undominated_nodes
+from repro.graphs.weights import assign_degree_weights
 
 
 def deployment_graph(n: int, radio_range: float, seed: int) -> nx.Graph:
-    """Scatter ``n`` devices in the unit square; connect pairs within range."""
-    rng = random.Random(seed)
-    positions = {index: (rng.random(), rng.random()) for index in range(n)}
-    graph = nx.Graph()
-    graph.add_nodes_from(positions)
-    for u in range(n):
-        for v in range(u + 1, n):
-            dx = positions[u][0] - positions[v][0]
-            dy = positions[u][1] - positions[v][1]
-            if dx * dx + dy * dy <= radio_range * radio_range:
-                graph.add_edge(u, v)
-    # Battery cost: devices with more neighbours pay more to serve as heads.
-    for node in graph.nodes():
-        graph.nodes[node]["weight"] = 3 + graph.degree(node)
+    """Scatter ``n`` devices in the unit square; connect pairs within range.
+
+    The substrate is the ``random-geometric`` registry family; the battery
+    cost (devices with more neighbours pay more to serve as heads) is the
+    ``degree`` weight scheme with base 3.  The 150- and 300-device
+    deployments are registered as scenario ``example/adhoc-wireless``.
+    """
+    graph = random_geometric_graph(n, radio_range, seed=seed)
+    assign_degree_weights(graph, base=3)
     return graph
 
 

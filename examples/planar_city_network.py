@@ -18,15 +18,15 @@ from repro.analysis.tables import format_table
 from repro.baselines.greedy import greedy_dominating_set
 from repro.baselines.lp import lp_dominating_set_lower_bound
 from repro.graphs.arboricity import arboricity_upper_bound
-from repro.graphs.generators import planar_triangulation_graph
-from repro.graphs.weights import assign_degree_weights
+from repro.orchestration import get_scenario
 
 
-def run_city(n: int, seed: int) -> dict:
-    """Build one synthetic city and solve the facility placement problem."""
-    city = planar_triangulation_graph(n, seed=seed)
-    # Busy intersections (high degree) are expensive places to build.
-    assign_degree_weights(city, base=5)
+def run_city(instance) -> dict:
+    """Solve the facility placement problem on one pre-built city."""
+    # The cities (Delaunay road networks with degree-based construction
+    # costs) are declared once in the scenario registry -- the same specs
+    # back `python -m repro run example/planar-city`.
+    city = instance.graph
     alpha = min(3, max(1, arboricity_upper_bound(city)))
 
     distributed = solve_weighted_mds(city, alpha=alpha, epsilon=0.25)
@@ -49,7 +49,8 @@ def run_city(n: int, seed: int) -> dict:
 def main() -> None:
     print("Weighted dominating set as facility placement on planar road networks")
     print("(arboricity <= 3; the guarantee is (2*3+1)*(1+eps))\n")
-    rows = [run_city(n, seed) for n, seed in [(120, 1), (250, 2), (500, 3), (900, 4)]]
+    scenario = get_scenario("example/planar-city")
+    rows = [run_city(spec.build()) for spec in scenario.graphs]
     print(format_table(rows))
     print(
         "\nNote how the number of CONGEST rounds barely moves as the city "

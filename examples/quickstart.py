@@ -77,6 +77,20 @@ def main() -> None:
     print(f"\nunweighted run: |S|={len(result)} rounds={result.rounds} "
           f"guarantee={result.guarantee:.2f} valid={result.is_valid}")
 
+    # 6. This exact workload is also registered in the scenario registry as
+    #    "example/quickstart", so the orchestration layer can run it too --
+    #    with verification, caching and parallelism for free:
+    #
+    #        python -m repro run example/quickstart
+    #
+    from repro.orchestration import get_scenario
+
+    records = get_scenario("example/quickstart").run(seed=0)
+    print("\nvia the scenario registry (python -m repro run example/quickstart):")
+    for record in records:
+        print(f"  {record.params['solver_label']}: weight={record.weight:.0f} "
+              f"ratio={record.ratio:.3f} rounds={record.rounds}")
+
 
 if __name__ == "__main__":
     main()

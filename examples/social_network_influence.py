@@ -5,42 +5,57 @@ Social networks are huge, have heavy-tailed degree distributions (a few
 celebrities with enormous degree) and small arboricity -- the paper's
 motivating regime.  Selecting a minimum set of accounts such that everyone
 follows at least one selected account is a dominating set problem.  This
-example builds a preferential-attachment graph, runs the paper's algorithms
-and every implemented baseline, and prints the comparison that Section 1.2 of
+example runs the paper's algorithms and every implemented baseline on a
+preferential-attachment graph and prints the comparison that Section 1.2 of
 the paper makes in prose: quality comparable to the best prior work, with a
 round complexity that depends only logarithmically on the maximum degree.
+
+The distributed contenders (the paper's two algorithms, both
+Lenzen--Wattenhofer variants, and the combinatorial alpha-baseline) are
+declared once in the scenario registry as ``example/social-influence`` --
+this script runs that scenario and appends the centralized baselines, which
+are not CONGEST executions.  The same distributed table is available from
+the command line via ``python -m repro run example/social-influence``.
 """
 
 from __future__ import annotations
 
-from repro import solve_mds, solve_mds_randomized
 from repro.analysis.opt import estimate_opt
 from repro.analysis.tables import format_table
 from repro.baselines.bansal_umboh import bansal_umboh_dominating_set
 from repro.baselines.greedy import greedy_dominating_set
 from repro.baselines.kmw import kmw_lp_rounding_dominating_set
-from repro.baselines.lenzen_wattenhofer import LWDeterministicAlgorithm, LWRandomizedAlgorithm
-from repro.baselines.msw import MSWStyleAlgorithm
 from repro.baselines.sun import sun_reverse_delete_dominating_set
-from repro.congest.simulator import run_algorithm
-from repro.graphs.generators import preferential_attachment_graph
 from repro.graphs.validation import is_dominating_set
+from repro.orchestration import get_scenario
 
 
 def main() -> None:
-    attachment = 4
-    graph = preferential_attachment_graph(600, attachment=attachment, seed=3)
-    alpha = attachment  # certified by the preferential-attachment construction
-    max_degree = max(dict(graph.degree()).values())
+    scenario = get_scenario("example/social-influence")
+    records = scenario.run(seed=0)
+    assert all(record.is_dominating for record in records)
+
+    instance = scenario.graphs[0].build()
+    graph, alpha = instance.graph, instance.alpha
+    max_degree = instance.max_degree
     opt = estimate_opt(graph)
     print(
         f"social graph: n={graph.number_of_nodes()} m={graph.number_of_edges()} "
         f"max_degree={max_degree} alpha<={alpha} OPT bound ({opt.kind}) = {opt.value:.1f}\n"
     )
 
-    rows = []
+    rows = [
+        {
+            "algorithm": record.params["solver_label"],
+            "|seed set|": int(record.weight),
+            "ratio vs bound": round(record.ratio, 3),
+            "CONGEST rounds": record.rounds,
+            "note": "",
+        }
+        for record in records
+    ]
 
-    def record(name, size, rounds, note=""):
+    def record_row(name, size, rounds, note=""):
         rows.append(
             {
                 "algorithm": name,
@@ -51,34 +66,22 @@ def main() -> None:
             }
         )
 
-    ours_det = solve_mds(graph, alpha=alpha, epsilon=0.2)
-    record("this paper, deterministic (Thm 1.1)", len(ours_det), ours_det.rounds)
-
-    ours_rand = solve_mds_randomized(graph, alpha=alpha, t=2, seed=1)
-    record("this paper, randomized (Thm 1.2)", len(ours_rand), ours_rand.rounds)
-
-    lw_det = run_algorithm(graph, LWDeterministicAlgorithm(), alpha=alpha)
-    assert is_dominating_set(graph, lw_det.selected_nodes())
-    record("Lenzen-Wattenhofer style, deterministic", len(lw_det.selected_nodes()), lw_det.rounds)
-
-    lw_rand = run_algorithm(graph, LWRandomizedAlgorithm(), alpha=alpha, seed=2)
-    assert is_dominating_set(graph, lw_rand.selected_nodes())
-    record("Lenzen-Wattenhofer style, randomized", len(lw_rand.selected_nodes()), lw_rand.rounds)
-
-    comb = run_algorithm(graph, MSWStyleAlgorithm(), alpha=alpha)
-    record("combinatorial alpha-baseline", len(comb.selected_nodes()), comb.rounds)
-
     bu = bansal_umboh_dominating_set(graph, alpha=alpha, epsilon=0.2)
-    record("Bansal-Umboh LP rounding", len(bu.dominating_set), bu.nominal_rounds, "LP solved centrally")
+    assert is_dominating_set(graph, bu.dominating_set)
+    record_row("Bansal-Umboh LP rounding", len(bu.dominating_set), bu.nominal_rounds,
+               "LP solved centrally")
 
     kmw = kmw_lp_rounding_dominating_set(graph, seed=4)
-    record("KMW LP rounding", len(kmw.dominating_set), kmw.nominal_rounds, "LP solved centrally")
+    assert is_dominating_set(graph, kmw.dominating_set)
+    record_row("KMW LP rounding", len(kmw.dominating_set), kmw.nominal_rounds,
+               "LP solved centrally")
 
     greedy_set, _ = greedy_dominating_set(graph)
-    record("centralized greedy", len(greedy_set), None, "centralized")
+    record_row("centralized greedy", len(greedy_set), None, "centralized")
 
     sun = sun_reverse_delete_dominating_set(graph)
-    record("Sun'21-style primal-dual + reverse delete", len(sun.dominating_set), None, "centralized")
+    record_row("Sun'21-style primal-dual + reverse delete", len(sun.dominating_set), None,
+               "centralized")
 
     print(format_table(rows))
     print(

@@ -112,15 +112,20 @@ def sweep(
     solvers: Mapping[str, Solver],
     share_opt: bool = True,
     params_for: Optional[Callable[[str, GraphInstance], Mapping[str, object]]] = None,
+    opt_for: Optional[Callable[[nx.Graph], OptEstimate]] = None,
 ) -> List[ExperimentRecord]:
     """Run every solver on every instance and return the records.
 
     ``share_opt=True`` computes the OPT estimate once per instance and reuses
     it across solvers, which is what the comparison experiments want.
+    ``opt_for`` overrides the OPT estimation policy (the default is
+    :func:`repro.analysis.opt.estimate_opt`); the scenario registry uses it
+    to select cheaper bounds for scale experiments.
     """
+    estimator = opt_for or estimate_opt
     records: List[ExperimentRecord] = []
     for instance in instances:
-        opt = estimate_opt(instance.graph) if share_opt else None
+        opt = estimator(instance.graph) if share_opt else None
         for label, solver in solvers.items():
             params = dict(params_for(label, instance)) if params_for else {}
             params.setdefault("solver_label", label)

@@ -23,7 +23,7 @@ import networkx as nx
 from repro.baselines.exact import exact_minimum_weight_dominating_set
 from repro.baselines.lp import lp_dominating_set_lower_bound
 
-__all__ = ["EXACT_THRESHOLD", "OptEstimate", "estimate_opt"]
+__all__ = ["EXACT_THRESHOLD", "OptEstimate", "estimate_opt", "degree_lower_bound"]
 
 #: Default node-count threshold below which the exact solver is used.
 EXACT_THRESHOLD = 220
@@ -36,9 +36,12 @@ class OptEstimate:
     value: float
     exact: bool
     optimal_set: Optional[Set] = None
+    method: Optional[str] = None
 
     @property
     def kind(self) -> str:
+        if self.method is not None:
+            return self.method
         return "exact" if self.exact else "lp-lower-bound"
 
 
@@ -58,3 +61,25 @@ def estimate_opt(
         optimal_set, weight = exact_minimum_weight_dominating_set(graph)
         return OptEstimate(value=float(weight), exact=True, optimal_set=optimal_set)
     return OptEstimate(value=lp_dominating_set_lower_bound(graph), exact=False)
+
+
+def degree_lower_bound(graph: nx.Graph) -> OptEstimate:
+    """Return the O(1)-time counting lower bound ``n / (Delta + 1)``.
+
+    A node dominates itself and at most ``Delta`` neighbours, so any
+    dominating set has at least ``n / (Delta + 1)`` members; with positive
+    integer node weights (weight at least one everywhere, the convention of
+    :mod:`repro.graphs.weights`) the same quantity lower-bounds the weight.
+    Far looser than the LP bound, but free -- the scale experiments use it
+    where even solving the LP would dominate the run (see the scenario
+    registry's ``opt_mode="degree"``).
+    """
+    n = graph.number_of_nodes()
+    if n == 0:
+        return OptEstimate(value=0.0, exact=True, method="degree-lower-bound")
+    max_degree = max(dict(graph.degree()).values(), default=0)
+    return OptEstimate(
+        value=max(1.0, n / (max_degree + 1)),
+        exact=False,
+        method="degree-lower-bound",
+    )

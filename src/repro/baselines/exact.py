@@ -13,7 +13,7 @@ small-to-medium instances.  Two solvers are provided:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Optional, Set, Tuple
+from typing import Hashable, Optional, Set, Tuple
 
 import networkx as nx
 import numpy as np

@@ -23,7 +23,7 @@ produces valid dominating sets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Set, Tuple
+from typing import Dict, Hashable, List, Set
 
 import networkx as nx
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Mapping, Union
+from typing import Mapping, Union
 
 __all__ = ["Broadcast", "Payload", "estimate_payload_bits", "word_size_bits"]
 

@@ -63,6 +63,9 @@ __all__ = [
     "solve_mds_forest",
     "solve_mds_unknown_degree",
     "solve_mds_unknown_arboricity",
+    "solve_with_algorithm",
+    "SOLVERS",
+    "resolve_solver",
 ]
 
 
@@ -207,3 +210,56 @@ def solve_mds_unknown_arboricity(
     )
     alpha = max(1, arboricity_upper_bound(graph))
     return _package(graph, result, guarantee=(2 * alpha + 1) * (2 + 3 * epsilon))
+
+
+def solve_with_algorithm(
+    graph: nx.Graph,
+    algorithm,
+    alpha: Optional[int] = None,
+    seed: int = 0,
+    engine: EngineSpec = None,
+    knows_max_degree: bool = True,
+    guarantee: Optional[float] = None,
+) -> DominatingSetResult:
+    """Run an arbitrary CONGEST algorithm and package the standard result.
+
+    This is the escape hatch behind the ``solve_*`` helpers: anything that
+    implements the simulator's algorithm protocol -- the paper's algorithms
+    with non-default parameters, the distributed baselines
+    (:mod:`repro.baselines`), or ablation variants -- can be executed and
+    verified through the same :class:`DominatingSetResult` pipeline the
+    experiment harness consumes.  ``guarantee`` is attached verbatim (pass
+    ``None`` for heuristics with no proven factor).
+    """
+    result = run_algorithm(
+        graph,
+        algorithm,
+        alpha=alpha,
+        seed=seed,
+        knows_max_degree=knows_max_degree,
+        engine=engine,
+    )
+    return _package(graph, result, guarantee=guarantee)
+
+
+#: Named registry of the paper's solver entry points, used by the scenario
+#: registry (:mod:`repro.orchestration.registry`) to reference solvers by
+#: name in declarative, hashable scenario specs.
+SOLVERS: Dict[str, Any] = {
+    "deterministic": solve_mds,
+    "weighted": solve_weighted_mds,
+    "randomized": solve_mds_randomized,
+    "general": solve_mds_general,
+    "forest": solve_mds_forest,
+    "unknown-degree": solve_mds_unknown_degree,
+    "unknown-arboricity": solve_mds_unknown_arboricity,
+}
+
+
+def resolve_solver(name: str):
+    """Return the ``solve_*`` function registered under ``name``."""
+    try:
+        return SOLVERS[name]
+    except KeyError:
+        known = ", ".join(sorted(SOLVERS))
+        raise KeyError(f"unknown solver {name!r}; known solvers: {known}") from None

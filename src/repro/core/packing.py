@@ -15,7 +15,7 @@ benchmark harness do.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Mapping
+from typing import Dict, Hashable, Mapping
 
 import networkx as nx
 

@@ -21,7 +21,7 @@ from typing import Dict, Hashable
 
 from repro.congest.algorithm import Outbox
 from repro.congest.node import NodeContext
-from repro.core.partial import PrimalDualBase, theorem11_lambda
+from repro.core.partial import PrimalDualBase
 
 __all__ = ["WeightedMDSAlgorithm", "select_cheapest_dominator"]
 

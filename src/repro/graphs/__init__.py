@@ -43,9 +43,11 @@ from repro.graphs.generators import (
     grid_graph,
     outerplanar_graph,
     planar_triangulation_graph,
+    powerlaw_cluster_graph,
     preferential_attachment_graph,
     random_bounded_arboricity_graph,
     random_forest,
+    random_geometric_graph,
     random_tree,
     standard_test_suite,
     star_of_cliques,
@@ -90,9 +92,11 @@ __all__ = [
     "grid_graph",
     "outerplanar_graph",
     "planar_triangulation_graph",
+    "powerlaw_cluster_graph",
     "preferential_attachment_graph",
     "random_bounded_arboricity_graph",
     "random_forest",
+    "random_geometric_graph",
     "random_tree",
     "standard_test_suite",
     "star_of_cliques",

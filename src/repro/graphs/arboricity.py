@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from fractions import Fraction
-from typing import Dict, Iterable, List, Tuple
+from typing import List, Tuple
 
 import networkx as nx
 

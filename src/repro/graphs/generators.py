@@ -15,12 +15,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 import networkx as nx
 
 __all__ = [
     "GraphInstance",
+    "STANDARD_SCALES",
     "random_tree",
     "random_forest",
     "caterpillar_graph",
@@ -30,6 +31,8 @@ __all__ = [
     "forest_union_graph",
     "random_bounded_arboricity_graph",
     "preferential_attachment_graph",
+    "powerlaw_cluster_graph",
+    "random_geometric_graph",
     "star_of_cliques",
     "standard_test_suite",
 ]
@@ -300,6 +303,46 @@ def preferential_attachment_graph(n: int, attachment: int = 3, seed: int = 0) ->
     return nx.barabasi_albert_graph(n, attachment, seed=seed)
 
 
+def powerlaw_cluster_graph(n: int, attachment: int = 3, triangle_p: float = 0.3, seed: int = 0) -> nx.Graph:
+    """Return a Holme--Kim power-law cluster graph (heavy tail + triangles).
+
+    Like preferential attachment, each arriving node brings at most
+    ``attachment`` edges, so the arrival orientation certifies degeneracy (and
+    hence arboricity) at most ``attachment``; the extra triad-closure step
+    raises the clustering coefficient, modelling community structure in
+    social networks without losing the bounded-arboricity regime.
+    """
+    if n <= attachment:
+        return random_tree(n, seed=seed)
+    return nx.powerlaw_cluster_graph(n, attachment, triangle_p, seed=seed)
+
+
+def random_geometric_graph(n: int, radius: float, seed: int = 0) -> nx.Graph:
+    """Return a unit-square random geometric (unit-disk-like) graph.
+
+    Devices scattered uniformly in the unit square are connected when within
+    ``radius`` of each other -- the standard model for ad-hoc wireless
+    deployments.  No a-priori arboricity certificate exists, so callers should
+    derive ``alpha`` from :func:`repro.graphs.arboricity.arboricity_upper_bound`;
+    for laptop-scale ``n * radius^2`` the degeneracy stays small.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    rng = random.Random(seed)
+    positions = {index: (rng.random(), rng.random()) for index in range(n)}
+    graph = _empty_graph(n)
+    for node, position in positions.items():
+        graph.nodes[node]["pos"] = position
+    for u in range(n):
+        ux, uy = positions[u]
+        for v in range(u + 1, n):
+            dx = ux - positions[v][0]
+            dy = uy - positions[v][1]
+            if dx * dx + dy * dy <= radius * radius:
+                graph.add_edge(u, v)
+    return graph
+
+
 def star_of_cliques(clique_count: int, clique_size: int) -> nx.Graph:
     """Return a hub node attached to ``clique_count`` disjoint cliques.
 
@@ -323,6 +366,16 @@ def star_of_cliques(clique_count: int, clique_size: int) -> nx.Graph:
     return graph
 
 
+#: Per-scale generator sizes for :func:`standard_test_suite`; shared with the
+#: scenario registry (:mod:`repro.orchestration.scenarios`) so the two stay
+#: in sync.
+STANDARD_SCALES = {
+    "tiny": {"tree": 30, "planar": 40, "forest_union": 40, "ba": 50, "grid": (5, 6), "outer": 30},
+    "small": {"tree": 120, "planar": 150, "forest_union": 150, "ba": 200, "grid": (10, 12), "outer": 100},
+    "medium": {"tree": 600, "planar": 700, "forest_union": 600, "ba": 1000, "grid": (22, 25), "outer": 400},
+}
+
+
 def standard_test_suite(
     scale: str = "small", seed: int = 0
 ) -> List[GraphInstance]:
@@ -336,14 +389,9 @@ def standard_test_suite(
     seed:
         Seed forwarded to every generator.
     """
-    sizes = {
-        "tiny": {"tree": 30, "planar": 40, "forest_union": 40, "ba": 50, "grid": (5, 6), "outer": 30},
-        "small": {"tree": 120, "planar": 150, "forest_union": 150, "ba": 200, "grid": (10, 12), "outer": 100},
-        "medium": {"tree": 600, "planar": 700, "forest_union": 600, "ba": 1000, "grid": (22, 25), "outer": 400},
-    }
-    if scale not in sizes:
+    if scale not in STANDARD_SCALES:
         raise ValueError(f"unknown scale {scale!r}; expected tiny/small/medium")
-    size = sizes[scale]
+    size = STANDARD_SCALES[scale]
     rows, cols = size["grid"]
     instances = [
         GraphInstance(

@@ -20,7 +20,6 @@ An *orientation* is represented as a ``dict`` mapping each undirected edge
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Hashable, List, Tuple
 
 import networkx as nx

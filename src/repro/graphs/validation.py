@@ -8,7 +8,7 @@ they can serve as oracles in property-based tests.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, Sequence, Set, Tuple
 
 import networkx as nx
 

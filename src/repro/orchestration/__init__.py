@@ -1,0 +1,57 @@
+"""Parallel experiment orchestration: scenario registry, cached sweeps, CLI.
+
+This subpackage is the scalable successor of the hand-rolled benchmark
+boilerplate:
+
+* :mod:`repro.orchestration.registry`  -- declarative, hashable scenario
+  specs (graph families x solver configs) and the process-wide registry;
+* :mod:`repro.orchestration.scenarios` -- the built-in catalogue: every
+  E1-E11 benchmark workload, every example-script workload, extra graph
+  families, and the CI smoke cells;
+* :mod:`repro.orchestration.cache`     -- content-addressed on-disk result
+  cache keyed by (spec hash, seed, engine, code version);
+* :mod:`repro.orchestration.runner`    -- multiprocess, cache-aware sweep
+  runner with deterministic (byte-identical to serial) output;
+* :mod:`repro.orchestration.cli`       -- the ``python -m repro`` command
+  (``list`` / ``run`` / ``sweep`` / ``report``).
+
+Importing this package registers the built-in scenarios.
+"""
+
+from repro.orchestration.cache import ResultCache, cache_key, code_version, records_to_bytes
+from repro.orchestration.registry import (
+    GraphSpec,
+    ScenarioSpec,
+    SolverSpec,
+    WeightSpec,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_names,
+    unregister_scenario,
+)
+from repro.orchestration.runner import CellResult, SweepCell, SweepRunner, expand_cells
+from repro.orchestration.scenarios import register_builtin_scenarios
+
+register_builtin_scenarios()
+
+__all__ = [
+    "GraphSpec",
+    "WeightSpec",
+    "SolverSpec",
+    "ScenarioSpec",
+    "register_scenario",
+    "unregister_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_names",
+    "register_builtin_scenarios",
+    "ResultCache",
+    "cache_key",
+    "code_version",
+    "records_to_bytes",
+    "SweepCell",
+    "CellResult",
+    "SweepRunner",
+    "expand_cells",
+]

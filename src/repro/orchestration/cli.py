@@ -1,0 +1,317 @@
+"""The ``python -m repro`` command line.
+
+Four subcommands replace the copy-pasted benchmark boilerplate:
+
+``list``
+    Show the scenario registry (name, experiment, sizes, tags, spec hash).
+``run``
+    Run one scenario at one seed and print its paper-claim-vs-measured
+    table (through the cache unless ``--no-cache``).
+``sweep``
+    Run a grid of (scenario, seed, engine) cells through the parallel,
+    cache-aware runner; ``--smoke`` is the CI entry point -- it runs the
+    smoke-tagged scenarios under *both* engines and byte-compares the
+    record streams.
+``report``
+    Render tables for already-cached cells without running anything.
+
+Exit codes: 0 on success, 1 when any record violates its guarantee (or an
+engine-parity check fails), 2 on usage errors such as unknown scenarios or
+missing cache entries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.experiments import ExperimentRecord, aggregate_records
+from repro.analysis.tables import render_records, render_summary
+from repro.orchestration.cache import ResultCache, cache_key, code_version, records_to_bytes
+from repro.orchestration.registry import get_scenario, list_scenarios
+from repro.orchestration.runner import (
+    DEFAULT_SWEEP_ENGINE,
+    CellResult,
+    SweepCell,
+    SweepRunner,
+    expand_cells,
+)
+from repro.orchestration.scenarios import register_builtin_scenarios
+
+__all__ = ["main", "build_parser"]
+
+_ENGINES = ("batched", "reference")
+
+
+class _UsageError(Exception):
+    """A user-facing argument problem (unknown scenario name, ...)."""
+
+
+def _resolve_scenario(name: str):
+    """`get_scenario` with unknown names turned into usage errors.
+
+    Only name resolution is downgraded this way -- an unexpected exception
+    anywhere else in a handler must surface as a traceback, not be dressed
+    up as a usage error.
+    """
+    try:
+        return get_scenario(name)
+    except KeyError as error:
+        raise _UsageError(error.args[0]) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Experiment orchestration for the Dory-Ghaffari-Ilchi reproduction: "
+                    "scenario registry, cached parallel sweeps, result tables.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="show the scenario registry")
+    list_parser.add_argument("--tag", help="only scenarios carrying this tag")
+    list_parser.add_argument(
+        "--verbose", action="store_true", help="include the one-line description"
+    )
+
+    run_parser = subparsers.add_parser("run", help="run one scenario and print its tables")
+    run_parser.add_argument("scenario", help="registered scenario name")
+    run_parser.add_argument("--seed", type=int, default=0, help="sweep cell seed (default 0)")
+    _add_cache_arguments(run_parser)
+    run_parser.add_argument(
+        "--engine", choices=_ENGINES, default=DEFAULT_SWEEP_ENGINE,
+        help="simulation engine (default: batched)",
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a scenario x seed x engine grid in parallel, through the cache"
+    )
+    sweep_parser.add_argument("scenarios", nargs="*", help="scenario names (empty with --tag/--all/--smoke)")
+    sweep_parser.add_argument("--tag", help="add every scenario carrying this tag")
+    sweep_parser.add_argument("--all", action="store_true", help="add every registered scenario")
+    sweep_parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI smoke mode: smoke-tagged scenarios, both engines, cross-engine parity check",
+    )
+    sweep_parser.add_argument(
+        "--seeds", type=int, default=1, metavar="N", help="run seeds 0..N-1 (default 1)"
+    )
+    sweep_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (default 1 = serial)"
+    )
+    sweep_parser.add_argument(
+        "--engine", choices=_ENGINES + ("both",), default=DEFAULT_SWEEP_ENGINE,
+        help="simulation engine, or 'both' to run every cell under each engine",
+    )
+    sweep_parser.add_argument(
+        "--report", action="store_true", help="print the full record tables, not just totals"
+    )
+    _add_cache_arguments(sweep_parser)
+
+    report_parser = subparsers.add_parser(
+        "report", help="render tables for cached cells without running anything"
+    )
+    report_parser.add_argument("scenarios", nargs="+", help="scenario names")
+    report_parser.add_argument("--seed", type=int, default=0, help="cell seed (default 0)")
+    report_parser.add_argument(
+        "--engine", choices=_ENGINES, default=DEFAULT_SWEEP_ENGINE,
+        help="simulation engine the cells were run under",
+    )
+    report_parser.add_argument("--cache-dir", default=None, help="cache directory")
+    return parser
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="recompute everything, write nothing"
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    register_builtin_scenarios()
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    handlers = {
+        "list": _command_list,
+        "run": _command_run,
+        "sweep": _command_sweep,
+        "report": _command_report,
+    }
+    try:
+        return handlers[arguments.command](arguments)
+    except _UsageError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+
+def _command_list(arguments: argparse.Namespace) -> int:
+    specs = list_scenarios(tag=arguments.tag)
+    if not specs:
+        print("(no scenarios match)" if arguments.tag else "(registry is empty)")
+        return 0
+    width = max(len(spec.name) for spec in specs)
+    print(f"{len(specs)} scenarios (code version {code_version()}):")
+    for spec in specs:
+        tags = ",".join(spec.tags) or "-"
+        line = (
+            f"  {spec.name.ljust(width)}  {spec.experiment:<13} "
+            f"{len(spec.graphs):>2} graphs x {len(spec.solvers)} solvers  "
+            f"[{tags}]  {spec.spec_hash()}"
+        )
+        print(line)
+        if arguments.verbose:
+            print(f"  {' ' * width}  {spec.description}")
+    return 0
+
+
+def _make_cache(arguments: argparse.Namespace) -> Optional[ResultCache]:
+    if getattr(arguments, "no_cache", False):
+        return None
+    return ResultCache(arguments.cache_dir)
+
+
+def _print_cell_tables(result: CellResult) -> None:
+    spec = get_scenario(result.scenario)
+    origin = "cache" if result.from_cache else f"{result.duration_s:.2f}s"
+    print(
+        f"\n== {result.scenario} (experiment {spec.experiment}, seed {result.seed}, "
+        f"engine {result.engine}, {origin}) =="
+    )
+    print(render_records(result.records))
+    print()
+    print(render_summary(aggregate_records(result.records)))
+
+
+def _violations(records: Sequence[ExperimentRecord]) -> int:
+    return sum(
+        1
+        for record in records
+        if not record.is_dominating or record.within_guarantee is False
+    )
+
+
+def _command_run(arguments: argparse.Namespace) -> int:
+    _resolve_scenario(arguments.scenario)  # fail fast on unknown names
+    runner = SweepRunner(cache=_make_cache(arguments), workers=1)
+    (result,) = runner.sweep([arguments.scenario], seeds=[arguments.seed],
+                             engines=[arguments.engine])
+    _print_cell_tables(result)
+    return 1 if _violations(result.records) else 0
+
+
+def _select_scenarios(arguments: argparse.Namespace) -> List[str]:
+    names: List[str] = list(arguments.scenarios)
+    if arguments.smoke:
+        names.extend(spec.name for spec in list_scenarios(tag="smoke"))
+    if arguments.tag:
+        names.extend(spec.name for spec in list_scenarios(tag=arguments.tag))
+    if arguments.all:
+        names.extend(spec.name for spec in list_scenarios())
+    unique: List[str] = []
+    for name in names:
+        _resolve_scenario(name)  # fail fast on unknown names
+        if name not in unique:
+            unique.append(name)
+    return unique
+
+
+def _command_sweep(arguments: argparse.Namespace) -> int:
+    names = _select_scenarios(arguments)
+    if not names:
+        print("error: no scenarios selected (give names, --tag, --all or --smoke)",
+              file=sys.stderr)
+        return 2
+    if arguments.smoke or arguments.engine == "both":
+        engines: Sequence[str] = _ENGINES
+    else:
+        engines = (arguments.engine,)
+    seeds = list(range(max(1, arguments.seeds)))
+    cells = expand_cells(names, seeds, engines)
+    cache = _make_cache(arguments)
+    runner = SweepRunner(cache=cache, workers=max(1, arguments.workers))
+
+    results: List[CellResult] = []
+    total_violations = 0
+    for result in runner.run_cells(cells):
+        results.append(result)
+        violations = _violations(result.records)
+        total_violations += violations
+        origin = "cache " if result.from_cache else f"{result.duration_s:5.2f}s"
+        status = "" if violations == 0 else f"  VIOLATIONS={violations}"
+        print(
+            f"[{origin}] {result.scenario} seed={result.seed} engine={result.engine} "
+            f"{len(result.records)} records{status}"
+        )
+
+    parity_failures = 0
+    if len(engines) > 1:
+        parity_failures = _check_engine_parity(results)
+
+    cached = sum(1 for result in results if result.from_cache)
+    print(
+        f"\n{len(results)} cells, {cached} from cache "
+        f"({100.0 * cached / len(results):.0f}%), "
+        f"{sum(len(result.records) for result in results)} records, "
+        f"{total_violations} violations"
+    )
+    if cache is not None:
+        print(f"cache: {cache.root} ({cache.entry_count()} entries)")
+    if arguments.report:
+        for result in results:
+            _print_cell_tables(result)
+    return 1 if (total_violations or parity_failures) else 0
+
+
+def _check_engine_parity(results: Sequence[CellResult]) -> int:
+    """Byte-compare record streams across engines for each (scenario, seed)."""
+    grouped: Dict[tuple, Dict[str, bytes]] = {}
+    for result in results:
+        grouped.setdefault((result.scenario, result.seed), {})[result.engine] = (
+            records_to_bytes(result.records)
+        )
+    failures = 0
+    for (scenario, seed), by_engine in sorted(grouped.items()):
+        if len(by_engine) < 2:
+            continue
+        reference = list(by_engine.values())[0]
+        if all(blob == reference for blob in by_engine.values()):
+            print(f"parity OK: {scenario} seed={seed} ({', '.join(sorted(by_engine))})")
+        else:
+            failures += 1
+            print(f"parity FAILED: {scenario} seed={seed}", file=sys.stderr)
+    return failures
+
+
+def _command_report(arguments: argparse.Namespace) -> int:
+    cache = ResultCache(arguments.cache_dir)
+    missing = []
+    for name in arguments.scenarios:
+        spec = _resolve_scenario(name)
+        key = cache_key(spec.spec_hash(), arguments.seed, arguments.engine)
+        records = cache.get(key)
+        if records is None:
+            missing.append(name)
+            continue
+        result = CellResult(
+            cell=SweepCell(scenario=name, seed=arguments.seed, engine=arguments.engine),
+            records=records,
+            from_cache=True,
+            duration_s=0.0,
+            key=key,
+            spec_hash=spec.spec_hash(),
+        )
+        _print_cell_tables(result)
+    if missing:
+        print(
+            "error: no cached results for: " + ", ".join(missing)
+            + f" (seed {arguments.seed}, engine {arguments.engine}, cache {cache.root}); "
+            "run `python -m repro sweep` first",
+            file=sys.stderr,
+        )
+        return 2
+    return 0

@@ -1,0 +1,210 @@
+"""Parallel, cache-aware sweep runner.
+
+A *sweep* is a grid of cells, one per (scenario, seed, engine) triple.  The
+runner:
+
+1. resolves each cell's content address (:func:`repro.orchestration.cache.cache_key`)
+   and serves it from the :class:`~repro.orchestration.cache.ResultCache`
+   when possible;
+2. shards the remaining cells across worker processes with
+   :class:`concurrent.futures.ProcessPoolExecutor` (``workers=1`` runs them
+   inline -- same code path, no pool);
+3. streams :class:`CellResult` objects back *in submission order* as cells
+   finish, writing fresh results into the cache as they arrive.
+
+Determinism is a hard guarantee, not a hope: a cell is re-built from nothing
+but ``(scenario name, seed, engine)``, every random choice inside the
+algorithms derives from the cell seed, and records cross the process
+boundary through the same canonical dict form the cache uses.  A parallel
+sweep therefore produces records byte-identical to a serial run of the same
+cells -- ``tests/orchestration/test_runner.py`` enforces exactly that.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.experiments import ExperimentRecord
+from repro.orchestration.cache import ResultCache, cache_key, record_from_dict, record_to_dict
+
+__all__ = ["SweepCell", "CellResult", "SweepRunner", "expand_cells"]
+
+#: Engine used when the caller does not pick one: the vectorized fast path
+#: (observationally identical to the reference engine; see repro.congest.engine).
+DEFAULT_SWEEP_ENGINE = "batched"
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One unit of sweep work: a registered scenario at one seed and engine."""
+
+    scenario: str
+    seed: int
+    engine: str = DEFAULT_SWEEP_ENGINE
+
+
+@dataclass
+class CellResult:
+    """The outcome of one cell, cached or freshly computed."""
+
+    cell: SweepCell
+    records: List[ExperimentRecord]
+    from_cache: bool
+    duration_s: float
+    key: str
+    spec_hash: str = ""
+
+    @property
+    def scenario(self) -> str:
+        return self.cell.scenario
+
+    @property
+    def seed(self) -> int:
+        return self.cell.seed
+
+    @property
+    def engine(self) -> str:
+        return self.cell.engine
+
+
+def expand_cells(
+    scenarios: Iterable[str],
+    seeds: Sequence[int],
+    engines: Optional[Sequence[str]] = None,
+) -> List[SweepCell]:
+    """The cross product scenario x seed x engine, in deterministic order."""
+    engine_list = list(engines) if engines else [DEFAULT_SWEEP_ENGINE]
+    return [
+        SweepCell(scenario=name, seed=seed, engine=engine)
+        for name in scenarios
+        for seed in seeds
+        for engine in engine_list
+    ]
+
+
+def _execute_cell(spec, seed: int, engine: str) -> List[Dict[str, object]]:
+    """Worker entry point: run one cell of an already-resolved scenario.
+
+    Runs in a worker process (or inline for serial sweeps).  The
+    :class:`~repro.orchestration.registry.ScenarioSpec` itself is shipped to
+    the worker -- specs are plain picklable dataclasses -- so workers never
+    consult the registry and user-registered scenarios work under every
+    multiprocessing start method (fork *and* spawn).  Returns records in
+    canonical dict form: cheap to pickle, and identical whichever side of
+    the process boundary produced them.
+    """
+    records = spec.run(seed=seed, engine=engine)
+    return [record_to_dict(record) for record in records]
+
+
+@dataclass
+class SweepRunner:
+    """Runs sweep cells through the cache and a process pool.
+
+    Parameters
+    ----------
+    cache:
+        The result cache; ``None`` disables caching entirely (every cell is
+        recomputed, nothing is written).
+    workers:
+        Worker process count.  ``1`` executes inline in this process.
+    """
+
+    cache: Optional[ResultCache] = None
+    workers: int = 1
+    _keys: Dict[SweepCell, Tuple[str, str]] = field(default_factory=dict, repr=False)
+    _specs: Dict[str, object] = field(default_factory=dict, repr=False)
+
+    def _spec(self, cell: SweepCell):
+        if cell.scenario not in self._specs:
+            from repro.orchestration.registry import get_scenario
+
+            self._specs[cell.scenario] = get_scenario(cell.scenario)
+        return self._specs[cell.scenario]
+
+    def _cell_key(self, cell: SweepCell) -> Tuple[str, str]:
+        if cell not in self._keys:
+            spec_hash = self._spec(cell).spec_hash()
+            self._keys[cell] = (cache_key(spec_hash, cell.seed, cell.engine), spec_hash)
+        return self._keys[cell]
+
+    def run_cells(self, cells: Sequence[SweepCell]) -> Iterator[CellResult]:
+        """Yield one :class:`CellResult` per cell, in the order given.
+
+        Cache hits are yielded as soon as they are reached; misses are
+        submitted to the pool upfront so they compute concurrently while
+        earlier cells stream out.
+        """
+        lookups: Dict[SweepCell, Optional[List[ExperimentRecord]]] = {}
+        for cell in cells:
+            key, _ = self._cell_key(cell)
+            lookups[cell] = self.cache.get(key) if self.cache is not None else None
+
+        misses = [cell for cell in cells if lookups[cell] is None]
+        if self.workers > 1 and len(misses) > 1:
+            pool = ProcessPoolExecutor(max_workers=min(self.workers, len(misses)))
+        else:
+            pool = None
+        try:
+            futures = {}
+            if pool is not None:
+                for cell in misses:
+                    futures[cell] = pool.submit(
+                        _execute_cell, self._spec(cell), cell.seed, cell.engine
+                    )
+            for cell in cells:
+                key, spec_hash = self._cell_key(cell)
+                cached = lookups[cell]
+                if cached is not None:
+                    yield CellResult(
+                        cell=cell,
+                        records=cached,
+                        from_cache=True,
+                        duration_s=0.0,
+                        key=key,
+                        spec_hash=spec_hash,
+                    )
+                    continue
+                start = time.perf_counter()
+                if cell in futures:
+                    # Time-to-availability: once the pool overlaps work, the
+                    # wait observed here is the only meaningful per-cell cost.
+                    payload = futures[cell].result()
+                else:
+                    payload = _execute_cell(self._spec(cell), cell.seed, cell.engine)
+                duration = time.perf_counter() - start
+                records = [record_from_dict(entry) for entry in payload]
+                if self.cache is not None:
+                    self.cache.put(
+                        key,
+                        records,
+                        meta={
+                            "scenario": cell.scenario,
+                            "seed": cell.seed,
+                            "engine": cell.engine,
+                            "spec_hash": spec_hash,
+                        },
+                    )
+                yield CellResult(
+                    cell=cell,
+                    records=records,
+                    from_cache=False,
+                    duration_s=duration,
+                    key=key,
+                    spec_hash=spec_hash,
+                )
+        finally:
+            if pool is not None:
+                pool.shutdown()
+
+    def sweep(
+        self,
+        scenarios: Iterable[str],
+        seeds: Sequence[int] = (0,),
+        engines: Optional[Sequence[str]] = None,
+    ) -> List[CellResult]:
+        """Run the full scenario x seed x engine grid and return all results."""
+        return list(self.run_cells(expand_cells(scenarios, seeds, engines)))

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import networkx as nx
 import pytest
 
 from repro import solve_mds, solve_weighted_mds
@@ -17,7 +16,6 @@ from repro.analysis.tables import format_table, render_records, render_summary
 from repro.analysis.verify import approximation_ratio, verify_run
 from repro.baselines.exact import exact_minimum_dominating_set
 from repro.graphs.generators import GraphInstance, forest_union_graph, random_tree
-from repro.graphs.weights import assign_random_weights
 
 
 class TestOptEstimation:

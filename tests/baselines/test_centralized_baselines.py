@@ -11,12 +11,9 @@ from repro.baselines.bansal_umboh import bansal_umboh_dominating_set
 from repro.baselines.exact import exact_minimum_weight_dominating_set
 from repro.baselines.greedy import greedy_dominating_set
 from repro.baselines.kmw import kmw_lp_rounding_dominating_set
-from repro.baselines.lp import lp_dominating_set_lower_bound
 from repro.baselines.sun import sun_reverse_delete_dominating_set
 from repro.graphs.arboricity import arboricity
-from repro.graphs.generators import forest_union_graph, preferential_attachment_graph, random_tree
 from repro.graphs.validation import is_dominating_set
-from repro.graphs.weights import assign_random_weights
 
 
 class TestGreedy:

@@ -17,7 +17,7 @@ from repro.baselines.lp import (
     fractional_vertex_cover_lp,
     lp_dominating_set_lower_bound,
 )
-from repro.graphs.generators import random_tree, star_of_cliques
+from repro.graphs.generators import random_tree
 from repro.graphs.validation import is_dominating_set
 from repro.graphs.weights import assign_random_weights
 

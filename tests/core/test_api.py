@@ -15,8 +15,7 @@ from repro import (
     solve_mds_unknown_degree,
     solve_weighted_mds,
 )
-from repro.graphs.generators import forest_union_graph, random_tree
-from repro.graphs.weights import assign_random_weights
+from repro.graphs.generators import random_tree
 
 
 class TestSolveMds:

@@ -23,7 +23,7 @@ from repro.core.partial import (
     theorem11_lambda,
 )
 from repro.graphs.validation import closed_neighborhood
-from repro.graphs.weights import assign_random_weights, node_weight
+from repro.graphs.weights import node_weight
 
 
 class TestIterationCount:

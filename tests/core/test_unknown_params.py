@@ -10,9 +10,8 @@ from repro.baselines.exact import exact_minimum_weight_dominating_set
 from repro.congest.simulator import run_algorithm
 from repro.core.unknown_params import UnknownArboricityMDSAlgorithm, UnknownDegreeMDSAlgorithm
 from repro.graphs.arboricity import arboricity
-from repro.graphs.generators import forest_union_graph, random_tree
+from repro.graphs.generators import random_tree
 from repro.graphs.validation import dominating_set_weight, is_dominating_set
-from repro.graphs.weights import assign_random_weights
 
 
 class TestUnknownDegree:

@@ -11,9 +11,8 @@ from repro.baselines.exact import exact_minimum_dominating_set
 from repro.congest.simulator import run_algorithm
 from repro.core.packing import is_feasible_packing, packing_from_outputs, packing_value_sum
 from repro.core.unweighted import UnweightedMDSAlgorithm
-from repro.graphs.generators import forest_union_graph, random_tree, star_of_cliques
+from repro.graphs.generators import star_of_cliques
 from repro.graphs.validation import is_dominating_set
-from repro.graphs.weights import assign_random_weights
 
 
 def _solve(graph, alpha, epsilon=0.2, seed=0):

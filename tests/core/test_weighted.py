@@ -8,7 +8,7 @@ import pytest
 from repro.baselines.exact import exact_minimum_weight_dominating_set
 from repro.congest.simulator import run_algorithm
 from repro.core.packing import is_feasible_packing, packing_from_outputs, packing_value_sum
-from repro.core.weighted import WeightedMDSAlgorithm, select_cheapest_dominator
+from repro.core.weighted import WeightedMDSAlgorithm
 from repro.graphs.generators import forest_union_graph, random_tree
 from repro.graphs.validation import dominating_set_weight, is_dominating_set
 from repro.graphs.weights import (

@@ -6,7 +6,6 @@ import networkx as nx
 import pytest
 
 from repro.graphs.arboricity import arboricity, degeneracy, pseudoarboricity
-from repro.graphs.generators import forest_union_graph, grid_graph, random_tree
 from repro.graphs.orientation import (
     barenboim_elkin_orientation,
     degeneracy_orientation,

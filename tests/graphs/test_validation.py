@@ -5,7 +5,6 @@ from __future__ import annotations
 import networkx as nx
 import pytest
 
-from repro.graphs.generators import random_tree
 from repro.graphs.orientation import degeneracy_orientation, spanning_forest_partition
 from repro.graphs.validation import (
     closed_neighborhood,

@@ -32,7 +32,7 @@ from repro.graphs.generators import (
     random_tree,
     standard_test_suite,
 )
-from repro.graphs.validation import dominating_set_weight, is_dominating_set
+from repro.graphs.validation import is_dominating_set
 from repro.graphs.weights import assign_random_weights
 
 

@@ -9,7 +9,6 @@ the approximation guarantee is never violated.
 from __future__ import annotations
 
 import networkx as nx
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

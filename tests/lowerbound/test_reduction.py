@@ -9,7 +9,6 @@ from repro.baselines.exact import exact_minimum_dominating_set
 from repro.baselines.greedy import greedy_dominating_set
 from repro.baselines.lp import fractional_vertex_cover_lp
 from repro.graphs.arboricity import arboricity
-from repro.graphs.validation import is_dominating_set
 from repro.lowerbound.kmw_graph import bipartite_regular_base_graph, layered_cluster_tree_graph
 from repro.lowerbound.reduction import (
     build_lower_bound_graph,

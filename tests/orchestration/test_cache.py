@@ -1,0 +1,128 @@
+"""Result cache: round-trips, hits/misses, and invalidation semantics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.orchestration import GraphSpec, ScenarioSpec, SolverSpec
+from repro.orchestration.cache import (
+    ResultCache,
+    cache_key,
+    code_version,
+    record_from_dict,
+    record_to_dict,
+    records_to_bytes,
+)
+
+
+@pytest.fixture(scope="module")
+def sample_records():
+    scenario = ScenarioSpec(
+        name="test/cache-sample",
+        experiment="TEST",
+        description="",
+        graphs=[GraphSpec("random-tree", {"n": 16}, name="tree-16", alpha=1)],
+        solvers=[
+            SolverSpec("deterministic", label="det", params={"epsilon": 0.3}),
+            SolverSpec("forest", label="trivial"),
+        ],
+    )
+    return scenario.run(seed=0)
+
+
+class TestSerialization:
+    def test_record_dict_roundtrip(self, sample_records):
+        for record in sample_records:
+            clone = record_from_dict(record_to_dict(record))
+            assert clone == record
+
+    def test_json_roundtrip_is_exact(self, sample_records):
+        # Floats must survive JSON exactly for the byte-parity guarantees.
+        payload = json.loads(json.dumps([record_to_dict(r) for r in sample_records]))
+        clones = [record_from_dict(entry) for entry in payload]
+        assert records_to_bytes(clones) == records_to_bytes(sample_records)
+
+    def test_records_to_bytes_detects_differences(self, sample_records):
+        mutated = [record_from_dict(record_to_dict(r)) for r in sample_records]
+        mutated[0].ratio += 1e-12
+        assert records_to_bytes(mutated) != records_to_bytes(sample_records)
+
+
+class TestCacheKey:
+    def test_key_is_stable(self):
+        assert cache_key("abc", 0, "batched") == cache_key("abc", 0, "batched")
+
+    def test_key_varies_with_every_coordinate(self):
+        base = cache_key("abc", 0, "batched", version="v1")
+        assert cache_key("abd", 0, "batched", version="v1") != base
+        assert cache_key("abc", 1, "batched", version="v1") != base
+        assert cache_key("abc", 0, "reference", version="v1") != base
+        assert cache_key("abc", 0, "batched", version="v2") != base
+
+    def test_code_version_is_stable_within_process(self):
+        assert code_version() == code_version()
+
+    def test_code_version_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CODE_VERSION", "pinned")
+        assert code_version() == "pinned"
+
+    def test_spec_change_moves_the_key(self):
+        spec_a = ScenarioSpec(
+            name="x", experiment="X", description="",
+            graphs=[GraphSpec("random-tree", {"n": 16})],
+            solvers=[SolverSpec("deterministic", params={"epsilon": 0.3})],
+        )
+        spec_b = ScenarioSpec(
+            name="x", experiment="X", description="",
+            graphs=[GraphSpec("random-tree", {"n": 17})],
+            solvers=[SolverSpec("deterministic", params={"epsilon": 0.3})],
+        )
+        assert cache_key(spec_a.spec_hash(), 0, "batched") != cache_key(
+            spec_b.spec_hash(), 0, "batched"
+        )
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path, sample_records):
+        cache = ResultCache(tmp_path / "cache")
+        key = cache_key("deadbeef", 0, "batched", version="v")
+        assert cache.get(key) is None
+        cache.put(key, sample_records)
+        assert key in cache
+        restored = cache.get(key)
+        assert restored == sample_records
+        assert records_to_bytes(restored) == records_to_bytes(sample_records)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.writes == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_meta_stored_alongside_records(self, tmp_path, sample_records):
+        cache = ResultCache(tmp_path)
+        key = cache_key("feedface", 3, "reference", version="v")
+        path = cache.put(key, sample_records, meta={"scenario": "test/cache-sample"})
+        payload = json.loads(path.read_text())
+        assert payload["meta"]["scenario"] == "test/cache-sample"
+        assert len(payload["records"]) == len(sample_records)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, sample_records):
+        cache = ResultCache(tmp_path)
+        key = cache_key("0badc0de", 0, "batched", version="v")
+        path = cache.put(key, sample_records)
+        path.write_text("{not json")
+        assert cache.get(key) is None
+        assert cache.stats.misses == 1
+
+    def test_entry_count_and_clear(self, tmp_path, sample_records):
+        cache = ResultCache(tmp_path)
+        for seed in range(3):
+            cache.put(cache_key("hash", seed, "batched", version="v"), sample_records)
+        assert cache.entry_count() == 3
+        assert cache.clear() == 3
+        assert cache.entry_count() == 0
+
+    def test_default_root_from_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        assert ResultCache().root == tmp_path / "env-cache"

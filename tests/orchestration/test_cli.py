@@ -1,0 +1,149 @@
+"""The ``python -m repro`` CLI: argument handling, exit codes, cache wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.orchestration.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestParser:
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_sweep_argument_defaults(self):
+        arguments = build_parser().parse_args(["sweep", "smoke/forest"])
+        assert arguments.scenarios == ["smoke/forest"]
+        assert arguments.seeds == 1
+        assert arguments.workers == 1
+        assert arguments.engine == "batched"
+        assert not arguments.smoke and not arguments.all and arguments.tag is None
+
+    def test_engine_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "smoke/forest", "--engine", "warp-drive"])
+        # 'both' is a sweep-only engine value.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "smoke/forest", "--engine", "both"])
+        arguments = build_parser().parse_args(["sweep", "x", "--engine", "both"])
+        assert arguments.engine == "both"
+
+
+class TestList:
+    def test_lists_registry(self, capsys):
+        code, out, _ = run_cli(capsys, "list")
+        assert code == 0
+        assert "E1/unweighted-eps" in out
+        assert "smoke/forest" in out
+
+    def test_tag_filter(self, capsys):
+        code, out, _ = run_cli(capsys, "list", "--tag", "smoke")
+        assert code == 0
+        assert "smoke/forest" in out
+        assert "E1/unweighted-eps" not in out
+
+    def test_unmatched_tag(self, capsys):
+        code, out, _ = run_cli(capsys, "list", "--tag", "no-such-tag")
+        assert code == 0
+        assert "no scenarios match" in out
+
+
+class TestRun:
+    def test_run_prints_tables(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "run", "smoke/forest", "--cache-dir", str(tmp_path)
+        )
+        assert code == 0
+        assert "smoke/forest" in out
+        assert "tree-36" in out
+        assert "mean_ratio" in out
+
+    def test_unknown_scenario_is_usage_error(self, capsys):
+        code, _, err = run_cli(capsys, "run", "no/such-scenario")
+        assert code == 2
+        assert "unknown scenario" in err
+
+
+class TestSweep:
+    def test_requires_a_selection(self, capsys):
+        code, _, err = run_cli(capsys, "sweep")
+        assert code == 2
+        assert "no scenarios selected" in err
+
+    def test_unknown_scenario_is_usage_error(self, capsys):
+        code, _, err = run_cli(capsys, "sweep", "no/such-scenario")
+        assert code == 2
+        assert "unknown scenario" in err
+
+    def test_smoke_checks_engine_parity_and_caches(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "sweep", "--smoke", "--workers", "2", "--cache-dir", str(tmp_path)
+        )
+        assert code == 0
+        assert "parity OK: smoke/forest" in out
+        assert "parity OK: smoke/mixed" in out
+        assert "0 from cache (0%)" in out
+
+        # Second invocation: >= 90% of cells served from cache (here: all).
+        code, out, _ = run_cli(capsys, "sweep", "--smoke", "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "4 from cache (100%)" in out
+
+    def test_seed_and_engine_grid(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "sweep", "smoke/forest", "--seeds", "2",
+            "--engine", "both", "--cache-dir", str(tmp_path),
+        )
+        assert code == 0
+        cell_lines = [
+            line for line in out.splitlines()
+            if line.startswith("[") and "smoke/forest seed=" in line
+        ]
+        assert len(cell_lines) == 4  # 2 seeds x 2 engines
+        assert "parity OK" in out
+
+    def test_no_cache_flag(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "sweep", "smoke/forest", "--no-cache", "--cache-dir", str(tmp_path)
+        )
+        assert code == 0
+        assert not list(tmp_path.iterdir())
+        code, out, _ = run_cli(
+            capsys, "sweep", "smoke/forest", "--no-cache", "--cache-dir", str(tmp_path)
+        )
+        assert "0 from cache" in out
+
+    def test_report_flag_prints_tables(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "sweep", "smoke/forest", "--report", "--cache-dir", str(tmp_path)
+        )
+        assert code == 0
+        assert "tree-36" in out
+
+
+class TestReport:
+    def test_missing_cache_entries_are_an_error(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "report", "smoke/forest", "--cache-dir", str(tmp_path)
+        )
+        assert code == 2
+        assert "no cached results" in err
+
+    def test_renders_cached_cells(self, capsys, tmp_path):
+        code, _, _ = run_cli(capsys, "sweep", "smoke/forest", "--cache-dir", str(tmp_path))
+        assert code == 0
+        code, out, _ = run_cli(capsys, "report", "smoke/forest", "--cache-dir", str(tmp_path))
+        assert code == 0
+        assert "tree-36" in out
+        assert "cache" in out

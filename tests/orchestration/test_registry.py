@@ -1,0 +1,232 @@
+"""Scenario registry: specs, hashing, building, and solver resolution."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.arboricity import arboricity_upper_bound
+from repro.graphs.generators import powerlaw_cluster_graph, random_geometric_graph
+from repro.orchestration import (
+    GraphSpec,
+    ScenarioSpec,
+    SolverSpec,
+    WeightSpec,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_names,
+    unregister_scenario,
+)
+
+
+def _tiny_scenario(name="test/tiny", epsilon=0.3):
+    return ScenarioSpec(
+        name=name,
+        experiment="TEST",
+        description="registry unit-test scenario",
+        graphs=[GraphSpec("random-tree", {"n": 14}, name="tree-14", alpha=1)],
+        solvers=[SolverSpec("deterministic", label="det", params={"epsilon": epsilon})],
+        tags=("test",),
+    )
+
+
+class TestGraphSpec:
+    def test_build_is_deterministic(self):
+        spec = GraphSpec("preferential-attachment", {"n": 30, "attachment": 3}, alpha=3)
+        first, second = spec.build(7), spec.build(7)
+        assert sorted(first.graph.edges()) == sorted(second.graph.edges())
+        assert first.alpha == 3
+        assert first.params["seed"] == 7
+
+    def test_cell_seed_varies_instance(self):
+        spec = GraphSpec("random-tree", {"n": 25}, alpha=1)
+        assert sorted(spec.build(0).graph.edges()) != sorted(spec.build(1).graph.edges())
+
+    def test_pinned_seed_ignores_cell_seed(self):
+        spec = GraphSpec("random-tree", {"n": 25}, alpha=1, seed=5)
+        assert sorted(spec.build(0).graph.edges()) == sorted(spec.build(99).graph.edges())
+        assert spec.build(0).params["seed"] == 5
+
+    def test_seed_offset_decorrelates_siblings(self):
+        base = GraphSpec("random-tree", {"n": 25}, alpha=1)
+        offset = GraphSpec("random-tree", {"n": 25}, alpha=1, seed_offset=1)
+        assert sorted(base.build(3).graph.edges()) != sorted(offset.build(3).graph.edges())
+        assert sorted(offset.build(3).graph.edges()) == sorted(base.build(4).graph.edges())
+
+    def test_pinned_graph_still_gets_per_cell_weights(self):
+        spec = GraphSpec(
+            "random-tree", {"n": 20}, alpha=1, seed=5,
+            weights=WeightSpec("random", {"low": 1, "high": 1000}),
+        )
+        def weights_of(cell_seed):
+            graph = spec.build(cell_seed).graph
+            return [graph.nodes[node]["weight"] for node in sorted(graph.nodes())]
+        # Same pinned graph, but the weight draw follows the cell seed.
+        assert sorted(spec.build(0).graph.edges()) == sorted(spec.build(1).graph.edges())
+        assert weights_of(0) != weights_of(1)
+        assert weights_of(0) == weights_of(0)
+
+    def test_weights_applied(self):
+        spec = GraphSpec(
+            "random-tree", {"n": 12}, alpha=1,
+            weights=WeightSpec("random", {"low": 2, "high": 9}, seed=1),
+        )
+        graph = spec.build(0).graph
+        values = {graph.nodes[node]["weight"] for node in graph.nodes()}
+        assert values and values <= set(range(2, 10))
+
+    def test_alpha_computed_when_unspecified(self):
+        spec = GraphSpec("grid", {"rows": 4, "cols": 5})
+        instance = spec.build(0)
+        assert instance.alpha >= 1
+        assert instance.alpha >= arboricity_upper_bound(instance.graph) or instance.alpha >= 1
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError, match="unknown graph family"):
+            GraphSpec("no-such-family").build(0)
+
+    def test_unknown_weight_scheme_raises(self):
+        spec = GraphSpec("random-tree", {"n": 5}, weights=WeightSpec("no-such-scheme"))
+        with pytest.raises(KeyError, match="unknown weight scheme"):
+            spec.build(0)
+
+
+class TestNewFamilies:
+    def test_powerlaw_cluster_certificate(self):
+        graph = powerlaw_cluster_graph(120, attachment=4, triangle_p=0.4, seed=3)
+        assert graph.number_of_nodes() == 120
+        # The arrival orientation certifies degeneracy <= attachment.
+        assert arboricity_upper_bound(graph) <= 4
+        assert nx.is_connected(graph)
+
+    def test_random_geometric_structure(self):
+        graph = random_geometric_graph(60, 0.2, seed=1)
+        assert sorted(graph.nodes()) == list(range(60))
+        other = random_geometric_graph(60, 0.2, seed=1)
+        assert sorted(graph.edges()) == sorted(other.edges())
+        # A larger radius can only add edges.
+        bigger = random_geometric_graph(60, 0.35, seed=1)
+        assert set(graph.edges()) <= {tuple(sorted(e)) for e in bigger.edges()} | set(
+            bigger.edges()
+        )
+
+
+class TestSolverSpec:
+    def test_display_label(self):
+        assert SolverSpec("deterministic").display_label == "deterministic"
+        assert SolverSpec("deterministic", label="x").display_label == "x"
+        spec = SolverSpec("randomized", params={"t": 2})
+        assert spec.display_label == "randomized(t=2)"
+
+    def test_unknown_solver_raises(self):
+        with pytest.raises(KeyError, match="unknown solver"):
+            SolverSpec("no-such-solver").make_solver(0, None)("ignored")
+
+    def test_solver_receives_instance_alpha(self):
+        spec = GraphSpec("forest-union", {"n": 30, "alpha": 2}, alpha=2)
+        instance = spec.build(0)
+        result = SolverSpec("deterministic", params={"epsilon": 0.3}).make_solver(0, None)(
+            instance
+        )
+        # Guarantee (2*alpha+1)(1+eps) proves alpha=2 reached the solver.
+        assert result.guarantee == pytest.approx(5 * 1.3)
+
+
+class TestScenarioSpec:
+    def test_spec_hash_stable_and_ignores_labels(self):
+        assert _tiny_scenario().spec_hash() == _tiny_scenario().spec_hash()
+        relabelled = _tiny_scenario()
+        relabelled.tags = ("other",)
+        relabelled.description = "different words"
+        assert relabelled.spec_hash() == _tiny_scenario().spec_hash()
+
+    def test_spec_hash_changes_on_spec_change(self):
+        assert _tiny_scenario(epsilon=0.3).spec_hash() != _tiny_scenario(epsilon=0.2).spec_hash()
+
+    def test_invalid_opt_mode_rejected(self):
+        with pytest.raises(ValueError, match="opt_mode"):
+            ScenarioSpec(name="x", experiment="X", description="", opt_mode="bogus")
+
+    def test_duplicate_solver_labels_rejected(self):
+        with pytest.raises(ValueError, match="duplicate solver labels"):
+            ScenarioSpec(
+                name="x", experiment="X", description="",
+                graphs=[GraphSpec("random-tree", {"n": 10}, alpha=1)],
+                solvers=[
+                    SolverSpec("randomized", params={"t": 2}, seed_offset=i)
+                    for i in range(3)
+                ],
+            )
+
+    def test_run_produces_verified_records(self):
+        records = _tiny_scenario().run(seed=0)
+        assert len(records) == 1
+        record = records[0]
+        assert record.experiment == "TEST"
+        assert record.instance == "tree-14"
+        assert record.is_dominating
+        assert record.params["solver_label"] == "det"
+        assert record.params["cell_seed"] == 0
+        assert record.params["epsilon"] == 0.3
+
+    def test_degree_opt_mode_never_reports_false_violations(self):
+        scenario = ScenarioSpec(
+            name="test/degree-opt",
+            experiment="TEST",
+            description="",
+            graphs=[GraphSpec("caterpillar", {"spine": 6, "legs_per_node": 4}, alpha=1)],
+            solvers=[SolverSpec("deterministic", params={"epsilon": 0.2})],
+            opt_mode="degree",
+        )
+        for record in scenario.run(seed=0):
+            assert record.opt_kind == "degree-lower-bound"
+            assert record.within_guarantee is not False
+
+
+class TestRegistry:
+    def test_register_get_unregister(self):
+        spec = _tiny_scenario("test/register-roundtrip")
+        try:
+            register_scenario(spec)
+            assert get_scenario("test/register-roundtrip") is spec
+            assert "test/register-roundtrip" in scenario_names(tag="test")
+        finally:
+            unregister_scenario("test/register-roundtrip")
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("test/register-roundtrip")
+
+    def test_duplicate_registration_rejected(self):
+        spec = _tiny_scenario("test/duplicate")
+        try:
+            register_scenario(spec)
+            with pytest.raises(ValueError, match="already registered"):
+                register_scenario(_tiny_scenario("test/duplicate"))
+            register_scenario(_tiny_scenario("test/duplicate", epsilon=0.2), replace=True)
+            assert get_scenario("test/duplicate").solvers[0].params["epsilon"] == 0.2
+        finally:
+            unregister_scenario("test/duplicate")
+
+
+class TestBuiltinCatalogue:
+    def test_every_experiment_and_example_is_registered(self):
+        names = set(scenario_names())
+        for experiment in [f"E{i}" for i in range(1, 12)]:
+            assert any(name.startswith(experiment + "/") for name in names), experiment
+        for example in ("quickstart", "planar-city", "social-influence", "adhoc-wireless"):
+            assert f"example/{example}" in names
+        for family in ("powerlaw-cluster", "random-geometric", "grid-scale"):
+            assert f"families/{family}" in names
+        assert len(list_scenarios(tag="smoke")) >= 2
+
+    def test_spec_hashes_are_unique(self):
+        hashes = [spec.spec_hash() for spec in list_scenarios()]
+        assert len(hashes) == len(set(hashes))
+
+    def test_smoke_scenarios_build(self):
+        for spec in list_scenarios(tag="smoke"):
+            instances = spec.build_instances(seed=0)
+            assert instances
+            for instance in instances:
+                assert instance.n > 0
+                assert instance.alpha >= 1
