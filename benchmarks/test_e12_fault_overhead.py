@@ -1,0 +1,118 @@
+"""E12 -- fault-injection overhead: AdversarialEngine vs plain BatchedEngine.
+
+The fault session re-routes every delivery through its in-flight mailbox (the
+structure that makes drops, whole-round latencies and crash windows
+expressible at all), so an adversarial run cannot be free -- but the *fault
+decisions* are NumPy masks over the CSR adjacency, so the overhead must stay
+a small constant factor rather than degenerating into a per-message Python
+loop.  Measured here at E9 scale, per configuration: wall time under the
+plain batched engine, under the adversarial wrapper with an *empty* plan
+(pure plumbing overhead, byte-identical results enforced), and under a real
+lossy/chaos plan (plumbing plus fault work, with the traffic it drops and
+delays reported alongside).
+
+The recorded table is ``benchmarks/results/E12_faults.txt``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro import solve_mds, solve_weighted_mds
+from repro.analysis.tables import format_table
+from repro.faults import FAULT_MODELS, AdversarialEngine, FaultPlan
+from repro.graphs.generators import grid_graph, preferential_attachment_graph
+from repro.graphs.weights import assign_random_weights
+
+#: Timing repetitions per (instance, engine); the minimum is reported.
+REPEATS = 3
+
+
+def _time_solver(solver, graph, engine):
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = solver(graph, engine=engine)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _measure(name, graph, solver, plan_name, plan):
+    plain_time, plain = _time_solver(solver, graph, "batched")
+    engine = AdversarialEngine(plan, inner="batched")
+    faulty_time, faulty = _time_solver(solver, graph, engine)
+    if plan.is_empty():
+        # The empty plan is pure plumbing: results must not move a bit.
+        assert faulty.outputs == plain.outputs, name
+        assert pickle.dumps(faulty.metrics) == pickle.dumps(plain.metrics), name
+    return {
+        "instance": name,
+        "plan": plan_name,
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+        "rounds": faulty.rounds,
+        "dropped": faulty.metrics.total_dropped_messages,
+        "delayed": faulty.metrics.total_delayed_messages,
+        "batched_s": round(plain_time, 4),
+        "adversarial_s": round(faulty_time, 4),
+        "overhead_x": round(faulty_time / plain_time, 2),
+    }
+
+
+def _run(bench_seed):
+    rows = []
+
+    grid = grid_graph(40, 40)
+
+    def grid_solver(g, engine):
+        return solve_mds(g, alpha=2, epsilon=0.2, engine=engine)
+
+    headline = preferential_attachment_graph(2500, attachment=32, seed=bench_seed)
+    assign_random_weights(headline, 1, 30, seed=11)
+
+    def headline_solver(g, engine):
+        return solve_weighted_mds(g, alpha=32, epsilon=0.2, engine=engine)
+
+    for name, graph, solver in (
+        ("E9 grid 40x40", grid, grid_solver),
+        ("E9-scale BA n=2500 deg~32", headline, headline_solver),
+    ):
+        rows.append(_measure(name, graph, solver, "empty", FaultPlan()))
+        rows.append(
+            _measure(
+                name, graph, solver, "lossy10",
+                FAULT_MODELS["lossy10"].materialize(graph, bench_seed),
+            )
+        )
+        rows.append(
+            _measure(
+                name, graph, solver, "chaos",
+                FAULT_MODELS["chaos"].materialize(graph, bench_seed),
+            )
+        )
+    return rows
+
+
+@pytest.mark.bench
+def test_e12_fault_overhead(benchmark, record_experiment, bench_seed):
+    rows = benchmark.pedantic(_run, args=(bench_seed,), rounds=1, iterations=1)
+
+    # The wrapper may cost a constant factor (delivery goes through the
+    # session's mailbox instead of the plain engine's lazy inboxes), but it
+    # must never explode into per-message costs: a generous ceiling guards
+    # against that regression while staying safe on noisy CI machines.
+    for row in rows:
+        assert row["overhead_x"] <= 12.0, row
+
+    # Fault work happened where a fault plan was active.
+    assert all(row["dropped"] > 0 for row in rows if row["plan"] != "empty")
+
+    record_experiment(
+        "E12_faults",
+        "AdversarialEngine overhead vs plain BatchedEngine at E9 scale",
+        format_table(rows),
+    )

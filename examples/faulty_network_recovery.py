@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Cluster-head election while the network misbehaves.
+
+The wireless deployment of ``adhoc_wireless_clustering.py``, stressed: nodes
+in one region brown out for a few rounds (crash-recover), every radio link
+drops a fraction of its messages, and stragglers deliver late.  The paper's
+algorithms were designed for a fault-free synchronous CONGEST network, so
+the interesting question is *degradation*: how much coverage and cost do
+they lose as conditions worsen, and how much traffic does the adversary
+eat?
+
+The example runs the deterministic algorithm on a geometric deployment
+graph under increasingly hostile fault regimes -- a seeded, declarative
+:class:`repro.faults.FaultSpec` materialised into a concrete plan per run --
+and reports coverage (fraction of devices dominated), cost, rounds, and the
+drop/delay volume from the extended run metrics.  The same regimes are
+registered as ``faults/*`` scenarios (``python -m repro list --tag faults``)
+and any scenario can be stressed from the CLI with ``--faults <model>``.
+"""
+
+from __future__ import annotations
+
+from repro import solve_weighted_mds
+from repro.analysis.tables import format_table
+from repro.faults import AdversarialEngine, FaultSpec
+from repro.graphs.arboricity import arboricity_upper_bound
+from repro.graphs.generators import random_geometric_graph
+from repro.graphs.validation import undominated_nodes
+from repro.graphs.weights import assign_degree_weights
+
+#: The fault regimes to sweep, from clean to hostile.  ``None`` entries in a
+#: spec mean crash-stop; here every crash recovers, modelling brown-outs.
+REGIMES = [
+    ("clean", FaultSpec()),
+    ("lossy 10%", FaultSpec(drop_probability=0.10)),
+    ("brown-out", FaultSpec(crash_fraction=0.20, crash_at=2, recover_after=4)),
+    ("stragglers", FaultSpec(latency_max=2)),
+    (
+        "all at once",
+        FaultSpec(
+            crash_fraction=0.20,
+            crash_at=2,
+            recover_after=4,
+            drop_probability=0.10,
+            latency_max=2,
+        ),
+    ),
+]
+
+
+def main() -> None:
+    graph = random_geometric_graph(200, radius=0.12, seed=2)
+    assign_degree_weights(graph, base=3)
+    alpha = max(1, arboricity_upper_bound(graph))
+
+    rows = []
+    for label, spec in REGIMES:
+        plan = spec.materialize(graph, cell_seed=0)
+        engine = AdversarialEngine(plan, inner="batched")
+        result = solve_weighted_mds(graph, alpha=alpha, epsilon=0.25, engine=engine)
+
+        uncovered = undominated_nodes(graph, result.dominating_set)
+        metrics = result.metrics
+        rows.append(
+            {
+                "regime": label,
+                "coverage": f"{1 - len(uncovered) / graph.number_of_nodes():.1%}",
+                "heads": len(result.dominating_set),
+                "cost": result.weight,
+                "rounds": result.rounds,
+                "delivered": metrics.total_messages,
+                "dropped": metrics.total_dropped_messages,
+                "delayed": metrics.total_delayed_messages,
+                "crashed": len(metrics.faulty_nodes),
+            }
+        )
+
+    print("Cluster-head election on a 200-device deployment under adversarial conditions\n")
+    print(format_table(rows))
+    print(
+        "\nEvery regime is deterministic in its seed and byte-identical across "
+        "the reference and batched engines.  Message loss silently shrinks the "
+        "packing information each node sees (costs drift up), brown-outs leave "
+        "the sleeping region to self-elect on recovery, and stragglers starve "
+        "whole phases -- the degradation is graceful, but the (2*alpha+1)(1+eps) "
+        "guarantee only holds in the fault-free model."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -34,6 +34,38 @@ accepts ``engine="reference" | "batched"``, an :class:`Engine` instance, or
 :func:`set_default_engine`; the initial default is the reference engine).
 The benchmark harness switches its default to the batched engine, which is
 what makes the E9-scale instances tractable.
+
+Round hooks (fault injection)
+-----------------------------
+
+:meth:`Engine.execute` takes an optional ``hooks`` object implementing the
+round-hook protocol, which lets an adversary intervene in the round loop
+without either engine knowing anything about fault semantics.  The only
+implementation ships in :mod:`repro.faults` (``FaultSession``, installed by
+``AdversarialEngine``); the protocol an engine relies on is:
+
+* ``begin_round(r)`` -- apply state changes scheduled for round ``r``
+  (crashes, topology churn) before the round executes;
+* ``runnable(i)`` / ``acting(i)`` -- whether node *index* ``i`` (position in
+  ``network.node_ids()`` order) can ever act again / acts this round.  Nodes
+  that are unfinished but never runnable again do not keep the run alive;
+* ``collect(r) -> (inboxes, dropped)`` -- the messages arriving at round
+  ``r`` as per-receiver inbox dicts, plus the count lost to crashed
+  receivers.  When hooks are present the engine's own delivery buffers are
+  bypassed entirely: every send goes through ``route(r, i, j, payload)``
+  (single delivery; returns ``None`` = dropped or the extra latency in
+  rounds) or ``broadcast(r, i, payload)`` (whole broadcast, vectorized;
+  returns ``(kept, dropped, delayed)`` counts);
+* ``crashed_count()`` / ``live_edge_count()`` / ``faulty_nodes`` --
+  per-round and per-run fault metrics;
+* ``stop_at_limit`` -- when true, hitting the round limit truncates the run
+  (recording ``RunMetrics.stalled_nodes``) instead of raising
+  :class:`NonConvergenceError`; adversaries can legitimately starve an
+  algorithm of the messages it needs to finish.
+
+With no-op hooks (an empty fault plan) both engines are byte-identical to
+their plain, hook-free paths; ``tests/faults/test_zero_fault_parity.py``
+enforces this on the full algorithm x family grid.
 """
 
 from __future__ import annotations
@@ -89,8 +121,157 @@ class Engine(abc.ABC):
         budget: int,
         limit: int,
         strict: bool,
+        hooks: Optional[Any] = None,
     ) -> Tuple[Dict[Hashable, Any], RunMetrics]:
-        """Run ``algorithm`` to completion; return ``(outputs, metrics)``."""
+        """Run ``algorithm`` to completion; return ``(outputs, metrics)``.
+
+        ``hooks`` (optional) is a round-hook object -- see the module
+        docstring -- through which fault injection intervenes in the loop.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Hooked execution (fault injection)
+    # ------------------------------------------------------------------ #
+
+    def _execute_hooked(self, network, algorithm, hooks, *, budget, limit, strict):
+        """The round loop with hooks applied: one implementation, two engines.
+
+        Shared so the engines cannot drift apart on lifecycle semantics
+        (crash filtering, the round-limit policy, metrics bookkeeping, the
+        unicast path); the two strategy points that differ per engine are
+        :meth:`_hooked_bits` (payload-size estimation) and
+        :meth:`_hooked_broadcast` (broadcast delivery -- per message on the
+        reference engine, mask-based on the batched engine).  Under no-op
+        hooks (an empty fault plan) this loop is byte-identical to the
+        engine's plain path.
+        """
+        metrics = RunMetrics(bandwidth_budget_bits=budget)
+        metrics.faulty_nodes = hooks.faulty_nodes
+
+        node_order = list(network.node_ids())
+        n = len(node_order)
+        contexts = [network.context(node_id) for node_id in node_order]
+        index_of = {node_id: index for index, node_id in enumerate(node_order)}
+        for context in contexts:
+            algorithm.setup(context)
+        neighbor_indices: List[List[int]] = [
+            [index_of[u] for u in context.neighbors] for context in contexts
+        ]
+        bits_of = self._hooked_bits(max(2, network.n))
+
+        round_index = 0
+        while True:
+            pending = [i for i in range(n) if not contexts[i]._finished]
+            hooks.begin_round(round_index)
+            runnable = [i for i in pending if hooks.runnable(i)]
+            if not runnable:
+                break
+            if round_index >= limit:
+                if hooks.stop_at_limit:
+                    metrics.stalled_nodes = len(runnable)
+                    break
+                raise NonConvergenceError(
+                    rounds=round_index,
+                    pending=len(runnable),
+                    pending_nodes=[node_order[i] for i in runnable],
+                )
+
+            inboxes, arrival_dropped = hooks.collect(round_index)
+            acting = [i for i in runnable if hooks.acting(i)]
+            round_metrics = RoundMetrics(round_index=round_index, active_nodes=len(acting))
+            round_metrics.dropped_messages = arrival_dropped
+            round_metrics.crashed_nodes = hooks.crashed_count()
+            round_metrics.live_edges = hooks.live_edge_count()
+
+            for i in acting:
+                context = contexts[i]
+                outbox = algorithm.round(
+                    context, round_index, inboxes.get(context.node_id) or {}
+                )
+                if outbox is None:
+                    continue
+                if isinstance(outbox, Broadcast):
+                    if not context.neighbors:
+                        continue
+                    payload = outbox.payload
+                    bits = bits_of(payload)
+                    if budget and bits > budget and strict:
+                        raise BandwidthViolation(
+                            context.node_id,
+                            context.neighbors[0],
+                            bits,
+                            budget,
+                            round_index=round_index,
+                        )
+                    kept, dropped, delayed = self._hooked_broadcast(
+                        hooks, round_index, i, neighbor_indices[i], payload
+                    )
+                    if kept:
+                        round_metrics.messages += kept
+                        round_metrics.bits += bits * kept
+                        if bits > round_metrics.max_message_bits:
+                            round_metrics.max_message_bits = bits
+                    round_metrics.dropped_messages += dropped
+                    round_metrics.delayed_messages += delayed
+                else:
+                    sender_id = context.node_id
+                    for neighbor, payload in dict(outbox).items():
+                        if not network.are_neighbors(sender_id, neighbor):
+                            raise AlgorithmError(
+                                f"node {sender_id!r} attempted to send to "
+                                f"non-neighbor {neighbor!r}"
+                            )
+                        bits = bits_of(payload)
+                        if budget and bits > budget and strict:
+                            raise BandwidthViolation(
+                                sender_id, neighbor, bits, budget, round_index=round_index
+                            )
+                        fate = hooks.route(round_index, i, index_of[neighbor], payload)
+                        self._account(round_metrics, fate, bits)
+
+            metrics.record(round_metrics)
+            round_index += 1
+
+        outputs = {
+            node_id: algorithm.output(context)
+            for node_id, context in zip(node_order, contexts)
+        }
+        return outputs, metrics
+
+    def _hooked_bits(self, bits_n: int):
+        """Payload-size estimator for the hooked loop (override to memoize)."""
+        return lambda payload: estimate_payload_bits(payload, bits_n)
+
+    def _hooked_broadcast(self, hooks, round_index, sender_index, neighbor_indices, payload):
+        """Deliver one broadcast through the hooks; return (kept, dropped, delayed).
+
+        The base implementation routes per delivery (the reference engine's
+        per-message semantics); the batched engine overrides it with the
+        session's vectorized mask path.
+        """
+        kept = dropped = delayed = 0
+        for receiver_index in neighbor_indices:
+            fate = hooks.route(round_index, sender_index, receiver_index, payload)
+            if fate is None:
+                dropped += 1
+            else:
+                kept += 1
+                if fate:
+                    delayed += 1
+        return kept, dropped, delayed
+
+    @staticmethod
+    def _account(round_metrics: RoundMetrics, fate: Optional[int], bits: int) -> None:
+        """Fold one routed delivery's fate into the round metrics."""
+        if fate is None:
+            round_metrics.dropped_messages += 1
+            return
+        round_metrics.messages += 1
+        round_metrics.bits += bits
+        if bits > round_metrics.max_message_bits:
+            round_metrics.max_message_bits = bits
+        if fate:
+            round_metrics.delayed_messages += 1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
@@ -107,7 +288,11 @@ class ReferenceEngine(Engine):
 
     name = "reference"
 
-    def execute(self, network, algorithm, *, budget, limit, strict):
+    def execute(self, network, algorithm, *, budget, limit, strict, hooks=None):
+        if hooks is not None:
+            return self._execute_hooked(
+                network, algorithm, hooks, budget=budget, limit=limit, strict=strict
+            )
         metrics = RunMetrics(bandwidth_budget_bits=budget)
 
         for node_id in network.node_ids():
@@ -200,7 +385,11 @@ class BatchedEngine(Engine):
 
     name = "batched"
 
-    def execute(self, network, algorithm, *, budget, limit, strict):
+    def execute(self, network, algorithm, *, budget, limit, strict, hooks=None):
+        if hooks is not None:
+            return self._execute_hooked(
+                network, algorithm, hooks, budget=budget, limit=limit, strict=strict
+            )
         # Imported here, not at module level: the reference engine (and hence
         # the whole package) stays importable without NumPy installed.
         import numpy as np
@@ -371,6 +560,17 @@ class BatchedEngine(Engine):
             for node_id, context in zip(node_order, contexts)
         }
         return outputs, metrics
+
+    def _hooked_bits(self, bits_n: int):
+        # The batched engine keeps its payload-bits memo in hooked runs too.
+        memo: Dict[tuple, int] = {}
+        return lambda payload: self._payload_bits(payload, bits_n, memo)
+
+    def _hooked_broadcast(self, hooks, round_index, sender_index, neighbor_indices, payload):
+        # Fates are decided with NumPy masks over the session's CSR slice --
+        # one call per sender, no per-message Python decisions.
+        del neighbor_indices
+        return hooks.broadcast(round_index, sender_index, payload)
 
     @staticmethod
     def _scatter(

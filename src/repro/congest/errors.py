@@ -20,7 +20,9 @@ class BandwidthViolation(CongestError):
     Attributes
     ----------
     sender / receiver:
-        The endpoints of the offending message.
+        The endpoints of the offending message (also available together as
+        the :attr:`edge` tuple, for log scraping and fault-scenario
+        debugging).
     bits / budget:
         The estimated message size and the enforced per-message budget.
     round_index:
@@ -36,9 +38,14 @@ class BandwidthViolation(CongestError):
         self.round_index = round_index
         where = "" if round_index is None else f" in round {round_index}"
         super().__init__(
-            f"message from {sender!r} to {receiver!r}{where} needs ~{bits} bits, "
+            f"message on edge ({sender!r} -> {receiver!r}){where} needs ~{bits} bits, "
             f"but the CONGEST budget is {budget} bits"
         )
+
+    @property
+    def edge(self):
+        """The offending ``(sender, receiver)`` link."""
+        return (self.sender, self.receiver)
 
 
 class AlgorithmError(CongestError):
@@ -46,12 +53,24 @@ class AlgorithmError(CongestError):
 
 
 class NonConvergenceError(CongestError):
-    """The algorithm did not terminate within the allowed number of rounds."""
+    """The algorithm did not terminate within the allowed number of rounds.
 
-    def __init__(self, rounds: int, pending: int):
+    ``pending_nodes`` (optional) names the still-running nodes -- adversarial
+    runs populate it so that a stall caused by e.g. a crash window spanning a
+    node's finish round can be traced to the specific nodes involved.
+    """
+
+    def __init__(self, rounds: int, pending: int, pending_nodes=None):
         self.rounds = rounds
         self.pending = pending
+        self.pending_nodes = None if pending_nodes is None else tuple(pending_nodes)
+        detail = ""
+        if self.pending_nodes is not None:
+            shown = ", ".join(repr(node) for node in self.pending_nodes[:8])
+            if len(self.pending_nodes) > 8:
+                shown += ", ..."
+            detail = f": {shown}"
         super().__init__(
             f"algorithm did not terminate after {rounds} rounds "
-            f"({pending} nodes still running)"
+            f"({pending} nodes still running{detail})"
         )

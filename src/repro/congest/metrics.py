@@ -1,22 +1,41 @@
-"""Metrics collected by the simulator: rounds, messages, bits."""
+"""Metrics collected by the simulator: rounds, messages, bits, faults.
+
+The fault-related fields (``dropped_messages``, ``delayed_messages``,
+``crashed_nodes``, ``live_edges``, ``stalled_nodes``, ``faulty_nodes``) stay
+at their zero defaults on fault-free runs -- including runs through an
+*empty* :class:`repro.faults.FaultPlan`, which the test-suite holds
+byte-identical to plain engine runs.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Hashable, List, Optional, Tuple
 
 __all__ = ["RoundMetrics", "RunMetrics"]
 
 
 @dataclass
 class RoundMetrics:
-    """Traffic statistics for a single synchronous round."""
+    """Traffic statistics for a single synchronous round.
+
+    ``messages``/``bits`` count messages that actually transited a link
+    (including ones still in flight due to link latency); ``dropped_messages``
+    counts send attempts lost to dead links, random omission, or a receiver
+    that was crashed at arrival time.  ``live_edges`` is the size of the
+    communication topology this round (``None`` on fault-free runs, where the
+    topology is the static input graph).
+    """
 
     round_index: int
     messages: int = 0
     bits: int = 0
     max_message_bits: int = 0
     active_nodes: int = 0
+    dropped_messages: int = 0
+    delayed_messages: int = 0
+    crashed_nodes: int = 0
+    live_edges: Optional[int] = None
 
 
 @dataclass
@@ -35,6 +54,14 @@ class RunMetrics:
         the bandwidth budget.
     bandwidth_budget_bits:
         The per-message budget that was enforced (0 means unenforced/LOCAL).
+    total_dropped_messages / total_delayed_messages:
+        Fault-injection traffic losses and latency hits across the run
+        (zero on fault-free runs; see :mod:`repro.faults`).
+    stalled_nodes:
+        Number of nodes still unfinished when an adversarial run was cut off
+        at the round limit (``FaultPlan.on_round_limit == "stop"``).
+    faulty_nodes:
+        Sorted tuple of node ids the fault plan ever crashes.
     per_round:
         The individual :class:`RoundMetrics` records.
     """
@@ -45,6 +72,10 @@ class RunMetrics:
     max_message_bits: int = 0
     bandwidth_budget_bits: int = 0
     per_round: List[RoundMetrics] = field(default_factory=list)
+    total_dropped_messages: int = 0
+    total_delayed_messages: int = 0
+    stalled_nodes: int = 0
+    faulty_nodes: Tuple[Hashable, ...] = ()
 
     def record(self, round_metrics: RoundMetrics) -> None:
         """Fold one round's statistics into the aggregate."""
@@ -52,6 +83,8 @@ class RunMetrics:
         self.total_messages += round_metrics.messages
         self.total_bits += round_metrics.bits
         self.max_message_bits = max(self.max_message_bits, round_metrics.max_message_bits)
+        self.total_dropped_messages += round_metrics.dropped_messages
+        self.total_delayed_messages += round_metrics.delayed_messages
         self.per_round.append(round_metrics)
 
     @property
@@ -60,8 +93,18 @@ class RunMetrics:
 
     def summary(self) -> str:
         """Return a one-line human-readable summary."""
-        return (
+        line = (
             f"rounds={self.rounds} messages={self.total_messages} "
             f"bits={self.total_bits} max_message_bits={self.max_message_bits} "
             f"budget={self.bandwidth_budget_bits or 'LOCAL'}"
         )
+        if self.total_dropped_messages or self.total_delayed_messages:
+            line += (
+                f" dropped={self.total_dropped_messages}"
+                f" delayed={self.total_delayed_messages}"
+            )
+        if self.faulty_nodes:
+            line += f" faulty_nodes={len(self.faulty_nodes)}"
+        if self.stalled_nodes:
+            line += f" stalled={self.stalled_nodes}"
+        return line

@@ -205,8 +205,13 @@ class PrimalDualBase(SynchronousAlgorithm):
     def _initialise_packing(self, node: NodeContext, inbox: Dict[Hashable, dict]) -> None:
         """Compute ``tau_v`` from the weight exchange and set ``x_v = tau_v/(Delta+1)``."""
         state = node.state
+        # Fault-free runs only ever see weight messages here; under fault
+        # injection a latency-delayed message from another phase may share the
+        # round, so foreign payloads are skipped rather than crashing.
         neighbor_weights = {
-            neighbor: int(message["weight"]) for neighbor, message in inbox.items()
+            neighbor: int(message["weight"])
+            for neighbor, message in inbox.items()
+            if "weight" in message
         }
         state["neighbor_weights"] = neighbor_weights
         tau = min([node.weight] + list(neighbor_weights.values()))

@@ -45,13 +45,20 @@ class ForestMDSAlgorithm(SynchronousAlgorithm):
         if node.degree >= 2:
             state["in_ds"] = True
         elif node.degree == 1:
-            (neighbor, message), = inbox.items()
-            neighbor_degree = int(message["degree"])
-            if neighbor_degree == 1:
-                # Two-node component: exactly one endpoint joins.
-                state["in_ds"] = repr(node.node_id) < repr(neighbor)
+            if not inbox:
+                # Fault-free runs always deliver the single neighbor's degree;
+                # under fault injection (message loss, crashed neighbor) the
+                # leaf cannot tell whether its neighbor is internal, so it
+                # joins -- the conservative choice that keeps itself dominated.
+                state["in_ds"] = True
             else:
-                state["in_ds"] = False
+                (neighbor, message), = inbox.items()
+                neighbor_degree = int(message["degree"])
+                if neighbor_degree == 1:
+                    # Two-node component: exactly one endpoint joins.
+                    state["in_ds"] = repr(node.node_id) < repr(neighbor)
+                else:
+                    state["in_ds"] = False
         node.finish()
         return None
 

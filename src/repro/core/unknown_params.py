@@ -81,6 +81,25 @@ class _InterleavedPrimalDual(SynchronousAlgorithm):
         """Handle one of the setup rounds; must initialise ``x``, ``tau``, ``lambda``."""
         raise NotImplementedError
 
+    def fallback_setup(self, node: NodeContext) -> None:
+        """Initialise ``tau``/``lambda`` for a node that slept through setup.
+
+        Fault-free runs never call this: the setup rounds always run.  Under
+        fault injection a crash window can cover the round that learns
+        ``tau`` and ``lambda``; the recovering node then falls back to local
+        knowledge (its own weight, its locally best arboricity estimate) so
+        the run degrades instead of dying on ``None`` arithmetic.
+        """
+        state = node.state
+        if state["tau"] is None:
+            state["tau"] = node.weight
+        if state["lambda"] is None:
+            state["lambda"] = theorem11_lambda(self._fallback_alpha(node), self.epsilon)
+
+    def _fallback_alpha(self, node: NodeContext) -> int:
+        """The arboricity estimate used by :meth:`fallback_setup`."""
+        return max(1, node.config.get("alpha") or 1)
+
     # -- shared state ---------------------------------------------------- #
 
     def setup(self, node: NodeContext) -> None:
@@ -121,6 +140,8 @@ class _InterleavedPrimalDual(SynchronousAlgorithm):
         if state["dominated"] and all(state["neighbor_dominated"].values()):
             node.finish()
             return None
+        if state["lambda"] is None or state["tau"] is None:
+            self.fallback_setup(node)
         state["iterations_executed"] += 1
 
         outbox = {neighbor: {"x": state["x"]} for neighbor in node.neighbors}
@@ -219,6 +240,8 @@ class UnknownDegreeMDSAlgorithm(_InterleavedPrimalDual):
         neighbor_weights = {}
         max_closed_degree = node.closed_degree
         for neighbor, message in inbox.items():
+            if "weight" not in message:  # foreign delayed payload (fault injection)
+                continue
             neighbor_weights[neighbor] = int(message["weight"])
             max_closed_degree = max(max_closed_degree, int(message["closed_degree"]))
         state["neighbor_weights"] = neighbor_weights
@@ -264,6 +287,11 @@ class UnknownArboricityMDSAlgorithm(_InterleavedPrimalDual):
         n = node.config["n"]
         return 1 + self._block_count(n) * self._peeling_phases_per_block(n) + 2
 
+    def _fallback_alpha(self, node: NodeContext) -> int:
+        # alpha is unknown here; the best local stand-in for a node that
+        # slept through the estimate exchange is its own out-degree.
+        return max(1, int(node.state.get("out_degree") or 0))
+
     # -- setup rounds -----------------------------------------------------#
 
     def setup(self, node: NodeContext) -> None:
@@ -288,7 +316,9 @@ class UnknownArboricityMDSAlgorithm(_InterleavedPrimalDual):
             return Broadcast({"weight": node.weight})
         if round_index == 1:
             state["neighbor_weights"] = {
-                neighbor: int(message["weight"]) for neighbor, message in inbox.items()
+                neighbor: int(message["weight"])
+                for neighbor, message in inbox.items()
+                if "weight" in message
             }
             state["tau"] = min([node.weight] + list(state["neighbor_weights"].values()))
         if 1 <= round_index <= peel_rounds:
@@ -299,11 +329,18 @@ class UnknownArboricityMDSAlgorithm(_InterleavedPrimalDual):
             return Broadcast({"out_degree": state["out_degree"]})
         # Final setup round: derive the local arboricity estimate and thresholds.
         for neighbor, message in inbox.items():
+            if "out_degree" not in message:  # foreign delayed payload (fault injection)
+                continue
             state["neighbor_out_degrees"][neighbor] = int(message["out_degree"])
         alpha_hat = max([state["out_degree"]] + list(state["neighbor_out_degrees"].values()))
         alpha_hat = max(1, alpha_hat)
         state["alpha_hat"] = alpha_hat
         state["lambda"] = theorem11_lambda(alpha_hat, self.epsilon)
+        if state["tau"] is None:
+            # Fault-free runs set tau in round 1; a node whose crash window
+            # covered that round falls back to its own weight (always a
+            # member of N+(v)) so the run degrades instead of crashing.
+            state["tau"] = node.weight
         state["x"] = state["tau"] / (n + 1)
         return None
 

@@ -84,12 +84,15 @@ class WeightedMDSAlgorithm(PrimalDualBase):
     def extension_round(
         self, node: NodeContext, extension_index: int, inbox: Dict[Hashable, dict]
     ) -> Outbox:
+        # Fault-free runs only ever reach extension_index 0 (the node
+        # finishes immediately); a crash-recover node that slept through it
+        # re-enters at a later index and must still absorb and terminate,
+        # otherwise it would stall the run forever.
         state = node.state
-        if extension_index == 0:
-            if any(message.get("selected") for message in inbox.values()):
-                state["in_s_prime"] = True
-                state["dominated"] = True
-            node.finish()
+        if any(message.get("selected") for message in inbox.values()):
+            state["in_s_prime"] = True
+            state["dominated"] = True
+        node.finish()
         return None
 
     def extension_round_bound(self, network) -> int:

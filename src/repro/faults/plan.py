@@ -1,0 +1,266 @@
+"""Declarative fault plans: the *what* of adversarial network conditions.
+
+A :class:`FaultPlan` is a concrete, seeded description of every deviation
+from the idealized synchronous fault-free CONGEST network, bound to the node
+and edge identifiers of one specific input graph:
+
+* **node crashes** (:class:`CrashFault`) -- crash-stop (the node never acts
+  again) and crash-recover (the node is down for a window of rounds, then
+  resumes with its local state intact, having missed every message that
+  arrived while it was down);
+* **link faults** (:class:`LinkFault`) -- per-link message omission
+  probability and per-link latency distributions that delay delivery by
+  whole rounds, with plan-wide defaults for both;
+* **topology churn** (:class:`ChurnEvent`) -- scheduled removal and
+  re-insertion of input-graph edges.  The algorithm's *knowledge* (its
+  neighbor list) is the static input graph; churn only changes which links
+  currently deliver messages, the standard dynamic-network-with-static-
+  footprint model.
+
+Plans are plain frozen dataclasses: picklable (they cross the sweep runner's
+process boundary inside scenario specs), hashable content (``as_dict`` is
+JSON-ready), and engine-independent.  The runtime that applies a plan inside
+an engine's round loop is :class:`repro.faults.session.FaultSession`; the
+engine wrapper is :class:`repro.faults.engine.AdversarialEngine`.
+
+Timing model (all rounds are the simulator's global round indices):
+
+* a node with a crash window ``[start, recover)`` executes no round in that
+  window; ``recover=None`` means crash-stop;
+* a message sent in round ``r`` normally arrives at the start of round
+  ``r + 1``; a latency draw of ``d`` extra rounds moves arrival to
+  ``r + 1 + d``;
+* a send attempt is dropped at *send* time when the link is churned out or
+  the omission draw fires, and at *arrival* time when the receiver is
+  crashed in the arrival round;
+* churn events scheduled for round ``r`` take effect before round ``r``
+  executes; inserts are applied before removes within one round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+__all__ = ["CrashFault", "LinkFault", "ChurnEvent", "FaultPlan"]
+
+#: Accepted ``FaultPlan.on_round_limit`` policies.
+ROUND_LIMIT_POLICIES = ("stop", "raise")
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """One node-crash window.
+
+    ``start`` is the first round the node misses; ``recover`` is the first
+    round it executes again (``None`` = crash-stop, the node is down
+    forever).  A recovering node keeps its local state but has missed every
+    round and every message delivery inside the window.
+    """
+
+    node: Hashable
+    start: int = 0
+    recover: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"crash start must be >= 0, got {self.start}")
+        if self.recover is not None and self.recover <= self.start:
+            raise ValueError(
+                f"crash recover round {self.recover} must be after start {self.start}"
+            )
+
+    @property
+    def is_permanent(self) -> bool:
+        return self.recover is None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"node": _ident(self.node), "start": self.start, "recover": self.recover}
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Per-link override of the plan-wide omission/latency defaults.
+
+    The link is the undirected edge ``{u, v}``; the fault applies to both
+    directions.  ``latency_low``/``latency_high`` bound a per-message uniform
+    integer delay in whole rounds (``0``/``0`` = no extra latency).
+    """
+
+    u: Hashable
+    v: Hashable
+    drop_probability: float = 0.0
+    latency_low: int = 0
+    latency_high: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ValueError(
+                f"drop_probability must lie in [0, 1], got {self.drop_probability}"
+            )
+        if self.latency_low < 0 or self.latency_high < self.latency_low:
+            raise ValueError(
+                f"latency bounds must satisfy 0 <= low <= high, got "
+                f"[{self.latency_low}, {self.latency_high}]"
+            )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "u": _ident(self.u),
+            "v": _ident(self.v),
+            "drop_probability": self.drop_probability,
+            "latency_low": self.latency_low,
+            "latency_high": self.latency_high,
+        }
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """A scheduled topology change: remove or re-insert one input-graph edge."""
+
+    round_index: int
+    action: str  # "remove" | "insert"
+    u: Hashable
+    v: Hashable
+
+    def __post_init__(self) -> None:
+        if self.round_index < 0:
+            raise ValueError(f"churn round must be >= 0, got {self.round_index}")
+        if self.action not in ("remove", "insert"):
+            raise ValueError(f"churn action must be 'remove' or 'insert', got {self.action!r}")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "round": self.round_index,
+            "action": self.action,
+            "u": _ident(self.u),
+            "v": _ident(self.v),
+        }
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded adversarial schedule for one network.
+
+    Attributes
+    ----------
+    crashes:
+        Crash windows; a node may appear in several non-overlapping windows.
+    drop_probability / latency_low / latency_high:
+        Plan-wide per-link defaults (see :class:`LinkFault`).
+    links:
+        Per-link overrides of the defaults.
+    churn:
+        Scheduled edge removals/insertions.  Only input-graph edges may be
+        churned; the algorithms' neighbor knowledge is the static footprint.
+    seed:
+        Seed of the per-round omission/latency draws.  A fixed
+        ``(plan, network)`` pair reproduces the exact same byte-level
+        execution across repeated runs, engines, and processes.
+    on_round_limit:
+        ``"stop"`` (default) cuts an adversarial run off at the simulator's
+        round limit, recording the unfinished nodes as
+        ``RunMetrics.stalled_nodes`` -- faults can legitimately starve an
+        algorithm of the messages it needs to finish.  ``"raise"`` keeps the
+        fault-free behavior (:class:`~repro.congest.errors.NonConvergenceError`).
+        Empty plans always raise, so they stay byte-identical to plain runs.
+    """
+
+    crashes: Tuple[CrashFault, ...] = ()
+    drop_probability: float = 0.0
+    latency_low: int = 0
+    latency_high: int = 0
+    links: Tuple[LinkFault, ...] = ()
+    churn: Tuple[ChurnEvent, ...] = ()
+    seed: int = 0
+    on_round_limit: str = "stop"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "links", tuple(self.links))
+        object.__setattr__(self, "churn", tuple(self.churn))
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ValueError(
+                f"drop_probability must lie in [0, 1], got {self.drop_probability}"
+            )
+        if self.latency_low < 0 or self.latency_high < self.latency_low:
+            raise ValueError(
+                f"latency bounds must satisfy 0 <= low <= high, got "
+                f"[{self.latency_low}, {self.latency_high}]"
+            )
+        if self.on_round_limit not in ROUND_LIMIT_POLICIES:
+            raise ValueError(
+                f"on_round_limit must be one of {ROUND_LIMIT_POLICIES}, "
+                f"got {self.on_round_limit!r}"
+            )
+        windows: Dict[Hashable, list] = {}
+        for crash in self.crashes:
+            windows.setdefault(crash.node, []).append(crash)
+        for node, node_windows in windows.items():
+            ordered = sorted(node_windows, key=lambda c: c.start)
+            for earlier, later in zip(ordered, ordered[1:]):
+                if earlier.recover is None or later.start < earlier.recover:
+                    raise ValueError(
+                        f"node {node!r} has overlapping crash windows "
+                        f"({earlier} and {later})"
+                    )
+
+    # -- queries -----------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """True iff the plan changes nothing about a fault-free execution."""
+        return (
+            not self.crashes
+            and self.drop_probability == 0.0
+            and self.latency_high == 0
+            and not self.churn
+            and all(
+                link.drop_probability == 0.0 and link.latency_high == 0
+                for link in self.links
+            )
+        )
+
+    @property
+    def has_churn(self) -> bool:
+        return bool(self.churn)
+
+    def faulty_nodes(self) -> Tuple[Hashable, ...]:
+        """Sorted tuple of every node with at least one crash window."""
+        return tuple(sorted({crash.node for crash in self.crashes}, key=repr))
+
+    def as_dict(self) -> Dict[str, object]:
+        """Canonical JSON-ready form (used for content hashing)."""
+        return {
+            "crashes": [crash.as_dict() for crash in self.crashes],
+            "drop_probability": self.drop_probability,
+            "latency_low": self.latency_low,
+            "latency_high": self.latency_high,
+            "links": [link.as_dict() for link in self.links],
+            "churn": [event.as_dict() for event in self.churn],
+            "seed": self.seed,
+            "on_round_limit": self.on_round_limit,
+        }
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        parts = []
+        if self.crashes:
+            permanent = sum(1 for crash in self.crashes if crash.is_permanent)
+            recovering = len(self.crashes) - permanent
+            parts.append(f"crashes={permanent} stop/{recovering} recover")
+        if self.drop_probability:
+            parts.append(f"drop_p={self.drop_probability}")
+        if self.latency_high:
+            parts.append(f"latency=[{self.latency_low},{self.latency_high}]")
+        if self.links:
+            parts.append(f"link_overrides={len(self.links)}")
+        if self.churn:
+            parts.append(f"churn_events={len(self.churn)}")
+        return "no faults" if not parts else " ".join(parts)
+
+
+def _ident(value: Hashable) -> object:
+    """JSON-ready form of a node identifier (ints/strs pass through)."""
+    if isinstance(value, (int, str, bool, float)) or value is None:
+        return value
+    return repr(value)

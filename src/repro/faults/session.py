@@ -1,0 +1,314 @@
+"""The compiled fault runtime: applies a :class:`FaultPlan` inside a round loop.
+
+A :class:`FaultSession` is created per execution (by
+:class:`repro.faults.engine.AdversarialEngine`) and handed to the inner
+engine as its ``hooks`` object.  It owns everything both engines need:
+
+* the **compiled plan** -- CSR adjacency over directed edges (neighbor lists
+  sorted by global node order), per-edge omission probabilities and latency
+  bounds, crash and churn event schedules keyed by round;
+* the **per-round randomness** -- one uniform array per directed edge per
+  round, drawn from ``numpy``'s seeded generator.  Decisions are a pure
+  function of ``(plan seed, round, directed edge)``, never of iteration
+  order, which is what makes the reference engine's per-delivery path and
+  the batched engine's mask-based path agree bit for bit;
+* the **in-flight mailbox** -- messages buffered by arrival round, in
+  ``(send round, sender order)`` sequence, so inbox insertion order (which
+  algorithms observe through float accumulation) is engine-independent.
+
+The two delivery entry points mirror the two engines: :meth:`route` decides
+the fate of a single delivery (the reference engine's per-message loop),
+:meth:`broadcast` decides a whole broadcast at once with NumPy masks over
+the sender's CSR slice (the batched engine's vectorized loop).  Both read
+the same per-round arrays, so an execution is byte-identical whichever
+engine runs it -- ``tests/faults/`` enforces this.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.congest.network import Network
+from repro.faults.plan import FaultPlan
+
+__all__ = ["FaultSession"]
+
+#: Mask keeping plan seeds inside numpy's SeedSequence domain.
+_SEED_MASK = (1 << 63) - 1
+
+
+class FaultSession:
+    """Round-loop hooks implementing a :class:`FaultPlan` for one execution.
+
+    The session implements the engine hook protocol documented in
+    :mod:`repro.congest.engine`: ``begin_round`` / ``runnable`` / ``acting``
+    for crash handling, ``route`` / ``broadcast`` / ``collect`` for the
+    delivery path, and the metric accessors ``crashed_count`` /
+    ``live_edge_count`` / ``faulty_nodes`` / ``stop_at_limit``.
+    """
+
+    def __init__(self, plan: FaultPlan, network: Network):
+        import numpy as np
+
+        self._np = np
+        self.plan = plan
+        self.network = network
+        self.stop_at_limit = (not plan.is_empty()) and plan.on_round_limit == "stop"
+        self.faulty_nodes: Tuple[Hashable, ...] = plan.faulty_nodes()
+        self._report_topology = not plan.is_empty()
+
+        node_order: List[Hashable] = list(network.node_ids())
+        self.node_order = node_order
+        n = len(node_order)
+        index_of = {node_id: index for index, node_id in enumerate(node_order)}
+        self._index_of = index_of
+
+        # CSR over directed edges; neighbor lists sorted by global node order
+        # (the batched engine's canonical order).
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        indices_list: List[int] = []
+        edge_pos: Dict[Tuple[int, int], int] = {}
+        for i, node_id in enumerate(node_order):
+            neighbors = sorted(index_of[u] for u in network.graph.neighbors(node_id))
+            for j in neighbors:
+                edge_pos[(i, j)] = len(indices_list)
+                indices_list.append(j)
+            indptr[i + 1] = len(indices_list)
+        self._indptr = indptr
+        self._indices = np.asarray(indices_list, dtype=np.int64)
+        self._edge_pos = edge_pos
+        edge_count = len(indices_list)
+
+        # Per-edge omission probability and latency bounds (defaults plus
+        # per-link overrides; a link override applies to both directions).
+        drop_p = np.full(edge_count, float(plan.drop_probability))
+        lat_low = np.full(edge_count, int(plan.latency_low), dtype=np.int64)
+        lat_high = np.full(edge_count, int(plan.latency_high), dtype=np.int64)
+        for link in plan.links:
+            for e in self._directed_pair(link.u, link.v, "link fault"):
+                drop_p[e] = link.drop_probability
+                lat_low[e] = link.latency_low
+                lat_high[e] = link.latency_high
+        self._drop_p = drop_p
+        self._lat_low = lat_low
+        self._lat_span = lat_high - lat_low + 1
+        self._has_drops = bool((drop_p > 0.0).any()) if edge_count else False
+        self._has_latency = bool((lat_high > 0).any()) if edge_count else False
+
+        # Link aliveness (churn) over directed edges, plus the undirected
+        # live-edge counter reported in the per-round metrics.
+        self._alive = np.ones(edge_count, dtype=bool)
+        self._live_undirected = network.m
+        churn_events: Dict[int, List[Tuple[int, int, bool]]] = {}
+        # Inserts before removes within a round: an edge both re-inserted
+        # (end of its downtime) and freshly removed in the same round ends up
+        # removed, which is the natural reading of the schedule.
+        ordered_churn = sorted(
+            plan.churn, key=lambda event: (event.round_index, event.action != "insert")
+        )
+        for event in ordered_churn:
+            e_uv, e_vu = self._directed_pair(event.u, event.v, "churn event")
+            churn_events.setdefault(event.round_index, []).append(
+                (e_uv, e_vu, event.action == "insert")
+            )
+        self._churn_events = churn_events
+
+        # Crash windows compiled to per-round down/up toggles.
+        self._crashed_now = np.zeros(n, dtype=bool)
+        self._permanently_crashed = np.zeros(n, dtype=bool)
+        crash_events: Dict[int, List[Tuple[int, bool, bool]]] = {}
+        for crash in plan.crashes:
+            if crash.node not in index_of:
+                raise ValueError(f"crash fault names unknown node {crash.node!r}")
+            i = index_of[crash.node]
+            crash_events.setdefault(crash.start, []).append((i, True, crash.is_permanent))
+            if crash.recover is not None:
+                crash_events.setdefault(crash.recover, []).append((i, False, False))
+        for events in crash_events.values():
+            # Recoveries before crashes within a round: one window may end
+            # exactly where a node's next window starts (back-to-back
+            # windows), and the down toggle must win regardless of the
+            # order the plan listed them in.
+            events.sort(key=lambda event: event[1])
+        self._crash_events = crash_events
+
+        # In-flight messages: arrival round -> [(receiver index, sender id,
+        # payload)], appended in (send round, sender order) sequence.
+        self._arrivals: Dict[int, List[Tuple[int, Hashable, Any]]] = {}
+
+        self._round = -1
+        self._seed = (int(plan.seed)) & _SEED_MASK
+        self._uniform_round = -1
+        self._drop_u = None
+        self._lat_u = None
+
+    # ------------------------------------------------------------------ #
+    # Compilation helpers
+    # ------------------------------------------------------------------ #
+
+    def _directed_pair(self, u: Hashable, v: Hashable, what: str) -> Tuple[int, int]:
+        index_of = self._index_of
+        if u not in index_of or v not in index_of:
+            raise ValueError(f"{what} names unknown node in edge ({u!r}, {v!r})")
+        key_uv = (index_of[u], index_of[v])
+        key_vu = (index_of[v], index_of[u])
+        if key_uv not in self._edge_pos:
+            raise ValueError(
+                f"{what} names edge ({u!r}, {v!r}) which is not in the input graph; "
+                "faults apply to the static footprint only"
+            )
+        return self._edge_pos[key_uv], self._edge_pos[key_vu]
+
+    # ------------------------------------------------------------------ #
+    # Round lifecycle
+    # ------------------------------------------------------------------ #
+
+    def begin_round(self, round_index: int) -> None:
+        """Apply the crash/churn toggles scheduled for ``round_index``."""
+        self._round = round_index
+        for i, down, permanent in self._crash_events.get(round_index, ()):
+            self._crashed_now[i] = down
+            if permanent:
+                self._permanently_crashed[i] = True
+        for e_uv, e_vu, alive in self._churn_events.get(round_index, ()):
+            if bool(self._alive[e_uv]) != alive:
+                self._live_undirected += 1 if alive else -1
+            self._alive[e_uv] = alive
+            self._alive[e_vu] = alive
+
+    def runnable(self, index: int) -> bool:
+        """False iff the node is permanently crashed (it will never act again)."""
+        return not self._permanently_crashed[index]
+
+    def acting(self, index: int) -> bool:
+        """False iff the node is crashed in the current round."""
+        return not self._crashed_now[index]
+
+    def crashed_count(self) -> int:
+        return int(self._crashed_now.sum())
+
+    def live_edge_count(self) -> Optional[int]:
+        """Current topology size, or ``None`` when the plan is empty."""
+        return self._live_undirected if self._report_topology else None
+
+    # ------------------------------------------------------------------ #
+    # Per-round randomness
+    # ------------------------------------------------------------------ #
+
+    def _ensure_uniforms(self) -> None:
+        if self._uniform_round == self._round:
+            return
+        rng = self._np.random.default_rng((self._seed, self._round))
+        edge_count = len(self._indices)
+        if self._has_drops:
+            self._drop_u = rng.random(edge_count)
+        if self._has_latency:
+            self._lat_u = rng.random(edge_count)
+        self._uniform_round = self._round
+
+    # ------------------------------------------------------------------ #
+    # Delivery: scalar path (reference engine, unicast everywhere)
+    # ------------------------------------------------------------------ #
+
+    def route(
+        self, round_index: int, sender_index: int, receiver_index: int, payload: Any
+    ) -> Optional[int]:
+        """Decide one delivery's fate; buffer it unless dropped.
+
+        Returns ``None`` when the message is dropped at send time (dead link
+        or omission draw), else the number of *extra* rounds of latency
+        (``0`` = normal next-round delivery).
+        """
+        e = self._edge_pos[(sender_index, receiver_index)]
+        if not self._alive[e]:
+            return None
+        if self._has_drops:
+            self._ensure_uniforms()
+            if self._drop_u[e] < self._drop_p[e]:
+                return None
+        delay = 0
+        if self._has_latency:
+            self._ensure_uniforms()
+            delay = int(self._lat_low[e]) + int(self._lat_u[e] * self._lat_span[e])
+        self._arrivals.setdefault(round_index + 1 + delay, []).append(
+            (receiver_index, self.node_order[sender_index], payload)
+        )
+        return delay
+
+    # ------------------------------------------------------------------ #
+    # Delivery: vectorized path (batched engine broadcasts)
+    # ------------------------------------------------------------------ #
+
+    def broadcast(
+        self, round_index: int, sender_index: int, payload: Any
+    ) -> Tuple[int, int, int]:
+        """Decide a whole broadcast's fate with masks over the CSR slice.
+
+        Returns ``(kept, dropped, delayed)`` delivery counts; every kept
+        delivery (delayed or not) is buffered for its arrival round.
+        """
+        np = self._np
+        lo = int(self._indptr[sender_index])
+        hi = int(self._indptr[sender_index + 1])
+        if lo == hi:
+            return 0, 0, 0
+        keep = self._alive[lo:hi]
+        if self._has_drops:
+            self._ensure_uniforms()
+            keep = keep & (self._drop_u[lo:hi] >= self._drop_p[lo:hi])
+        kept_local = np.nonzero(keep)[0]
+        kept = int(kept_local.size)
+        dropped = (hi - lo) - kept
+        if not kept:
+            return 0, dropped, 0
+
+        sender_id = self.node_order[sender_index]
+        receivers = self._indices[lo:hi]
+        if not self._has_latency:
+            bucket = self._arrivals.setdefault(round_index + 1, [])
+            for p in kept_local:
+                bucket.append((int(receivers[p]), sender_id, payload))
+            return kept, dropped, 0
+
+        self._ensure_uniforms()
+        delays = (self._lat_u[lo:hi] * self._lat_span[lo:hi]).astype(np.int64) + (
+            self._lat_low[lo:hi]
+        )
+        kept_delays = delays[kept_local]
+        delayed = int((kept_delays > 0).sum())
+        for delay in np.unique(kept_delays):
+            bucket = self._arrivals.setdefault(round_index + 1 + int(delay), [])
+            for p in kept_local[kept_delays == delay]:
+                bucket.append((int(receivers[p]), sender_id, payload))
+        return kept, dropped, delayed
+
+    # ------------------------------------------------------------------ #
+    # Inbox assembly
+    # ------------------------------------------------------------------ #
+
+    def collect(self, round_index: int) -> Tuple[Dict[Hashable, Dict[Hashable, Any]], int]:
+        """Deliver the messages arriving at ``round_index``.
+
+        Returns ``(inboxes, dropped)`` where ``inboxes`` maps receiver id to
+        its inbox dict (insertion-ordered by send round, then sender order)
+        and ``dropped`` counts arrivals lost because the receiver is crashed
+        this round.
+        """
+        entries = self._arrivals.pop(round_index, None)
+        if not entries:
+            return {}, 0
+        inboxes: Dict[Hashable, Dict[Hashable, Any]] = {}
+        crashed_now = self._crashed_now
+        node_order = self.node_order
+        dropped = 0
+        for receiver_index, sender_id, payload in entries:
+            if crashed_now[receiver_index]:
+                dropped += 1
+                continue
+            receiver_id = node_order[receiver_index]
+            inbox = inboxes.get(receiver_id)
+            if inbox is None:
+                inboxes[receiver_id] = {sender_id: payload}
+            else:
+                inbox[sender_id] = payload
+        return inboxes, dropped

@@ -20,6 +20,7 @@ Importing this package registers the built-in scenarios.
 
 from repro.orchestration.cache import ResultCache, cache_key, code_version, records_to_bytes
 from repro.orchestration.registry import (
+    FaultSpec,
     GraphSpec,
     ScenarioSpec,
     SolverSpec,
@@ -39,6 +40,7 @@ __all__ = [
     "GraphSpec",
     "WeightSpec",
     "SolverSpec",
+    "FaultSpec",
     "ScenarioSpec",
     "register_scenario",
     "unregister_scenario",

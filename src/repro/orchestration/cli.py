@@ -15,21 +15,31 @@ Four subcommands replace the copy-pasted benchmark boilerplate:
 ``report``
     Render tables for already-cached cells without running anything.
 
+``run`` and ``sweep`` accept ``--faults <model>`` (a name from
+:data:`repro.faults.FAULT_MODELS`), which overlays the named adversarial
+regime onto every selected scenario: each is re-registered as
+``<name>+<model>`` with the fault spec attached, turning any scenario into
+one cell of the algorithm x family x fault-model grid.
+
 Exit codes: 0 on success, 1 when any record violates its guarantee (or an
 engine-parity check fails), 2 on usage errors such as unknown scenarios or
-missing cache entries.
+missing cache entries.  Records of *fault* scenarios are measurements of
+degradation -- a non-dominating output under an adversary is the finding,
+not a bug -- so they are reported as ``degraded`` and never fail the run.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.experiments import ExperimentRecord, aggregate_records
 from repro.analysis.tables import render_records, render_summary
+from repro.faults import FAULT_MODELS
 from repro.orchestration.cache import ResultCache, cache_key, code_version, records_to_bytes
-from repro.orchestration.registry import get_scenario, list_scenarios
+from repro.orchestration.registry import get_scenario, list_scenarios, register_scenario
 from repro.orchestration.runner import (
     DEFAULT_SWEEP_ENGINE,
     CellResult,
@@ -83,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=_ENGINES, default=DEFAULT_SWEEP_ENGINE,
         help="simulation engine (default: batched)",
     )
+    _add_faults_argument(run_parser)
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="run a scenario x seed x engine grid in parallel, through the cache"
@@ -107,6 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--report", action="store_true", help="print the full record tables, not just totals"
     )
+    _add_faults_argument(sweep_parser)
     _add_cache_arguments(sweep_parser)
 
     report_parser = subparsers.add_parser(
@@ -120,6 +132,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report_parser.add_argument("--cache-dir", default=None, help="cache directory")
     return parser
+
+
+def _add_faults_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", choices=sorted(FAULT_MODELS), default=None, metavar="MODEL",
+        help="overlay a named fault model onto every selected scenario "
+             f"(one of: {', '.join(sorted(FAULT_MODELS))})",
+    )
+
+
+def _overlay_faults(names: List[str], model: Optional[str]) -> List[str]:
+    """Re-register each scenario as ``<name>+<model>`` with faults attached.
+
+    Scenarios that already carry a fault spec are left untouched (their
+    registered adversary is the experiment); the derived specs hash
+    differently from their fault-free parents, so cached results never mix.
+    """
+    if model is None:
+        return names
+    fault_spec = FAULT_MODELS[model]
+    derived: List[str] = []
+    for name in names:
+        spec = get_scenario(name)
+        if spec.faults is not None:
+            derived.append(name)
+            continue
+        overlaid = dataclasses.replace(
+            spec,
+            name=f"{name}+{model}",
+            faults=fault_spec,
+            tags=tuple(spec.tags) + ("faults",),
+        )
+        register_scenario(overlaid, replace=True)
+        derived.append(overlaid.name)
+    return derived
 
 
 def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
@@ -178,9 +225,10 @@ def _make_cache(arguments: argparse.Namespace) -> Optional[ResultCache]:
 def _print_cell_tables(result: CellResult) -> None:
     spec = get_scenario(result.scenario)
     origin = "cache" if result.from_cache else f"{result.duration_s:.2f}s"
+    faults = "" if spec.faults is None else f", faults {spec.faults.display_label}"
     print(
         f"\n== {result.scenario} (experiment {spec.experiment}, seed {result.seed}, "
-        f"engine {result.engine}, {origin}) =="
+        f"engine {result.engine}{faults}, {origin}) =="
     )
     print(render_records(result.records))
     print()
@@ -195,12 +243,22 @@ def _violations(records: Sequence[ExperimentRecord]) -> int:
     )
 
 
+def _is_fault_scenario(name: str) -> bool:
+    return get_scenario(name).faults is not None
+
+
 def _command_run(arguments: argparse.Namespace) -> int:
     _resolve_scenario(arguments.scenario)  # fail fast on unknown names
+    (name,) = _overlay_faults([arguments.scenario], arguments.faults)
     runner = SweepRunner(cache=_make_cache(arguments), workers=1)
-    (result,) = runner.sweep([arguments.scenario], seeds=[arguments.seed],
+    (result,) = runner.sweep([name], seeds=[arguments.seed],
                              engines=[arguments.engine])
     _print_cell_tables(result)
+    if _is_fault_scenario(name):
+        degraded = _violations(result.records)
+        if degraded:
+            print(f"degraded: {degraded}/{len(result.records)} records (adversarial run)")
+        return 0
     return 1 if _violations(result.records) else 0
 
 
@@ -226,6 +284,7 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
         print("error: no scenarios selected (give names, --tag, --all or --smoke)",
               file=sys.stderr)
         return 2
+    names = _overlay_faults(names, arguments.faults)
     if arguments.smoke or arguments.engine == "both":
         engines: Sequence[str] = _ENGINES
     else:
@@ -237,12 +296,19 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
 
     results: List[CellResult] = []
     total_violations = 0
+    total_degraded = 0
     for result in runner.run_cells(cells):
         results.append(result)
-        violations = _violations(result.records)
-        total_violations += violations
+        flagged = _violations(result.records)
         origin = "cache " if result.from_cache else f"{result.duration_s:5.2f}s"
-        status = "" if violations == 0 else f"  VIOLATIONS={violations}"
+        if _is_fault_scenario(result.scenario):
+            # Adversarial cells measure degradation; a broken guarantee is
+            # the data point, not a failure.
+            total_degraded += flagged
+            status = "" if flagged == 0 else f"  degraded={flagged}"
+        else:
+            total_violations += flagged
+            status = "" if flagged == 0 else f"  VIOLATIONS={flagged}"
         print(
             f"[{origin}] {result.scenario} seed={result.seed} engine={result.engine} "
             f"{len(result.records)} records{status}"
@@ -253,11 +319,12 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
         parity_failures = _check_engine_parity(results)
 
     cached = sum(1 for result in results if result.from_cache)
+    degraded_note = f", {total_degraded} degraded (adversarial)" if total_degraded else ""
     print(
         f"\n{len(results)} cells, {cached} from cache "
         f"({100.0 * cached / len(results):.0f}%), "
         f"{sum(len(result.records) for result in results)} records, "
-        f"{total_violations} violations"
+        f"{total_violations} violations{degraded_note}"
     )
     if cache is not None:
         print(f"cache: {cache.root} ({cache.entry_count()} entries)")

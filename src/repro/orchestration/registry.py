@@ -33,6 +33,7 @@ import networkx as nx
 from repro.analysis.experiments import ExperimentRecord, Solver, sweep
 from repro.analysis.opt import OptEstimate, degree_lower_bound, estimate_opt
 from repro.core.api import SOLVERS, resolve_solver, solve_with_algorithm
+from repro.faults import AdversarialEngine, FaultSpec
 from repro.graphs.arboricity import arboricity_upper_bound
 from repro.graphs.generators import (
     GraphInstance,
@@ -61,6 +62,7 @@ __all__ = [
     "GraphSpec",
     "WeightSpec",
     "SolverSpec",
+    "FaultSpec",
     "ScenarioSpec",
     "FAMILY_BUILDERS",
     "WEIGHT_SCHEMES",
@@ -318,8 +320,21 @@ class SolverSpec:
         rendered = ",".join(f"{key}={value}" for key, value in sorted(self.params.items()))
         return f"{self.solver}({rendered})"
 
-    def make_solver(self, cell_seed: int, engine: Optional[str]) -> Solver:
-        """Bind the spec to a concrete (seed, engine) cell."""
+    def make_solver(
+        self,
+        cell_seed: int,
+        engine: Optional[str],
+        faults: Optional[FaultSpec] = None,
+    ) -> Solver:
+        """Bind the spec to a concrete (seed, engine) cell.
+
+        ``faults`` (a scenario-level :class:`~repro.faults.FaultSpec`) is
+        materialised against each instance's graph with the cell seed and
+        wrapped around the cell's engine as an
+        :class:`~repro.faults.AdversarialEngine`; the schedule is therefore
+        identical for every solver in the scenario (same storm, different
+        algorithms) and across engines (the cross-engine parity gate).
+        """
         fn = _resolve_any_solver(self.solver)
         seed = cell_seed + self.seed_offset
         pass_alpha = self.solver not in _ALPHA_FREE_SOLVERS
@@ -328,7 +343,11 @@ class SolverSpec:
             kwargs = dict(self.params)
             if pass_alpha:
                 kwargs["alpha"] = instance.alpha
-            return fn(instance.graph, seed=seed, engine=engine, **kwargs)
+            run_engine = engine
+            if faults is not None:
+                plan = faults.materialize(instance.graph, cell_seed)
+                run_engine = AdversarialEngine(plan, inner=engine)
+            return fn(instance.graph, seed=seed, engine=run_engine, **kwargs)
 
         return _solver
 
@@ -353,7 +372,16 @@ _OPT_MODES = ("auto", "exact", "lp", "degree")
 
 @dataclass
 class ScenarioSpec:
-    """A named, registered experiment: graphs x solvers plus policy knobs."""
+    """A named, registered experiment: graphs x solvers plus policy knobs.
+
+    ``faults`` attaches an adversarial regime (:class:`repro.faults.FaultSpec`)
+    to every cell of the scenario: each solver runs under an
+    :class:`~repro.faults.AdversarialEngine` whose plan is materialised from
+    the regime, the instance's graph, and the cell seed.  Fault scenarios
+    measure *degradation*, so a non-dominating output or an exceeded
+    guarantee is reported as degradation rather than counted as a violation
+    (see ``python -m repro sweep``).
+    """
 
     name: str
     experiment: str
@@ -363,6 +391,7 @@ class ScenarioSpec:
     tags: Tuple[str, ...] = ()
     share_opt: bool = True
     opt_mode: str = "auto"
+    faults: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         if self.opt_mode not in _OPT_MODES:
@@ -389,6 +418,7 @@ class ScenarioSpec:
             "solvers": [spec.as_dict() for spec in self.solvers],
             "share_opt": self.share_opt,
             "opt_mode": self.opt_mode,
+            "faults": None if self.faults is None else self.faults.as_dict(),
         }
 
     def spec_hash(self) -> str:
@@ -425,7 +455,8 @@ class ScenarioSpec:
         """
         instances = self.build_instances(seed)
         solvers = {
-            spec.display_label: spec.make_solver(seed, engine) for spec in self.solvers
+            spec.display_label: spec.make_solver(seed, engine, faults=self.faults)
+            for spec in self.solvers
         }
         solver_params = {spec.display_label: spec for spec in self.solvers}
 
@@ -435,6 +466,8 @@ class ScenarioSpec:
             params: Dict[str, object] = {"solver": spec.solver}
             params.update(spec.params)
             params["cell_seed"] = seed
+            if self.faults is not None:
+                params["faults"] = self.faults.display_label
             return params
 
         records = sweep(

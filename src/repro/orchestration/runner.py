@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.analysis.experiments import ExperimentRecord
+from repro.congest.engine import get_default_engine, set_default_engine
 from repro.orchestration.cache import ResultCache, cache_key, record_from_dict, record_to_dict
 
 __all__ = ["SweepCell", "CellResult", "SweepRunner", "expand_cells"]
@@ -85,7 +86,9 @@ def expand_cells(
     ]
 
 
-def _execute_cell(spec, seed: int, engine: str) -> List[Dict[str, object]]:
+def _execute_cell(
+    spec, seed: int, engine: str, default_engine: Optional[str] = None
+) -> List[Dict[str, object]]:
     """Worker entry point: run one cell of an already-resolved scenario.
 
     Runs in a worker process (or inline for serial sweeps).  The
@@ -95,8 +98,24 @@ def _execute_cell(spec, seed: int, engine: str) -> List[Dict[str, object]]:
     multiprocessing start method (fork *and* spawn).  Returns records in
     canonical dict form: cheap to pickle, and identical whichever side of
     the process boundary produced them.
+
+    ``default_engine`` is the submitting process's process-wide default
+    engine, applied (and restored) around the cell.  The default is module
+    state, so whether a worker inherits it depends on the multiprocessing
+    start method -- ``fork`` copies the parent's value at fork time, while
+    ``spawn`` re-imports the module and silently resets it.  Passing it
+    explicitly makes ``engine=None`` cells (and any ``engine=None`` lookup
+    inside a solver) resolve identically inline, under fork, and under
+    spawn.
     """
-    records = spec.run(seed=seed, engine=engine)
+    if default_engine is None:
+        records = spec.run(seed=seed, engine=engine)
+    else:
+        previous = set_default_engine(default_engine)
+        try:
+            records = spec.run(seed=seed, engine=engine)
+        finally:
+            set_default_engine(previous)
     return [record_to_dict(record) for record in records]
 
 
@@ -143,6 +162,11 @@ class SweepRunner:
             key, _ = self._cell_key(cell)
             lookups[cell] = self.cache.get(key) if self.cache is not None else None
 
+        # Captured once at submission time and shipped to every worker:
+        # workers must not rely on spawn-time (or fork-time) module state for
+        # the process-wide default engine.
+        default_engine = get_default_engine()
+
         misses = [cell for cell in cells if lookups[cell] is None]
         if self.workers > 1 and len(misses) > 1:
             pool = ProcessPoolExecutor(max_workers=min(self.workers, len(misses)))
@@ -153,7 +177,11 @@ class SweepRunner:
             if pool is not None:
                 for cell in misses:
                     futures[cell] = pool.submit(
-                        _execute_cell, self._spec(cell), cell.seed, cell.engine
+                        _execute_cell,
+                        self._spec(cell),
+                        cell.seed,
+                        cell.engine,
+                        default_engine,
                     )
             for cell in cells:
                 key, spec_hash = self._cell_key(cell)
@@ -174,7 +202,9 @@ class SweepRunner:
                     # wait observed here is the only meaningful per-cell cost.
                     payload = futures[cell].result()
                 else:
-                    payload = _execute_cell(self._spec(cell), cell.seed, cell.engine)
+                    payload = _execute_cell(
+                        self._spec(cell), cell.seed, cell.engine, default_engine
+                    )
                 duration = time.perf_counter() - start
                 records = [record_from_dict(entry) for entry in payload]
                 if self.cache is not None:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.faults import FAULT_MODELS, FaultSpec
 from repro.graphs.generators import STANDARD_SCALES
 from repro.orchestration.registry import (
     GraphSpec,
@@ -411,6 +412,130 @@ def _family_scenarios() -> List[ScenarioSpec]:
     ]
 
 
+#: The graph each fault sweep runs on, per family knob.
+_FAULT_BA = GraphSpec(
+    "preferential-attachment", {"n": 250, "attachment": 4}, name="ba-250", alpha=4
+)
+_FAULT_GRID = GraphSpec("grid", {"rows": 15, "cols": 15}, name="grid-15x15", alpha=2)
+_FAULT_RGG = GraphSpec(
+    "random-geometric", {"n": 200, "radius": 0.12}, name="rgg-200", alpha=8
+)
+
+_FAULT_SOLVERS = [
+    SolverSpec("deterministic", label="deterministic", params={"epsilon": 0.2}),
+    SolverSpec("randomized", label="randomized", params={"t": 2}),
+]
+
+
+def _fault_scenario(
+    name: str,
+    description: str,
+    graph: GraphSpec,
+    faults: FaultSpec,
+    extra_tags: tuple = (),
+) -> ScenarioSpec:
+    """One cell of the algorithm x family x fault-model grid.
+
+    Fault scenarios use the free counting OPT bound: under an adversary the
+    interesting measurements are degradation (non-dominating outputs,
+    inflated weight/rounds, drop/delay volume), not tight approximation
+    ratios, and the cheap bound keeps the three-dimensional grid tractable.
+    """
+    return ScenarioSpec(
+        name=name,
+        experiment="FAULTS",
+        description=description,
+        graphs=[graph],
+        solvers=list(_FAULT_SOLVERS),
+        opt_mode="degree",
+        faults=faults,
+        tags=("faults",) + extra_tags,
+    )
+
+
+def _fault_scenarios() -> List[ScenarioSpec]:
+    """The built-in adversarial grid: crash sweeps, lossy-link sweeps, churn.
+
+    Every scenario leaves the fault seed unpinned, so each sweep cell faces
+    a fresh adversary drawn from the same regime; the schedule is still
+    deterministic in the cell seed (and identical across engines and
+    processes -- the ``--smoke`` parity gate runs one of these cells under
+    both engines).
+    """
+    scenarios = [
+        _fault_scenario(
+            f"faults/{model}-ba",
+            f"Crash-stop sweep on preferential attachment: the {model!r} regime "
+            "crashes a fraction of the nodes at round 2, never to recover.",
+            _FAULT_BA,
+            FAULT_MODELS[model],
+        )
+        for model in ("crash5", "crash15", "crash30")
+    ]
+    scenarios += [
+        _fault_scenario(
+            f"faults/{model}-grid",
+            f"Lossy-link sweep on the 15x15 grid: the {model!r} regime drops "
+            "each message independently per link.",
+            _FAULT_GRID,
+            FAULT_MODELS[model],
+        )
+        for model in ("lossy2", "lossy10", "lossy25")
+    ]
+    scenarios += [
+        _fault_scenario(
+            "faults/lossy10-ba",
+            "10% per-link message loss on the preferential-attachment graph "
+            "(heavy-tailed degrees meet omission faults).",
+            _FAULT_BA,
+            FAULT_MODELS["lossy10"],
+        ),
+        _fault_scenario(
+            "faults/crash-recover-rgg",
+            "Crash-recover on the geometric deployment graph: 20% of nodes are "
+            "down for rounds 2-5, then resume with their state intact.",
+            _FAULT_RGG,
+            FAULT_MODELS["crash-recover"],
+        ),
+        _fault_scenario(
+            "faults/latency-rgg",
+            "Straggler links on the geometric deployment graph: every message "
+            "is delayed by 0-2 extra whole rounds, uniformly per link draw.",
+            _FAULT_RGG,
+            FAULT_MODELS["latency2"],
+        ),
+        _fault_scenario(
+            "faults/churn-ba",
+            "Topology churn on preferential attachment: 15% of the edges are "
+            "down in any 4-round window, rotating every epoch.",
+            _FAULT_BA,
+            FAULT_MODELS["churn"],
+        ),
+        _fault_scenario(
+            "faults/churn-grid",
+            "Topology churn on the 15x15 grid (low edge redundancy makes the "
+            "grid the family most sensitive to missing links).",
+            _FAULT_GRID,
+            FAULT_MODELS["churn"],
+        ),
+        _fault_scenario(
+            "faults/churn-rgg",
+            "Topology churn on the geometric deployment graph (radio links "
+            "flapping every 4 rounds).",
+            _FAULT_RGG,
+            FAULT_MODELS["churn"],
+        ),
+        _fault_scenario(
+            "faults/chaos-ba",
+            "Everything at once on preferential attachment: crash-recover "
+            "windows, 5% omission, 0-1 round latency, and 10% edge churn.",
+            _FAULT_BA,
+            FAULT_MODELS["chaos"],
+        ),
+    ]
+    return scenarios
+
+
 def _smoke_scenarios() -> List[ScenarioSpec]:
     return [
         ScenarioSpec(
@@ -441,6 +566,33 @@ def _smoke_scenarios() -> List[ScenarioSpec]:
             ],
             tags=("smoke",),
         ),
+        ScenarioSpec(
+            name="smoke/faults",
+            experiment="SMOKE",
+            description="CI smoke cell: a small preferential-attachment graph under a "
+                        "mixed fault plan (crash-recover + lossy links + latency); the "
+                        "--smoke gate byte-compares the record stream across engines, "
+                        "which pins down the vectorized fault path against the "
+                        "per-delivery oracle path.",
+            graphs=[
+                GraphSpec("preferential-attachment", {"n": 48, "attachment": 3},
+                          name="ba-48", alpha=3),
+            ],
+            solvers=[
+                SolverSpec("deterministic", label="eps=0.3", params={"epsilon": 0.3}),
+                SolverSpec("randomized", label="t=1", params={"t": 1}),
+            ],
+            opt_mode="degree",
+            faults=FaultSpec(
+                crash_fraction=0.15,
+                crash_at=2,
+                recover_after=3,
+                drop_probability=0.08,
+                latency_max=1,
+                label="smoke-mixed",
+            ),
+            tags=("smoke", "faults"),
+        ),
     ]
 
 
@@ -456,6 +608,7 @@ def register_builtin_scenarios(replace: bool = False) -> None:
         _experiment_scenarios()
         + _example_scenarios()
         + _family_scenarios()
+        + _fault_scenarios()
         + _smoke_scenarios()
     ):
         register_scenario(spec, replace=replace)

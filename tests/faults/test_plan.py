@@ -1,0 +1,184 @@
+"""Unit tests for the declarative fault layer: plans, specs, materialisation."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import networkx as nx
+import pytest
+
+from repro.faults import (
+    FAULT_MODELS,
+    ChurnEvent,
+    CrashFault,
+    FaultPlan,
+    FaultSpec,
+    LinkFault,
+    fault_model,
+)
+
+
+class TestCrashFault:
+    def test_permanent_and_recovering(self):
+        assert CrashFault("v", start=2).is_permanent
+        assert not CrashFault("v", start=2, recover=5).is_permanent
+
+    def test_rejects_bad_windows(self):
+        with pytest.raises(ValueError, match="start must be >= 0"):
+            CrashFault("v", start=-1)
+        with pytest.raises(ValueError, match="must be after start"):
+            CrashFault("v", start=3, recover=3)
+
+
+class TestLinkFault:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="drop_probability"):
+            LinkFault(0, 1, drop_probability=1.5)
+        with pytest.raises(ValueError, match="latency bounds"):
+            LinkFault(0, 1, latency_low=3, latency_high=1)
+
+
+class TestChurnEvent:
+    def test_rejects_bad_events(self):
+        with pytest.raises(ValueError, match="churn round"):
+            ChurnEvent(-1, "remove", 0, 1)
+        with pytest.raises(ValueError, match="churn action"):
+            ChurnEvent(0, "toggle", 0, 1)
+
+
+class TestFaultPlan:
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.is_empty()
+        assert plan.faulty_nodes() == ()
+        assert plan.describe() == "no faults"
+
+    def test_non_empty_detection(self):
+        assert not FaultPlan(crashes=(CrashFault(0, start=1),)).is_empty()
+        assert not FaultPlan(drop_probability=0.1).is_empty()
+        assert not FaultPlan(latency_high=2).is_empty()
+        assert not FaultPlan(churn=(ChurnEvent(1, "remove", 0, 1),)).is_empty()
+        assert not FaultPlan(links=(LinkFault(0, 1, drop_probability=0.5),)).is_empty()
+        # A link override that changes nothing keeps the plan empty.
+        assert FaultPlan(links=(LinkFault(0, 1),)).is_empty()
+
+    def test_faulty_nodes_sorted_and_unique(self):
+        plan = FaultPlan(
+            crashes=(
+                CrashFault(3, start=1, recover=2),
+                CrashFault(1, start=0),
+                CrashFault(3, start=5, recover=7),
+            )
+        )
+        assert plan.faulty_nodes() == (1, 3)
+
+    def test_rejects_overlapping_crash_windows(self):
+        with pytest.raises(ValueError, match="overlapping crash windows"):
+            FaultPlan(crashes=(CrashFault(0, start=1, recover=5), CrashFault(0, start=3)))
+        with pytest.raises(ValueError, match="overlapping crash windows"):
+            FaultPlan(crashes=(CrashFault(0, start=1), CrashFault(0, start=9)))
+
+    def test_rejects_bad_policy(self):
+        with pytest.raises(ValueError, match="on_round_limit"):
+            FaultPlan(on_round_limit="explode")
+
+    def test_as_dict_is_json_ready(self):
+        plan = FaultPlan(
+            crashes=(CrashFault(0, start=1, recover=4),),
+            drop_probability=0.25,
+            latency_high=2,
+            links=(LinkFault(0, 1, drop_probability=0.5),),
+            churn=(ChurnEvent(2, "remove", 0, 1), ChurnEvent(4, "insert", 0, 1)),
+            seed=7,
+        )
+        blob = json.dumps(plan.as_dict(), sort_keys=True)
+        assert "drop_probability" in blob
+        # Stable across repeated calls (content addressing relies on this).
+        assert json.dumps(plan.as_dict(), sort_keys=True) == blob
+
+    def test_plans_are_picklable(self):
+        plan = FAULT_MODELS["chaos"].materialize(nx.path_graph(8), 3)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="crash_fraction"):
+            FaultSpec(crash_fraction=2.0)
+        with pytest.raises(ValueError, match="drop_probability"):
+            FaultSpec(drop_probability=-0.1)
+        with pytest.raises(ValueError, match="recover_after"):
+            FaultSpec(crash_fraction=0.1, recover_after=0)
+        with pytest.raises(ValueError, match="churn_period"):
+            FaultSpec(churn_fraction=0.1)
+        with pytest.raises(ValueError, match="on_round_limit"):
+            FaultSpec(on_round_limit="panic")
+
+    def test_display_label(self):
+        assert FaultSpec().display_label == "no-faults"
+        spec = FaultSpec(crash_fraction=0.2, drop_probability=0.1, latency_max=2)
+        assert "crash[20%,stop]" in spec.display_label
+        assert "drop[0.1]" in spec.display_label
+        assert FaultSpec(label="custom").display_label == "custom"
+
+    def test_as_dict_excludes_label(self):
+        a = FaultSpec(drop_probability=0.1, label="a")
+        b = FaultSpec(drop_probability=0.1, label="b")
+        assert a.as_dict() == b.as_dict()
+
+    def test_materialize_crash_counts(self):
+        graph = nx.path_graph(40)
+        plan = FaultSpec(crash_fraction=0.25, crash_at=3).materialize(graph, 0)
+        assert len(plan.crashes) == 10
+        assert all(crash.start == 3 and crash.is_permanent for crash in plan.crashes)
+
+        plan = FaultSpec(crash_count=4, recover_after=2, crash_at=1).materialize(graph, 0)
+        assert len(plan.crashes) == 4
+        assert all(crash.recover == 3 for crash in plan.crashes)
+
+    def test_materialize_churn_schedule(self):
+        graph = nx.cycle_graph(20)  # 20 edges
+        spec = FaultSpec(churn_fraction=0.1, churn_period=4, churn_epochs=3)
+        plan = spec.materialize(graph, 0)
+        # 2 edges per epoch, one remove + one matching insert each.
+        assert len(plan.churn) == 3 * 2 * 2
+        removes = [e for e in plan.churn if e.action == "remove"]
+        inserts = [e for e in plan.churn if e.action == "insert"]
+        assert {e.round_index for e in removes} == {4, 8, 12}
+        assert {e.round_index for e in inserts} == {8, 12, 16}
+        for remove in removes:
+            assert any(
+                insert.round_index == remove.round_index + 4
+                and {insert.u, insert.v} == {remove.u, remove.v}
+                for insert in inserts
+            )
+
+    def test_materialize_is_deterministic(self):
+        graph = nx.gnp_random_graph(30, 0.2, seed=5)
+        spec = FAULT_MODELS["chaos"]
+        assert spec.materialize(graph, 9) == spec.materialize(graph, 9)
+
+    def test_cell_seed_varies_unpinned_plans(self):
+        graph = nx.gnp_random_graph(30, 0.2, seed=5)
+        spec = FaultSpec(crash_fraction=0.3)
+        assert spec.materialize(graph, 0) != spec.materialize(graph, 1)
+
+    def test_pinned_seed_ignores_cell_seed(self):
+        graph = nx.gnp_random_graph(30, 0.2, seed=5)
+        spec = FaultSpec(crash_fraction=0.3, seed=77)
+        assert spec.materialize(graph, 0) == spec.materialize(graph, 1)
+
+
+class TestFaultModels:
+    def test_catalogue_materializes_everywhere(self):
+        graph = nx.gnp_random_graph(25, 0.25, seed=1)
+        for name, spec in FAULT_MODELS.items():
+            plan = spec.materialize(graph, 0)
+            assert not plan.is_empty(), name
+
+    def test_lookup(self):
+        assert fault_model("lossy10").drop_probability == 0.10
+        with pytest.raises(KeyError, match="unknown fault model"):
+            fault_model("meteor-strike")

@@ -93,12 +93,13 @@ class TestSweep:
         assert code == 0
         assert "parity OK: smoke/forest" in out
         assert "parity OK: smoke/mixed" in out
+        assert "parity OK: smoke/faults" in out
         assert "0 from cache (0%)" in out
 
         # Second invocation: >= 90% of cells served from cache (here: all).
         code, out, _ = run_cli(capsys, "sweep", "--smoke", "--cache-dir", str(tmp_path))
         assert code == 0
-        assert "4 from cache (100%)" in out
+        assert "6 from cache (100%)" in out
 
     def test_seed_and_engine_grid(self, capsys, tmp_path):
         code, out, _ = run_cli(

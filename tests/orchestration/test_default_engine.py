@@ -1,0 +1,98 @@
+"""Regression tests: sweep workers inherit the default engine explicitly.
+
+``set_default_engine`` mutates module state.  Whether a worker process sees
+the parent's value used to depend on the multiprocessing start method: fork
+copies it, spawn re-imports the module and silently resets it to
+``"reference"``.  The runner now captures the parent's default at submission
+time and ships it to :func:`repro.orchestration.runner._execute_cell`, which
+applies (and restores) it around the cell -- so ``engine=None`` resolution is
+identical inline, under fork, and under spawn.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.analysis.experiments import ExperimentRecord
+from repro.congest.engine import get_default_engine, set_default_engine
+from repro.orchestration import SweepCell, SweepRunner
+from repro.orchestration.runner import _execute_cell
+
+
+class _DefaultEngineProbe:
+    """Scenario-spec stand-in whose records capture the default engine seen.
+
+    Real records are engine-independent by design, so observing which engine
+    a worker would resolve for ``engine=None`` requires a probe.  Instances
+    are picklable (module-level class), exactly like real ScenarioSpecs.
+    """
+
+    name = "test/default-engine-probe"
+
+    def spec_hash(self):
+        return "default-engine-probe"
+
+    def run(self, seed, engine):
+        return [
+            ExperimentRecord(
+                experiment="PROBE",
+                algorithm="probe",
+                instance="probe",
+                n=0,
+                m=0,
+                max_degree=0,
+                alpha=1,
+                weight=0.0,
+                rounds=0,
+                ratio=1.0,
+                opt_value=1.0,
+                opt_kind="exact",
+                guarantee=None,
+                within_guarantee=None,
+                is_dominating=True,
+                params={
+                    "observed_default": get_default_engine(),
+                    "engine_arg": engine,
+                    "seed": seed,
+                },
+            )
+        ]
+
+
+def test_execute_cell_applies_and_restores_the_default_engine():
+    original = get_default_engine()
+    payload = _execute_cell(_DefaultEngineProbe(), 0, "batched", "batched")
+    assert payload[0]["params"]["observed_default"] == "batched"
+    assert get_default_engine() == original
+
+
+def test_spawned_worker_sees_the_parent_default_not_module_state():
+    """Under spawn, module state resets to "reference"; the explicit
+    ``default_engine`` argument is the only way the parent's choice arrives."""
+    context = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+        with_fix = pool.submit(
+            _execute_cell, _DefaultEngineProbe(), 0, "batched", "batched"
+        ).result()
+        without_fix = pool.submit(
+            _execute_cell, _DefaultEngineProbe(), 0, "batched", None
+        ).result()
+    assert with_fix[0]["params"]["observed_default"] == "batched"
+    # The pre-fix behavior the explicit argument protects against: a spawned
+    # worker falls back to the module's import-time default.
+    assert without_fix[0]["params"]["observed_default"] == "reference"
+
+
+def test_runner_ships_the_current_default_to_cells():
+    runner = SweepRunner(cache=None, workers=1)
+    # Pre-seed the runner's spec cache so the probe bypasses the registry.
+    runner._specs[_DefaultEngineProbe.name] = _DefaultEngineProbe()
+    cell = SweepCell(scenario=_DefaultEngineProbe.name, seed=0, engine="batched")
+
+    previous = set_default_engine("batched")
+    try:
+        (result,) = list(runner.run_cells([cell]))
+    finally:
+        set_default_engine(previous)
+    assert result.records[0].params["observed_default"] == "batched"
