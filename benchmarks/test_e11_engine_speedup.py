@@ -21,7 +21,7 @@ import time
 
 import pytest
 
-from repro import solve_mds, solve_weighted_mds
+from repro import RunSpec, execute
 from repro.analysis.tables import format_table
 from repro.graphs.generators import (
     caterpillar_graph,
@@ -65,28 +65,24 @@ def _run(bench_seed):
     rows = []
 
     # Mid-size smoke instance: the hard floor is "batched is never slower".
-    mid = preferential_attachment_graph(800, attachment=6, seed=bench_seed)
-    rows.append(
-        _compare_engines(
-            "mid BA n=800 deg~6",
-            mid,
-            lambda g, engine: solve_mds(g, alpha=6, epsilon=0.2, engine=engine),
+    def _solver(algorithm, alpha):
+        return lambda g, engine: execute(
+            RunSpec(graph=g, algorithm=algorithm, params={"epsilon": 0.2},
+                    alpha=alpha, engine=engine)
         )
-    )
+
+    mid = preferential_attachment_graph(800, attachment=6, seed=bench_seed)
+    rows.append(_compare_engines("mid BA n=800 deg~6", mid, _solver("deterministic", 6)))
 
     # E9's own families at E9 scale (sparse: modest but real wins).
     rows.append(
-        _compare_engines(
-            "E9 grid 40x40",
-            grid_graph(40, 40),
-            lambda g, engine: solve_mds(g, alpha=2, epsilon=0.2, engine=engine),
-        )
+        _compare_engines("E9 grid 40x40", grid_graph(40, 40), _solver("deterministic", 2))
     )
     rows.append(
         _compare_engines(
             "E9 caterpillar 12x128",
             caterpillar_graph(12, legs_per_node=128),
-            lambda g, engine: solve_mds(g, alpha=1, epsilon=0.2, engine=engine),
+            _solver("deterministic", 1),
         )
     )
 
@@ -95,9 +91,7 @@ def _run(bench_seed):
     assign_random_weights(headline, 1, 30, seed=11)
     rows.append(
         _compare_engines(
-            "E9-scale BA n=2500 deg~32 (headline)",
-            headline,
-            lambda g, engine: solve_weighted_mds(g, alpha=32, epsilon=0.2, engine=engine),
+            "E9-scale BA n=2500 deg~32 (headline)", headline, _solver("weighted", 32)
         )
     )
     return rows

@@ -21,7 +21,7 @@ import time
 
 import pytest
 
-from repro import solve_mds, solve_weighted_mds
+from repro import RunSpec, execute
 from repro.analysis.tables import format_table
 from repro.faults import FAULT_MODELS, AdversarialEngine, FaultPlan
 from repro.graphs.generators import grid_graph, preferential_attachment_graph
@@ -69,13 +69,15 @@ def _run(bench_seed):
     grid = grid_graph(40, 40)
 
     def grid_solver(g, engine):
-        return solve_mds(g, alpha=2, epsilon=0.2, engine=engine)
+        return execute(RunSpec(graph=g, algorithm="deterministic",
+                               params={"epsilon": 0.2}, alpha=2, engine=engine))
 
     headline = preferential_attachment_graph(2500, attachment=32, seed=bench_seed)
     assign_random_weights(headline, 1, 30, seed=11)
 
     def headline_solver(g, engine):
-        return solve_weighted_mds(g, alpha=32, epsilon=0.2, engine=engine)
+        return execute(RunSpec(graph=g, algorithm="weighted",
+                               params={"epsilon": 0.2}, alpha=32, engine=engine))
 
     for name, graph, solver in (
         ("E9 grid 40x40", grid, grid_solver),

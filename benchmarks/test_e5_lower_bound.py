@@ -16,7 +16,7 @@ registered as ``E5/lower-bound`` for sweeps and the CLI.
 
 from __future__ import annotations
 
-from repro import solve_mds
+from repro import RunSpec, execute
 from repro.analysis.tables import format_table
 from repro.baselines.lp import fractional_vertex_cover_lp
 from repro.lowerbound.kmw_graph import bipartite_regular_base_graph
@@ -33,7 +33,8 @@ def _run(seed):
         base = bipartite_regular_base_graph(side, degree, seed=seed + side)
         instance = build_lower_bound_graph(base)
         checks = verify_structural_properties(instance)
-        result = solve_mds(instance.graph, alpha=2, epsilon=0.3)
+        result = execute(RunSpec(graph=instance.graph, algorithm="deterministic",
+                                 params={"epsilon": 0.3}, alpha=2))
         fractional = extract_fractional_vertex_cover(instance, result.dominating_set)
         _, opt_mfvc = fractional_vertex_cover_lp(base.graph)
         vc_value = sum(fractional.values())

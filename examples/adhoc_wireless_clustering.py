@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import networkx as nx
 
-from repro import solve_mds_randomized, solve_weighted_mds
+import repro
 from repro.analysis.opt import estimate_opt
 from repro.analysis.tables import format_table
 from repro.graphs.arboricity import arboricity_upper_bound
@@ -58,8 +58,15 @@ def main() -> None:
         alpha = max(1, arboricity_upper_bound(graph))
         opt = estimate_opt(graph)
 
-        deterministic = solve_weighted_mds(graph, alpha=alpha, epsilon=0.25)
-        randomized = solve_mds_randomized(graph, alpha=alpha, t=2, seed=seed)
+        session = repro.Session()
+        deterministic = session.run(
+            repro.RunSpec(graph=graph, algorithm="weighted",
+                          params={"epsilon": 0.25}, alpha=alpha)
+        )
+        randomized = session.run(
+            repro.RunSpec(graph=graph, algorithm="randomized",
+                          params={"t": 2}, alpha=alpha, seed=seed)
+        )
         naive_cost = naive_clustering(graph)
 
         assert deterministic.is_valid and randomized.is_valid

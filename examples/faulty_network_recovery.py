@@ -10,19 +10,23 @@ they lose as conditions worsen, and how much traffic does the adversary
 eat?
 
 The example runs the deterministic algorithm on a geometric deployment
-graph under increasingly hostile fault regimes -- a seeded, declarative
-:class:`repro.faults.FaultSpec` materialised into a concrete plan per run --
-and reports coverage (fraction of devices dominated), cost, rounds, and the
-drop/delay volume from the extended run metrics.  The same regimes are
-registered as ``faults/*`` scenarios (``python -m repro list --tag faults``)
-and any scenario can be stressed from the CLI with ``--faults <model>``.
+graph under increasingly hostile fault regimes -- each one a
+:class:`repro.RunSpec` differing only in its ``faults`` field, executed
+through a single compiled :class:`repro.Session` (the graph, network and
+adjacency layout are built once for all five regimes) -- and reports
+coverage (fraction of devices dominated), cost, rounds, and the drop/delay
+volume from the extended run metrics.  The same regimes are registered as
+``faults/*`` scenarios (``python -m repro list --tag faults``) and any
+scenario can be stressed from the CLI with ``--faults <model>``.
 """
 
 from __future__ import annotations
 
-from repro import solve_weighted_mds
+import dataclasses
+
+import repro
 from repro.analysis.tables import format_table
-from repro.faults import AdversarialEngine, FaultSpec
+from repro.faults import FaultSpec
 from repro.graphs.arboricity import arboricity_upper_bound
 from repro.graphs.generators import random_geometric_graph
 from repro.graphs.validation import undominated_nodes
@@ -53,11 +57,18 @@ def main() -> None:
     assign_degree_weights(graph, base=3)
     alpha = max(1, arboricity_upper_bound(graph))
 
+    base = repro.RunSpec(
+        graph=graph,
+        algorithm="weighted",
+        params={"epsilon": 0.25},
+        alpha=alpha,
+        engine="batched",
+        fault_seed=0,
+    )
+    session = repro.Session()
     rows = []
     for label, spec in REGIMES:
-        plan = spec.materialize(graph, cell_seed=0)
-        engine = AdversarialEngine(plan, inner="batched")
-        result = solve_weighted_mds(graph, alpha=alpha, epsilon=0.25, engine=engine)
+        result = session.run(dataclasses.replace(base, faults=spec))
 
         uncovered = undominated_nodes(graph, result.dominating_set)
         metrics = result.metrics

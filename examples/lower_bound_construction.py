@@ -18,7 +18,7 @@ construction's internals rather than just records.
 
 from __future__ import annotations
 
-from repro import solve_mds
+import repro
 from repro.analysis.tables import format_table
 from repro.baselines.lp import fractional_vertex_cover_lp
 from repro.lowerbound.kmw_graph import bipartite_regular_base_graph
@@ -37,7 +37,10 @@ def main() -> None:
         checks = verify_structural_properties(instance)
         assert all(checks.values()), checks
 
-        result = solve_mds(instance.graph, alpha=2, epsilon=0.3)
+        result = repro.execute(
+            repro.RunSpec(graph=instance.graph, algorithm="deterministic",
+                          params={"epsilon": 0.3}, alpha=2)
+        )
         assert result.is_valid
 
         fractional = extract_fractional_vertex_cover(instance, result.dominating_set)

@@ -13,7 +13,7 @@ scales with the maximum degree rather than the city size.
 
 from __future__ import annotations
 
-from repro import solve_weighted_mds
+import repro
 from repro.analysis.tables import format_table
 from repro.baselines.greedy import greedy_dominating_set
 from repro.baselines.lp import lp_dominating_set_lower_bound
@@ -29,7 +29,10 @@ def run_city(instance) -> dict:
     city = instance.graph
     alpha = min(3, max(1, arboricity_upper_bound(city)))
 
-    distributed = solve_weighted_mds(city, alpha=alpha, epsilon=0.25)
+    distributed = repro.execute(
+        repro.RunSpec(graph=city, algorithm="weighted",
+                      params={"epsilon": 0.25}, alpha=alpha)
+    )
     greedy_set, greedy_cost = greedy_dominating_set(city)
     lp_bound = lp_dominating_set_lower_bound(city)
 

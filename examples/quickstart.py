@@ -6,13 +6,14 @@ Run with::
     python examples/quickstart.py
 
 It builds a small bounded-arboricity graph, runs the paper's deterministic
-and randomized algorithms plus the classic greedy baseline, verifies every
-output, and prints a comparison table.
+and randomized algorithms plus the classic greedy baseline through the
+unified execution API (``repro.RunSpec`` + ``repro.execute`` /
+``repro.Session``), verifies every output, and prints a comparison table.
 """
 
 from __future__ import annotations
 
-from repro import solve_mds, solve_mds_randomized, solve_weighted_mds
+import repro
 from repro.analysis.opt import estimate_opt
 from repro.analysis.tables import format_table
 from repro.baselines.greedy import greedy_dominating_set
@@ -35,9 +36,18 @@ def main() -> None:
     opt = estimate_opt(graph)
     print(f"optimum ({opt.kind}): {opt.value:.0f}\n")
 
-    # 3. Run the algorithms.
-    deterministic = solve_weighted_mds(graph, alpha=alpha, epsilon=0.2)
-    randomized = solve_mds_randomized(graph, alpha=alpha, t=2, seed=1)
+    # 3. Run the algorithms: declare *what* to run as RunSpecs and execute
+    #    them through one Session, which compiles the graph (network, CSR
+    #    adjacency, certified arboricity bound) once and reuses it per run.
+    session = repro.Session()
+    deterministic = session.run(
+        repro.RunSpec(graph=graph, algorithm="weighted",
+                      params={"epsilon": 0.2}, alpha=alpha)
+    )
+    randomized = session.run(
+        repro.RunSpec(graph=graph, algorithm="randomized",
+                      params={"t": 2}, alpha=alpha, seed=1)
+    )
     greedy_set, greedy_weight = greedy_dominating_set(graph)
 
     # 4. Everything is verified: validity, weight, rounds, guarantees.
@@ -70,10 +80,14 @@ def main() -> None:
     assert is_dominating_set(graph, greedy_set)
     print("\nall outputs verified to be dominating sets")
 
-    # 5. The unweighted entry point chooses the Section 3 algorithm when every
-    #    weight is one.
+    # 5. The "deterministic" algorithm dispatches to the Section 3 warm-up
+    #    when every weight is one; repro.execute is the one-shot form (the
+    #    legacy solve_mds(...) helpers wrap exactly this, byte-identically).
     unweighted = forest_union_graph(n=150, alpha=3, seed=43)
-    result = solve_mds(unweighted, alpha=3, epsilon=0.2)
+    result = repro.execute(
+        repro.RunSpec(graph=unweighted, algorithm="deterministic",
+                      params={"epsilon": 0.2}, alpha=3)
+    )
     print(f"\nunweighted run: |S|={len(result)} rounds={result.rounds} "
           f"guarantee={result.guarantee:.2f} valid={result.is_valid}")
 

@@ -3,26 +3,44 @@ Arboricity Graphs" (Dory, Ghaffari, Ilchi; PODC 2022).
 
 The package is organised as follows:
 
-* :mod:`repro.graphs`     -- graph substrate: arboricity, orientations, generators.
-* :mod:`repro.congest`    -- synchronous CONGEST/LOCAL message-passing simulator.
-* :mod:`repro.core`       -- the paper's algorithms (Theorems 1.1, 1.2, 1.3, 3.1,
+* :mod:`repro.graphs`        -- graph substrate: arboricity, orientations, generators.
+* :mod:`repro.congest`       -- synchronous CONGEST/LOCAL message-passing simulator.
+* :mod:`repro.core`          -- the paper's algorithms (Theorems 1.1, 1.2, 1.3, 3.1,
   Remarks 4.4/4.5, Observation A.1) implemented as distributed algorithms.
-* :mod:`repro.baselines`  -- every comparator the paper discusses (greedy,
+* :mod:`repro.run`           -- the unified execution API: :class:`RunSpec`,
+  :class:`Session`, :func:`execute`.
+* :mod:`repro.faults`        -- adversarial network conditions (crashes, omission,
+  latency, churn) applied inside the simulation engines.
+* :mod:`repro.baselines`     -- every comparator the paper discusses (greedy,
   Lenzen--Wattenhofer, KMW, Bansal--Umboh, Morgan--Solomon--Wein, Sun, exact, LP).
-* :mod:`repro.lowerbound` -- the Theorem 1.4 / Figure 1 lower-bound construction
+* :mod:`repro.lowerbound`    -- the Theorem 1.4 / Figure 1 lower-bound construction
   and the dominating-set -> fractional-vertex-cover reduction.
-* :mod:`repro.analysis`   -- verification, OPT estimation and experiment harness.
+* :mod:`repro.analysis`      -- verification, OPT estimation and experiment harness.
+* :mod:`repro.orchestration` -- scenario registry, cached parallel sweeps, CLI.
 
-Quickstart::
+Quickstart (one-shot)::
 
-    from repro import solve_mds
+    import repro
     from repro.graphs import forest_union_graph
 
     graph = forest_union_graph(n=200, alpha=3, seed=1)
-    result = solve_mds(graph, alpha=3, epsilon=0.2)
+    result = repro.execute(repro.RunSpec(graph=graph, algorithm="deterministic",
+                                         params={"epsilon": 0.2}, alpha=3))
     assert result.is_valid
+
+Quickstart (compiled batch, fast engine, faults)::
+
+    spec = repro.RunSpec(graph=graph, algorithm="randomized", params={"t": 2},
+                         engine="batched", faults="lossy10")
+    with repro.Session() as session:
+        results = list(session.run_many(base=spec, seeds=range(8)))
+
+The legacy per-algorithm ``solve_*`` helpers remain available (and
+byte-identical), wrapping the API above; see :mod:`repro.core.api` for the
+deprecation path.
 """
 
+from repro.congest.metrics import RoundMetrics, RunMetrics
 from repro.core.api import (
     DominatingSetResult,
     solve_mds,
@@ -33,11 +51,26 @@ from repro.core.api import (
     solve_mds_unknown_degree,
     solve_weighted_mds,
 )
+from repro.faults import FAULT_MODELS, AdversarialEngine, FaultPlan, FaultSpec
+from repro.run import RunSpec, Session, execute
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # unified execution API
+    "RunSpec",
+    "Session",
+    "execute",
     "DominatingSetResult",
+    # metrics
+    "RunMetrics",
+    "RoundMetrics",
+    # fault injection entry points
+    "FaultPlan",
+    "FaultSpec",
+    "FAULT_MODELS",
+    "AdversarialEngine",
+    # legacy helpers (deprecated wrappers over RunSpec/execute)
     "solve_mds",
     "solve_mds_forest",
     "solve_mds_general",

@@ -148,16 +148,15 @@ class Engine(abc.ABC):
         metrics = RunMetrics(bandwidth_budget_bits=budget)
         metrics.faulty_nodes = hooks.faulty_nodes
 
-        node_order = list(network.node_ids())
+        layout = network.layout()
+        node_order = layout.node_order
         n = len(node_order)
-        contexts = [network.context(node_id) for node_id in node_order]
-        index_of = {node_id: index for index, node_id in enumerate(node_order)}
+        contexts = layout.contexts
+        index_of = layout.index_of
         for context in contexts:
             algorithm.setup(context)
-        neighbor_indices: List[List[int]] = [
-            [index_of[u] for u in context.neighbors] for context in contexts
-        ]
-        bits_of = self._hooked_bits(max(2, network.n))
+        neighbor_indices: List[List[int]] = layout.neighbor_indices
+        bits_of = self._hooked_bits(network)
 
         round_index = 0
         while True:
@@ -238,8 +237,9 @@ class Engine(abc.ABC):
         }
         return outputs, metrics
 
-    def _hooked_bits(self, bits_n: int):
+    def _hooked_bits(self, network):
         """Payload-size estimator for the hooked loop (override to memoize)."""
+        bits_n = max(2, network.n)
         return lambda payload: estimate_payload_bits(payload, bits_n)
 
     def _hooked_broadcast(self, hooks, round_index, sender_index, neighbor_indices, payload):
@@ -396,27 +396,25 @@ class BatchedEngine(Engine):
 
         metrics = RunMetrics(bandwidth_budget_bits=budget)
 
-        node_order = list(network.node_ids())
+        # All adjacency state comes from the network's cached layout: built
+        # once per network and shared across executions (the compiled-state
+        # reuse a repro.run.Session depends on).
+        layout = network.layout()
+        node_order = layout.node_order
         n = len(node_order)
-        contexts = [network.context(node_id) for node_id in node_order]
+        contexts = layout.contexts
         for context in contexts:
             algorithm.setup(context)
 
-        index_of = {node_id: index for index, node_id in enumerate(node_order)}
-        degrees = np.fromiter(
-            (len(context.neighbors) for context in contexts), dtype=np.int64, count=n
-        )
+        degrees = layout.degrees
         # Neighbor ids sorted by global node order: the reference engine
         # inserts deliveries while looping over senders in node order, so a
         # receiver scanning its neighbors in that same order rebuilds the
         # identical inbox key sequence.
-        sorted_neighbors: List[List[Hashable]] = [
-            [node_order[j] for j in sorted(index_of[u] for u in context.neighbors)]
-            for context in contexts
-        ]
+        sorted_neighbors: List[List[Hashable]] = layout.sorted_neighbor_ids
 
         bits_n = max(2, network.n)
-        bits_memo: Dict[tuple, int] = {}
+        bits_memo: Dict[tuple, int] = layout.bits_memo
 
         # Send buffers of the previous round: broadcast payload per sender id,
         # and explicit receiver->payload maps for unicast senders.  When the
@@ -561,9 +559,11 @@ class BatchedEngine(Engine):
         }
         return outputs, metrics
 
-    def _hooked_bits(self, bits_n: int):
-        # The batched engine keeps its payload-bits memo in hooked runs too.
-        memo: Dict[tuple, int] = {}
+    def _hooked_bits(self, network):
+        # The batched engine keeps its payload-bits memo in hooked runs too,
+        # shared across executions through the network layout.
+        bits_n = max(2, network.n)
+        memo = network.layout().bits_memo
         return lambda payload: self._payload_bits(payload, bits_n, memo)
 
     def _hooked_broadcast(self, hooks, round_index, sender_index, neighbor_indices, payload):

@@ -3,14 +3,108 @@
 from __future__ import annotations
 
 from types import MappingProxyType
-from typing import Any, Dict, Hashable, Iterable, Mapping, Optional
+from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
 
 import networkx as nx
 
 from repro.congest.node import NodeContext
 from repro.graphs.weights import node_weight
 
-__all__ = ["Network"]
+__all__ = ["Network", "NetworkLayout"]
+
+
+class NetworkLayout:
+    """Flattened, engine-agnostic adjacency state of one :class:`Network`.
+
+    Everything in here is a pure function of the network's (static) topology:
+    the global node order, index lookups, per-node neighbor index lists, the
+    neighbor lists re-sorted by global node order (the batched engine's inbox
+    insertion order), and -- lazily, because they need NumPy -- the degree
+    vector and a CSR over directed edges (used by the fault runtime).
+
+    Engines used to rebuild all of this at the top of every execution; the
+    layout is computed once per :class:`Network` (see :meth:`Network.layout`)
+    and shared across runs, which is what makes a compiled
+    :class:`repro.run.Session` cheap to re-execute.  The payload-bits memo
+    lives here too: payload size estimates depend only on ``n``, so they are
+    safely reusable across executions on the same network.
+    """
+
+    __slots__ = (
+        "node_order",
+        "index_of",
+        "contexts",
+        "neighbor_indices",
+        "sorted_neighbor_ids",
+        "bits_memo",
+        "_degrees",
+        "_csr",
+    )
+
+    def __init__(self, network: "Network"):
+        self.node_order: List[Hashable] = list(network.node_ids())
+        self.index_of: Dict[Hashable, int] = {
+            node_id: index for index, node_id in enumerate(self.node_order)
+        }
+        self.contexts: List[NodeContext] = [
+            network.context(node_id) for node_id in self.node_order
+        ]
+        index_of = self.index_of
+        #: Neighbor indices in each context's own neighbor order (the order
+        #: the reference engine's per-delivery loops iterate in).
+        self.neighbor_indices: List[List[int]] = [
+            [index_of[u] for u in context.neighbors] for context in self.contexts
+        ]
+        #: Neighbor ids sorted by global node order: the reference engine
+        #: inserts deliveries while looping over senders in node order, so a
+        #: receiver scanning its neighbors in this order rebuilds the
+        #: identical inbox key sequence.
+        node_order = self.node_order
+        self.sorted_neighbor_ids: List[List[Hashable]] = [
+            [node_order[j] for j in sorted(indices)] for indices in self.neighbor_indices
+        ]
+        #: Memoized payload-bit estimates (see BatchedEngine._payload_bits);
+        #: keyed by payload content+types, valid for the lifetime of the
+        #: network because the estimates depend only on ``n``.
+        self.bits_memo: Dict[tuple, int] = {}
+        self._degrees = None
+        self._csr = None
+
+    @property
+    def degrees(self):
+        """Per-node degree vector as an ``int64`` NumPy array (lazy)."""
+        if self._degrees is None:
+            import numpy as np
+
+            self._degrees = np.fromiter(
+                (len(context.neighbors) for context in self.contexts),
+                dtype=np.int64,
+                count=len(self.contexts),
+            )
+        return self._degrees
+
+    def csr(self) -> Tuple[Any, Any, Dict[Tuple[int, int], int]]:
+        """CSR over directed edges, neighbor lists sorted by global order.
+
+        Returns ``(indptr, indices, edge_pos)`` where ``edge_pos`` maps a
+        directed ``(sender index, receiver index)`` pair to its position in
+        ``indices``.  Built lazily (NumPy) and cached; the fault runtime
+        compiles its per-edge arrays against this layout.
+        """
+        if self._csr is None:
+            import numpy as np
+
+            n = len(self.node_order)
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            indices_list: List[int] = []
+            edge_pos: Dict[Tuple[int, int], int] = {}
+            for i, neighbor_indices in enumerate(self.neighbor_indices):
+                for j in sorted(neighbor_indices):
+                    edge_pos[(i, j)] = len(indices_list)
+                    indices_list.append(j)
+                indptr[i + 1] = len(indices_list)
+            self._csr = (indptr, np.asarray(indices_list, dtype=np.int64), edge_pos)
+        return self._csr
 
 
 class Network:
@@ -74,6 +168,44 @@ class Network:
                 config=self.config,
                 seed=seed,
             )
+        self._layout: Optional[NetworkLayout] = None
+
+    def layout(self) -> NetworkLayout:
+        """The flattened adjacency layout, computed once and cached.
+
+        The topology of a network is immutable (contexts capture their
+        neighbor tuples at construction), so the layout never needs
+        invalidation; engines and the fault runtime share it across runs.
+        """
+        if self._layout is None:
+            self._layout = NetworkLayout(self)
+        return self._layout
+
+    def rebind(
+        self,
+        alpha: Optional[int],
+        config: Optional[Mapping[str, Any]] = None,
+        knows_max_degree: bool = True,
+    ) -> None:
+        """Swap the globally known parameters without rebuilding the network.
+
+        Rebuilds the shared read-only config mapping exactly as the
+        constructor would for the same arguments and points every node
+        context at it.  Used by :class:`repro.run.Session` to reuse one
+        compiled network across runs that differ in ``alpha`` /
+        ``knows_max_degree`` / extra config entries.
+        """
+        self.alpha = alpha
+        shared: Dict[str, Any] = {"n": self.n}
+        if knows_max_degree:
+            shared["max_degree"] = self.max_degree
+        if alpha is not None:
+            shared["alpha"] = alpha
+        if config:
+            shared.update(config)
+        self.config = MappingProxyType(dict(shared))
+        for node in self.nodes.values():
+            node.config = self.config
 
     def node_ids(self) -> Iterable[Hashable]:
         """Iterate over the node identifiers in a deterministic order."""
@@ -87,11 +219,23 @@ class Network:
         """Return ``True`` iff ``u`` and ``v`` share an edge."""
         return self.graph.has_edge(u, v)
 
-    def reset(self) -> None:
-        """Clear all per-node state so another algorithm can run on the network."""
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Clear all per-node state so another algorithm can run on the network.
+
+        With ``seed`` given, additionally rewind every node's private random
+        stream to its start for that seed, making the network
+        indistinguishable from a freshly constructed ``Network(graph,
+        seed=seed, ...)``.  Without it the current streams are kept (the
+        historical behavior, relied on by callers that reset between phases
+        of one logical execution).
+        """
+        if seed is not None:
+            self.seed = seed
         for node in self.nodes.values():
             node.state.clear()
             node._finished = False
+            if seed is not None:
+                node.reseed(seed)
 
     def __len__(self) -> int:
         return self.n

@@ -34,10 +34,13 @@ class NodeContext:
         Mutable dictionary for the algorithm's per-node variables.
     rng:
         A :class:`random.Random` seeded deterministically from the network
-        seed and the node id, for randomized algorithms.
+        seed and the node id, for randomized algorithms.  Created lazily on
+        first access: deterministic algorithms never touch it, and seeding a
+        ``Random`` hashes the seed string with SHA-512, which is the dominant
+        cost of building a large network.
     """
 
-    __slots__ = ("node_id", "weight", "neighbors", "config", "state", "rng", "_finished")
+    __slots__ = ("node_id", "weight", "neighbors", "config", "state", "_seed", "_rng", "_finished")
 
     def __init__(
         self,
@@ -52,10 +55,28 @@ class NodeContext:
         self.neighbors = neighbors
         self.config = config
         self.state: Dict[str, Any] = {}
-        # Seeding with a string is deterministic across processes (the seed is
-        # hashed with SHA-512 internally), unlike hash() of a string.
-        self.rng = random.Random(f"{seed}:{node_id!r}")
+        self._seed = seed
+        self._rng: random.Random | None = None
         self._finished = False
+
+    @property
+    def rng(self) -> random.Random:
+        if self._rng is None:
+            # Seeding with a string is deterministic across processes (the
+            # seed is hashed with SHA-512 internally), unlike hash() of a
+            # string.
+            self._rng = random.Random(f"{self._seed}:{self.node_id!r}")
+        return self._rng
+
+    def reseed(self, seed: int) -> None:
+        """Reset the private random stream to its start for ``seed``.
+
+        Used when a compiled network is reused for another execution: after
+        ``reseed(s)`` the node's stream is indistinguishable from that of a
+        freshly built node on a network with seed ``s``.
+        """
+        self._seed = seed
+        self._rng = None
 
     @property
     def degree(self) -> int:

@@ -1,58 +1,42 @@
-"""High-level convenience API for the paper's algorithms.
+"""Legacy convenience helpers, now thin wrappers over the unified run API.
 
-These helpers wrap the CONGEST machinery so that a downstream user who just
-wants "a good dominating set of this networkx graph" never has to touch the
-simulator directly::
+.. deprecated::
+    The per-algorithm ``solve_*`` helpers are kept for backward
+    compatibility and produce byte-identical results, but new code should
+    use the declarative API instead::
 
-    import networkx as nx
-    from repro import solve_mds
+        import repro
 
-    graph = nx.petersen_graph()
-    result = solve_mds(graph, alpha=3, epsilon=0.2)
-    print(result.dominating_set, result.weight, result.rounds)
+        spec = repro.RunSpec(graph=graph, algorithm="deterministic",
+                             params={"epsilon": 0.2}, engine="batched")
+        result = repro.execute(spec)                  # one-shot
 
-Every function returns a :class:`DominatingSetResult` that carries the set,
-its weight, the number of CONGEST rounds the distributed execution took, the
-raw per-node outputs and the traffic metrics.
+        with repro.Session() as session:              # compile once, run many
+            for result in session.run_many(base=spec, seeds=range(16)):
+                ...
 
-Engine selection
-----------------
+    Each helper below builds the equivalent :class:`~repro.run.RunSpec` and
+    calls :func:`repro.execute`; ``tests/run/test_parity_grid.py`` enforces
+    that the two paths match byte for byte across the full algorithm x
+    graph-family grid.  The helpers emit a :class:`DeprecationWarning` (once
+    per call site, under Python's default warning filters).
 
-Every helper accepts an ``engine`` keyword selecting the simulator's round
-executor:
-
-* ``engine="reference"`` -- the per-message oracle loop (the initial
-  process-wide default; see :func:`repro.congest.engine.get_default_engine`);
-* ``engine="batched"`` -- a NumPy-vectorized fast path that batches broadcast
-  delivery, metric aggregation and bandwidth checks per round (5-10x faster
-  on the benchmark-scale graphs, observationally identical results);
-* an :class:`repro.congest.engine.Engine` instance, for custom executors;
-* ``None`` -- use the process-wide default, see
-  :func:`repro.congest.engine.set_default_engine`.
-
-The two built-in engines produce identical outputs, round counts and traffic
-metrics on every algorithm (enforced by ``tests/congest/test_engine_parity.py``),
-so the choice is purely a performance knob.
+Every function returns a :class:`DominatingSetResult` carrying the set, its
+weight, the CONGEST round count, the raw per-node outputs and the traffic
+metrics.  ``engine`` selects the simulator backend exactly as before
+(``"reference"``, ``"batched"``, an engine instance, or ``None`` for the
+process-wide default).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Optional, Set
+import warnings
+from typing import Any, Dict, Optional
 
 import networkx as nx
 
 from repro.congest.engine import EngineSpec
-from repro.congest.simulator import RunResult, run_algorithm
-from repro.congest.metrics import RunMetrics
-from repro.core.general_graphs import GeneralGraphMDSAlgorithm
-from repro.core.randomized import RandomizedMDSAlgorithm
-from repro.core.trees import ForestMDSAlgorithm
-from repro.core.unknown_params import UnknownArboricityMDSAlgorithm, UnknownDegreeMDSAlgorithm
-from repro.core.unweighted import UnweightedMDSAlgorithm
-from repro.core.weighted import WeightedMDSAlgorithm
-from repro.graphs.arboricity import arboricity_upper_bound
-from repro.graphs.validation import dominating_set_weight, is_dominating_set
+from repro.run import DominatingSetResult, RunSpec, execute, registry_lookup
 
 __all__ = [
     "DominatingSetResult",
@@ -69,47 +53,14 @@ __all__ = [
 ]
 
 
-@dataclass
-class DominatingSetResult:
-    """The outcome of running one dominating-set algorithm on one graph."""
-
-    algorithm: str
-    dominating_set: Set[Hashable]
-    weight: int
-    rounds: int
-    is_valid: bool
-    metrics: RunMetrics
-    outputs: Dict[Hashable, Any] = field(repr=False, default_factory=dict)
-    guarantee: Optional[float] = None
-
-    def __len__(self) -> int:
-        return len(self.dominating_set)
-
-
-def _package(graph: nx.Graph, result: RunResult, guarantee: Optional[float] = None) -> DominatingSetResult:
-    selected = result.selected_nodes()
-    return DominatingSetResult(
-        algorithm=result.algorithm_name,
-        dominating_set=selected,
-        weight=dominating_set_weight(graph, selected),
-        rounds=result.rounds,
-        is_valid=is_dominating_set(graph, selected),
-        metrics=result.metrics,
-        outputs=result.outputs,
-        guarantee=guarantee,
+def _deprecated(helper: str, algorithm: str) -> None:
+    warnings.warn(
+        f"{helper}() is a legacy wrapper; build a repro.RunSpec("
+        f"algorithm={algorithm!r}, ...) and use repro.execute / repro.Session "
+        "instead",
+        DeprecationWarning,
+        stacklevel=3,
     )
-
-
-def _resolve_alpha(graph: nx.Graph, alpha: Optional[int]) -> int:
-    if alpha is not None:
-        if alpha < 1:
-            raise ValueError("alpha must be at least 1")
-        return alpha
-    return max(1, arboricity_upper_bound(graph))
-
-
-def _is_unweighted(graph: nx.Graph) -> bool:
-    return all(graph.nodes[node].get("weight", 1) == 1 for node in graph.nodes())
 
 
 def solve_mds(
@@ -125,13 +76,17 @@ def solve_mds(
     one, and to the weighted algorithm otherwise.  ``alpha`` defaults to the
     degeneracy of the graph, a certified upper bound on the arboricity.
     """
-    alpha = _resolve_alpha(graph, alpha)
-    if _is_unweighted(graph):
-        algorithm = UnweightedMDSAlgorithm(epsilon=epsilon)
-    else:
-        algorithm = WeightedMDSAlgorithm(epsilon=epsilon)
-    result = run_algorithm(graph, algorithm, alpha=alpha, seed=seed, engine=engine)
-    return _package(graph, result, guarantee=algorithm.approximation_guarantee(alpha))
+    _deprecated("solve_mds", "deterministic")
+    return execute(
+        RunSpec(
+            graph=graph,
+            algorithm="deterministic",
+            params={"epsilon": epsilon},
+            alpha=alpha,
+            seed=seed,
+            engine=engine,
+        )
+    )
 
 
 def solve_weighted_mds(
@@ -142,10 +97,17 @@ def solve_weighted_mds(
     engine: EngineSpec = None,
 ) -> DominatingSetResult:
     """Deterministic weighted MDS approximation (Theorem 1.1), regardless of weights."""
-    alpha = _resolve_alpha(graph, alpha)
-    algorithm = WeightedMDSAlgorithm(epsilon=epsilon)
-    result = run_algorithm(graph, algorithm, alpha=alpha, seed=seed, engine=engine)
-    return _package(graph, result, guarantee=algorithm.approximation_guarantee(alpha))
+    _deprecated("solve_weighted_mds", "weighted")
+    return execute(
+        RunSpec(
+            graph=graph,
+            algorithm="weighted",
+            params={"epsilon": epsilon},
+            alpha=alpha,
+            seed=seed,
+            engine=engine,
+        )
+    )
 
 
 def solve_mds_randomized(
@@ -156,29 +118,35 @@ def solve_mds_randomized(
     engine: EngineSpec = None,
 ) -> DominatingSetResult:
     """Randomized ``alpha + O(alpha/t)`` expected approximation (Theorem 1.2)."""
-    alpha = _resolve_alpha(graph, alpha)
-    algorithm = RandomizedMDSAlgorithm(t=t)
-    result = run_algorithm(graph, algorithm, alpha=alpha, seed=seed, engine=engine)
-    return _package(graph, result, guarantee=algorithm.approximation_guarantee(alpha))
+    _deprecated("solve_mds_randomized", "randomized")
+    return execute(
+        RunSpec(
+            graph=graph,
+            algorithm="randomized",
+            params={"t": t},
+            alpha=alpha,
+            seed=seed,
+            engine=engine,
+        )
+    )
 
 
 def solve_mds_general(
     graph: nx.Graph, k: int = 2, seed: int = 0, engine: EngineSpec = None
 ) -> DominatingSetResult:
     """Randomized ``O(k * Delta^(2/k))`` approximation for general graphs (Theorem 1.3)."""
-    algorithm = GeneralGraphMDSAlgorithm(k=k)
-    max_degree = max(dict(graph.degree()).values(), default=0)
-    result = run_algorithm(graph, algorithm, alpha=None, seed=seed, engine=engine)
-    return _package(graph, result, guarantee=algorithm.approximation_guarantee(max_degree))
+    _deprecated("solve_mds_general", "general")
+    return execute(
+        RunSpec(graph=graph, algorithm="general", params={"k": k}, seed=seed, engine=engine)
+    )
 
 
 def solve_mds_forest(
     graph: nx.Graph, seed: int = 0, engine: EngineSpec = None
 ) -> DominatingSetResult:
     """Single-round 3-approximation on forests (Observation A.1, unweighted)."""
-    algorithm = ForestMDSAlgorithm()
-    result = run_algorithm(graph, algorithm, seed=seed, engine=engine)
-    return _package(graph, result, guarantee=3.0)
+    _deprecated("solve_mds_forest", "forest")
+    return execute(RunSpec(graph=graph, algorithm="forest", seed=seed, engine=engine))
 
 
 def solve_mds_unknown_degree(
@@ -189,12 +157,17 @@ def solve_mds_unknown_degree(
     engine: EngineSpec = None,
 ) -> DominatingSetResult:
     """Remark 4.4: the Theorem 1.1 guarantee without global knowledge of ``Delta``."""
-    alpha = _resolve_alpha(graph, alpha)
-    algorithm = UnknownDegreeMDSAlgorithm(epsilon=epsilon)
-    result = run_algorithm(
-        graph, algorithm, alpha=alpha, seed=seed, knows_max_degree=False, engine=engine
+    _deprecated("solve_mds_unknown_degree", "unknown-degree")
+    return execute(
+        RunSpec(
+            graph=graph,
+            algorithm="unknown-degree",
+            params={"epsilon": epsilon},
+            alpha=alpha,
+            seed=seed,
+            engine=engine,
+        )
     )
-    return _package(graph, result, guarantee=(2 * alpha + 1) * (1 + epsilon))
 
 
 def solve_mds_unknown_arboricity(
@@ -204,12 +177,16 @@ def solve_mds_unknown_arboricity(
     engine: EngineSpec = None,
 ) -> DominatingSetResult:
     """Remark 4.5: ``(2*alpha+1)*(2+O(eps))`` approximation without knowing ``alpha``."""
-    algorithm = UnknownArboricityMDSAlgorithm(epsilon=epsilon)
-    result = run_algorithm(
-        graph, algorithm, alpha=None, seed=seed, knows_max_degree=False, engine=engine
+    _deprecated("solve_mds_unknown_arboricity", "unknown-arboricity")
+    return execute(
+        RunSpec(
+            graph=graph,
+            algorithm="unknown-arboricity",
+            params={"epsilon": epsilon},
+            seed=seed,
+            engine=engine,
+        )
     )
-    alpha = max(1, arboricity_upper_bound(graph))
-    return _package(graph, result, guarantee=(2 * alpha + 1) * (2 + 3 * epsilon))
 
 
 def solve_with_algorithm(
@@ -223,28 +200,27 @@ def solve_with_algorithm(
 ) -> DominatingSetResult:
     """Run an arbitrary CONGEST algorithm and package the standard result.
 
-    This is the escape hatch behind the ``solve_*`` helpers: anything that
-    implements the simulator's algorithm protocol -- the paper's algorithms
-    with non-default parameters, the distributed baselines
-    (:mod:`repro.baselines`), or ablation variants -- can be executed and
-    verified through the same :class:`DominatingSetResult` pipeline the
-    experiment harness consumes.  ``guarantee`` is attached verbatim (pass
-    ``None`` for heuristics with no proven factor).
+    The escape hatch behind the ``solve_*`` helpers: anything implementing
+    the simulator's algorithm protocol can be executed and verified through
+    the same :class:`DominatingSetResult` pipeline.  Equivalent to a
+    :class:`~repro.run.RunSpec` with an algorithm *instance*.
     """
-    result = run_algorithm(
-        graph,
-        algorithm,
-        alpha=alpha,
-        seed=seed,
-        knows_max_degree=knows_max_degree,
-        engine=engine,
+    return execute(
+        RunSpec(
+            graph=graph,
+            algorithm=algorithm,
+            alpha=alpha,
+            seed=seed,
+            engine=engine,
+            knows_max_degree=knows_max_degree,
+            guarantee=guarantee,
+        )
     )
-    return _package(graph, result, guarantee=guarantee)
 
 
-#: Named registry of the paper's solver entry points, used by the scenario
-#: registry (:mod:`repro.orchestration.registry`) to reference solvers by
-#: name in declarative, hashable scenario specs.
+#: Named registry of the paper's legacy solver entry points.  Kept for
+#: backward compatibility; the canonical registry (including the baseline
+#: solvers) is :data:`repro.run.ALGORITHMS`.
 SOLVERS: Dict[str, Any] = {
     "deterministic": solve_mds,
     "weighted": solve_weighted_mds,
@@ -257,9 +233,10 @@ SOLVERS: Dict[str, Any] = {
 
 
 def resolve_solver(name: str):
-    """Return the ``solve_*`` function registered under ``name``."""
-    try:
-        return SOLVERS[name]
-    except KeyError:
-        known = ", ".join(sorted(SOLVERS))
-        raise KeyError(f"unknown solver {name!r}; known solvers: {known}") from None
+    """Return the ``solve_*`` function registered under ``name``.
+
+    Unknown names raise a ``KeyError`` listing the available solvers, via
+    the same :func:`repro.run.registry_lookup` helper the ``RunSpec``
+    validation uses.
+    """
+    return registry_lookup(SOLVERS, name, "solver")

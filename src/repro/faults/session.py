@@ -57,27 +57,18 @@ class FaultSession:
         self.faulty_nodes: Tuple[Hashable, ...] = plan.faulty_nodes()
         self._report_topology = not plan.is_empty()
 
-        node_order: List[Hashable] = list(network.node_ids())
+        # CSR over directed edges (neighbor lists sorted by global node
+        # order, the batched engine's canonical order) comes from the
+        # network's cached layout: compiled once per network and shared by
+        # every fault session executed on it.
+        layout = network.layout()
+        node_order: List[Hashable] = layout.node_order
         self.node_order = node_order
         n = len(node_order)
-        index_of = {node_id: index for index, node_id in enumerate(node_order)}
+        index_of = layout.index_of
         self._index_of = index_of
-
-        # CSR over directed edges; neighbor lists sorted by global node order
-        # (the batched engine's canonical order).
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        indices_list: List[int] = []
-        edge_pos: Dict[Tuple[int, int], int] = {}
-        for i, node_id in enumerate(node_order):
-            neighbors = sorted(index_of[u] for u in network.graph.neighbors(node_id))
-            for j in neighbors:
-                edge_pos[(i, j)] = len(indices_list)
-                indices_list.append(j)
-            indptr[i + 1] = len(indices_list)
-        self._indptr = indptr
-        self._indices = np.asarray(indices_list, dtype=np.int64)
-        self._edge_pos = edge_pos
-        edge_count = len(indices_list)
+        self._indptr, self._indices, self._edge_pos = layout.csr()
+        edge_count = len(self._indices)
 
         # Per-edge omission probability and latency bounds (defaults plus
         # per-link overrides; a link override applies to both directions).

@@ -21,6 +21,12 @@ regime onto every selected scenario: each is re-registered as
 ``<name>+<model>`` with the fault spec attached, turning any scenario into
 one cell of the algorithm x family x fault-model grid.
 
+Execution goes through the unified run API: every (instance, solver) pair
+of a scenario cell is a declarative :class:`repro.RunSpec` executed by one
+compiled :class:`repro.Session` per cell (see
+:meth:`repro.orchestration.registry.SolverSpec.make_runspec`), so solvers
+sharing an instance reuse its compiled network and adjacency state.
+
 Exit codes: 0 on success, 1 when any record violates its guarantee (or an
 engine-parity check fails), 2 on usage errors such as unknown scenarios or
 missing cache entries.  Records of *fault* scenarios are measurements of

@@ -32,8 +32,9 @@ import networkx as nx
 
 from repro.analysis.experiments import ExperimentRecord, Solver, sweep
 from repro.analysis.opt import OptEstimate, degree_lower_bound, estimate_opt
-from repro.core.api import SOLVERS, resolve_solver, solve_with_algorithm
-from repro.faults import AdversarialEngine, FaultSpec
+from repro.core.api import solve_with_algorithm
+from repro.faults import FaultSpec
+from repro.run import ALGORITHMS, RunSpec, Session, registry_lookup
 from repro.graphs.arboricity import arboricity_upper_bound
 from repro.graphs.generators import (
     GraphInstance,
@@ -279,8 +280,11 @@ def _weighted_lambda_scaled(graph, alpha=None, seed=0, engine=None, epsilon=0.2,
 
 
 #: Solvers beyond the paper's public ``solve_*`` entry points: distributed
-#: baselines and ablation variants, normalised to the registry calling
+#: baselines and ablation variants, normalised to the legacy calling
 #: convention ``fn(graph, alpha=..., seed=..., engine=..., **params)``.
+#: Kept for backward compatibility -- scenario execution resolves names
+#: through :data:`repro.run.ALGORITHMS` (which registers the same four)
+#: and builds :class:`~repro.run.RunSpec`\\ s instead of calling these.
 EXTRA_SOLVERS: Dict[str, Callable[..., object]] = {
     "lw-deterministic": _lw_deterministic,
     "lw-randomized": _lw_randomized,
@@ -293,13 +297,8 @@ _ALPHA_FREE_SOLVERS = frozenset({"general", "forest", "unknown-arboricity"})
 
 
 def _resolve_any_solver(name: str):
-    if name in EXTRA_SOLVERS:
-        return EXTRA_SOLVERS[name]
-    try:
-        return resolve_solver(name)
-    except KeyError:
-        known = ", ".join(sorted(set(SOLVERS) | set(EXTRA_SOLVERS)))
-        raise KeyError(f"unknown solver {name!r}; known solvers: {known}") from None
+    """Resolve a solver name against the unified algorithm registry."""
+    return registry_lookup(ALGORITHMS, name, "solver")
 
 
 @dataclass
@@ -320,34 +319,56 @@ class SolverSpec:
         rendered = ",".join(f"{key}={value}" for key, value in sorted(self.params.items()))
         return f"{self.solver}({rendered})"
 
+    def make_runspec(
+        self,
+        instance: GraphInstance,
+        cell_seed: int,
+        engine: Optional[str],
+        faults: Optional[FaultSpec] = None,
+    ) -> RunSpec:
+        """The declarative form of one (instance, solver, cell) execution.
+
+        ``faults`` (a scenario-level :class:`~repro.faults.FaultSpec`) is
+        materialised against the instance's graph with the cell seed, so the
+        schedule is identical for every solver in the scenario (same storm,
+        different algorithms) and across engines (the cross-engine parity
+        gate); the executing session wraps it around the cell's engine as an
+        :class:`~repro.faults.AdversarialEngine`.
+        """
+        plan = None
+        if faults is not None:
+            plan = faults.materialize(instance.graph, cell_seed)
+        pass_alpha = self.solver not in _ALPHA_FREE_SOLVERS
+        return RunSpec(
+            graph=instance.graph,
+            algorithm=self.solver,
+            params=dict(self.params),
+            alpha=instance.alpha if pass_alpha else None,
+            seed=cell_seed + self.seed_offset,
+            engine=engine,
+            faults=plan,
+        )
+
     def make_solver(
         self,
         cell_seed: int,
         engine: Optional[str],
         faults: Optional[FaultSpec] = None,
+        session: Optional[Session] = None,
     ) -> Solver:
         """Bind the spec to a concrete (seed, engine) cell.
 
-        ``faults`` (a scenario-level :class:`~repro.faults.FaultSpec`) is
-        materialised against each instance's graph with the cell seed and
-        wrapped around the cell's engine as an
-        :class:`~repro.faults.AdversarialEngine`; the schedule is therefore
-        identical for every solver in the scenario (same storm, different
-        algorithms) and across engines (the cross-engine parity gate).
+        Returns a solver callable that builds the cell's
+        :class:`~repro.run.RunSpec` per instance and executes it through
+        ``session`` (one shared compiled session per scenario run, so every
+        solver on the same instance reuses the compiled graph state); with
+        no session each call is a one-shot execution.
         """
-        fn = _resolve_any_solver(self.solver)
-        seed = cell_seed + self.seed_offset
-        pass_alpha = self.solver not in _ALPHA_FREE_SOLVERS
+        _resolve_any_solver(self.solver)  # fail fast with the listing error
+        runner = session if session is not None else Session()
 
         def _solver(instance: GraphInstance):
-            kwargs = dict(self.params)
-            if pass_alpha:
-                kwargs["alpha"] = instance.alpha
-            run_engine = engine
-            if faults is not None:
-                plan = faults.materialize(instance.graph, cell_seed)
-                run_engine = AdversarialEngine(plan, inner=engine)
-            return fn(instance.graph, seed=seed, engine=run_engine, **kwargs)
+            return runner.run(self.make_runspec(instance, cell_seed, engine, faults))
 
         return _solver
 
@@ -454,8 +475,14 @@ class ScenarioSpec:
         congest test-suite and re-checked by ``python -m repro sweep --smoke``).
         """
         instances = self.build_instances(seed)
+        # One compiled session for the whole cell: every solver running on
+        # the same instance shares its compiled network, adjacency layout
+        # and canonicalisation (byte-identical to one-shot runs).
+        session = Session()
         solvers = {
-            spec.display_label: spec.make_solver(seed, engine, faults=self.faults)
+            spec.display_label: spec.make_solver(
+                seed, engine, faults=self.faults, session=session
+            )
             for spec in self.solvers
         }
         solver_params = {spec.display_label: spec for spec in self.solvers}

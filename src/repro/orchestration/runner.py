@@ -31,7 +31,7 @@ from repro.analysis.experiments import ExperimentRecord
 from repro.congest.engine import get_default_engine, set_default_engine
 from repro.orchestration.cache import ResultCache, cache_key, record_from_dict, record_to_dict
 
-__all__ = ["SweepCell", "CellResult", "SweepRunner", "expand_cells"]
+__all__ = ["SweepCell", "CellResult", "SweepRunner", "expand_cells", "pool_map_ordered"]
 
 #: Engine used when the caller does not pick one: the vectorized fast path
 #: (observationally identical to the reference engine; see repro.congest.engine).
@@ -86,6 +86,43 @@ def expand_cells(
     ]
 
 
+def pool_map_ordered(fn, jobs: Sequence, workers: int) -> Iterator[Tuple[object, float]]:
+    """Run ``fn`` over ``jobs``, yielding ``(result, duration_s)`` in
+    submission order.
+
+    ``workers <= 1`` (or a single job) executes inline -- same code path, no
+    pool; otherwise every job is submitted to a
+    :class:`~concurrent.futures.ProcessPoolExecutor` upfront so later jobs
+    compute while earlier ones stream out.  ``duration_s`` is
+    time-to-availability: once the pool overlaps work, the wait observed at
+    the consumer is the only meaningful per-job cost.
+
+    ``fn`` must be a module-level callable and each job a picklable value.
+    This is the worker machinery shared by :class:`SweepRunner` and
+    :meth:`repro.run.Session.run_many`.
+    """
+    jobs = list(jobs)
+    pool = None
+    if workers > 1 and len(jobs) > 1:
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(jobs)))
+    exhausted = False
+    try:
+        futures = [pool.submit(fn, job) for job in jobs] if pool is not None else None
+        for index, job in enumerate(jobs):
+            start = time.perf_counter()
+            result = futures[index].result() if futures is not None else fn(job)
+            yield result, time.perf_counter() - start
+        exhausted = True
+    finally:
+        if pool is not None:
+            # An abandoned stream (consumer broke out early / GC closed the
+            # generator) must not block on jobs nobody will read: drop the
+            # queued ones and return without waiting.  A fully consumed
+            # stream has nothing pending, so the ordinary waiting shutdown
+            # keeps its prompt-cleanup semantics.
+            pool.shutdown(wait=exhausted, cancel_futures=not exhausted)
+
+
 def _execute_cell(
     spec, seed: int, engine: str, default_engine: Optional[str] = None
 ) -> List[Dict[str, object]]:
@@ -117,6 +154,12 @@ def _execute_cell(
         finally:
             set_default_engine(previous)
     return [record_to_dict(record) for record in records]
+
+
+def _execute_cell_job(job) -> List[Dict[str, object]]:
+    """Picklable single-argument adapter over :func:`_execute_cell`."""
+    spec, seed, engine, default_engine = job
+    return _execute_cell(spec, seed, engine, default_engine)
 
 
 @dataclass
@@ -168,21 +211,12 @@ class SweepRunner:
         default_engine = get_default_engine()
 
         misses = [cell for cell in cells if lookups[cell] is None]
-        if self.workers > 1 and len(misses) > 1:
-            pool = ProcessPoolExecutor(max_workers=min(self.workers, len(misses)))
-        else:
-            pool = None
+        jobs = [
+            (self._spec(cell), cell.seed, cell.engine, default_engine)
+            for cell in misses
+        ]
+        miss_stream = pool_map_ordered(_execute_cell_job, jobs, self.workers)
         try:
-            futures = {}
-            if pool is not None:
-                for cell in misses:
-                    futures[cell] = pool.submit(
-                        _execute_cell,
-                        self._spec(cell),
-                        cell.seed,
-                        cell.engine,
-                        default_engine,
-                    )
             for cell in cells:
                 key, spec_hash = self._cell_key(cell)
                 cached = lookups[cell]
@@ -196,16 +230,7 @@ class SweepRunner:
                         spec_hash=spec_hash,
                     )
                     continue
-                start = time.perf_counter()
-                if cell in futures:
-                    # Time-to-availability: once the pool overlaps work, the
-                    # wait observed here is the only meaningful per-cell cost.
-                    payload = futures[cell].result()
-                else:
-                    payload = _execute_cell(
-                        self._spec(cell), cell.seed, cell.engine, default_engine
-                    )
-                duration = time.perf_counter() - start
+                payload, duration = next(miss_stream)
                 records = [record_from_dict(entry) for entry in payload]
                 if self.cache is not None:
                     self.cache.put(
@@ -227,8 +252,7 @@ class SweepRunner:
                     spec_hash=spec_hash,
                 )
         finally:
-            if pool is not None:
-                pool.shutdown()
+            miss_stream.close()
 
     def sweep(
         self,

@@ -1,0 +1,94 @@
+"""The result type shared by every execution path.
+
+:class:`DominatingSetResult` historically lived in :mod:`repro.core.api`;
+it moved here when the ``solve_*`` helpers became wrappers over the unified
+execution API (``repro.core.api`` re-exports it, so existing imports keep
+working).  :func:`package_result` is the one place a raw simulator
+:class:`~repro.congest.simulator.RunResult` is turned into a verified,
+user-facing result -- the legacy ``_package`` helper, now with an explicit
+validation policy.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional, Set
+
+import networkx as nx
+
+from repro.congest.metrics import RunMetrics
+from repro.congest.simulator import RunResult
+from repro.graphs.validation import dominating_set_weight, is_dominating_set
+
+__all__ = ["DominatingSetResult", "package_result", "result_bytes"]
+
+
+@dataclass
+class DominatingSetResult:
+    """The outcome of running one dominating-set algorithm on one graph.
+
+    ``is_valid`` is ``True``/``False`` when the output was checked against
+    the graph (the default policy), and ``None`` when the run was executed
+    with ``validate="skip"`` -- unknown, not valid.
+    """
+
+    algorithm: str
+    dominating_set: Set[Hashable]
+    weight: int
+    rounds: int
+    is_valid: Optional[bool]
+    metrics: RunMetrics
+    outputs: Dict[Hashable, Any] = field(repr=False, default_factory=dict)
+    guarantee: Optional[float] = None
+
+    def __len__(self) -> int:
+        return len(self.dominating_set)
+
+
+def package_result(
+    graph: nx.Graph,
+    result: RunResult,
+    guarantee: Optional[float] = None,
+    validate: bool = True,
+) -> DominatingSetResult:
+    """Package a simulator run into a :class:`DominatingSetResult`.
+
+    ``validate=False`` skips the independent dominating-set re-check (an
+    ``O(n + m)`` pass) and records ``is_valid=None``; the weight is always
+    computed -- it is cheap and every consumer reads it.
+    """
+    selected = result.selected_nodes()
+    return DominatingSetResult(
+        algorithm=result.algorithm_name,
+        dominating_set=selected,
+        weight=dominating_set_weight(graph, selected),
+        rounds=result.rounds,
+        is_valid=is_dominating_set(graph, selected) if validate else None,
+        metrics=result.metrics,
+        outputs=result.outputs,
+        guarantee=guarantee,
+    )
+
+
+def result_bytes(result: DominatingSetResult) -> bytes:
+    """A canonical byte form of everything a result observably carries.
+
+    Two executions are "byte-identical" exactly when their ``result_bytes``
+    agree; this is the comparator behind every new-vs-legacy parity gate
+    (``python -m repro.run.smoke``, ``tests/run/test_parity_grid.py``, the
+    E13 benchmark).  The set is serialised in sorted-repr order so iteration
+    order can never mask or fake a difference.
+    """
+    return pickle.dumps(
+        (
+            result.algorithm,
+            sorted(map(repr, result.dominating_set)),
+            result.weight,
+            result.rounds,
+            result.is_valid,
+            result.metrics,
+            result.outputs,
+            result.guarantee,
+        )
+    )

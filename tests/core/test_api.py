@@ -15,6 +15,8 @@ from repro import (
     solve_mds_unknown_degree,
     solve_weighted_mds,
 )
+from repro.congest.algorithm import SynchronousAlgorithm
+from repro.core.api import solve_with_algorithm
 from repro.graphs.generators import random_tree
 
 
@@ -91,3 +93,75 @@ class TestOtherSolvers:
         for seed in range(3):
             result = solve_mds_randomized(weighted_forest_union, alpha=3, t=1, seed=seed)
             assert result.is_valid
+
+
+class _SelectNobody(SynchronousAlgorithm):
+    """Every node outputs ``in_ds=False`` immediately (never dominating)."""
+
+    name = "select-nobody"
+
+    def round(self, node, round_index, inbox):
+        node.state["output"] = {"in_ds": False}
+        node.finish()
+        return None
+
+
+class _SelectEverybody(SynchronousAlgorithm):
+    """Every node joins the set immediately (always dominating)."""
+
+    name = "select-everybody"
+
+    def round(self, node, round_index, inbox):
+        node.state["output"] = {"in_ds": True}
+        node.finish()
+        return None
+
+
+class TestResultPackaging:
+    """Edge cases of the DominatingSetResult packaging pipeline."""
+
+    def test_guarantee_propagates_verbatim(self, small_grid):
+        result = solve_with_algorithm(small_grid, _SelectEverybody(), guarantee=12.5)
+        assert result.guarantee == 12.5
+
+    def test_guarantee_defaults_to_none_for_heuristics(self, small_grid):
+        result = solve_with_algorithm(small_grid, _SelectEverybody())
+        assert result.guarantee is None
+
+    def test_non_dominating_output_is_flagged_not_raised(self, small_grid):
+        result = solve_with_algorithm(small_grid, _SelectNobody())
+        assert result.is_valid is False
+        assert result.dominating_set == set()
+        assert result.weight == 0
+        assert len(result) == 0
+
+    def test_empty_graph_nobody_is_vacuously_dominating(self):
+        result = solve_with_algorithm(nx.empty_graph(0), _SelectNobody())
+        assert result.is_valid is True
+        assert len(result) == 0
+
+    def test_len_counts_nodes_not_weight(self):
+        graph = nx.path_graph(4)
+        for node in graph.nodes():
+            graph.nodes[node]["weight"] = 10
+        result = solve_with_algorithm(graph, _SelectEverybody())
+        assert len(result) == 4
+        assert result.weight == 40
+        assert result.is_valid is True
+
+    def test_weight_counts_each_selected_node_once(self, small_grid):
+        result = solve_with_algorithm(small_grid, _SelectEverybody())
+        assert result.weight == small_grid.number_of_nodes()
+        assert len(result) == small_grid.number_of_nodes()
+
+    def test_truthy_non_dict_outputs_select_nodes(self, small_grid):
+        class _BooleanOutputs(SynchronousAlgorithm):
+            name = "boolean-outputs"
+
+            def round(self, node, round_index, inbox):
+                node.state["output"] = True  # plain truthy, not an in_ds dict
+                node.finish()
+                return None
+
+        result = solve_with_algorithm(small_grid, _BooleanOutputs())
+        assert result.dominating_set == set(small_grid.nodes())

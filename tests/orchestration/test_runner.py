@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
+from repro.orchestration.runner import pool_map_ordered
 from repro.orchestration import (
     GraphSpec,
     ResultCache,
@@ -127,3 +130,39 @@ class TestStreaming:
         runner = SweepRunner(cache=None, workers=1)
         with pytest.raises(KeyError, match="unknown scenario"):
             list(runner.run_cells([SweepCell("test/does-not-exist", 0, "batched")]))
+
+
+def _pool_square(job):
+    return job * job
+
+
+def _pool_sleep(job):
+    time.sleep(job)
+    return job
+
+
+class TestPoolMapOrdered:
+    def test_inline_and_pooled_yield_in_submission_order(self):
+        jobs = [3, 1, 2, 0]
+        inline = [result for result, _ in pool_map_ordered(_pool_square, jobs, workers=1)]
+        pooled = [result for result, _ in pool_map_ordered(_pool_square, jobs, workers=2)]
+        assert inline == pooled == [9, 1, 4, 0]
+
+    def test_durations_are_reported(self):
+        [(result, duration)] = list(pool_map_ordered(_pool_square, [5], workers=4))
+        assert result == 25
+        assert duration >= 0.0
+
+    def test_abandoned_pooled_stream_does_not_wait_for_queued_jobs(self):
+        # Six 2-second jobs on two workers: a full drain costs >= 6s.  A
+        # consumer that stops after the first result must not be held
+        # hostage by the queued jobs -- close() cancels what has not
+        # started and returns without waiting for the rest.
+        jobs = [2.0] * 6
+        start = time.perf_counter()
+        stream = pool_map_ordered(_pool_sleep, jobs, workers=2)
+        first, _ = next(stream)
+        stream.close()
+        elapsed = time.perf_counter() - start
+        assert first == 2.0
+        assert elapsed < 5.0, f"early close waited {elapsed:.1f}s for abandoned jobs"

@@ -1,0 +1,12 @@
+"""The CI parity smoke must pass (it is what the pipeline runs)."""
+
+from __future__ import annotations
+
+from repro.run import smoke
+
+
+def test_api_smoke_passes(capsys):
+    assert smoke.main() == 0
+    out = capsys.readouterr().out
+    assert "engine=reference" in out and "engine=batched" in out
+    assert "MISMATCH" not in out
