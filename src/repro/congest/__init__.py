@@ -26,6 +26,7 @@ from repro.congest.errors import (
     AlgorithmError,
     BandwidthViolation,
     CongestError,
+    EngineCapabilityError,
     NonConvergenceError,
 )
 from repro.congest.message import Broadcast, estimate_payload_bits
@@ -51,6 +52,7 @@ __all__ = [
     "Broadcast",
     "CongestError",
     "Engine",
+    "EngineCapabilityError",
     "Network",
     "NodeContext",
     "NonConvergenceError",

@@ -25,12 +25,20 @@ the order in which the reference engine's sender loop inserts deliveries.
 ``tests/congest/test_engine_parity.py`` enforces the equivalence on a grid of
 algorithms and graph families.
 
+A third tier lives in :mod:`repro.congest.kernels`: the ``"kernel"`` engine
+executes the paper's hot algorithms as node-loop-free NumPy array programs
+over the CSR layout (registered lazily here so this module stays importable
+without NumPy).  Algorithms without a kernel fall back to the batched
+engine; fault hooks raise
+:class:`~repro.congest.errors.EngineCapabilityError`.
+
 Engine selection
 ----------------
 
-Every entry point (``Simulator``, ``run_algorithm``, the ``solve_*`` helpers)
-accepts ``engine="reference" | "batched"``, an :class:`Engine` instance, or
-``None`` meaning "use the process-wide default" (see
+Every entry point (``Simulator``, ``run_algorithm``, ``RunSpec``/``Session``
+and the legacy ``solve_*`` helpers) accepts
+``engine="reference" | "batched" | "kernel"``, an :class:`Engine` instance,
+or ``None`` meaning "use the process-wide default" (see
 :func:`set_default_engine`; the initial default is the reference engine).
 The benchmark harness switches its default to the batched engine, which is
 what makes the E9-scale instances tractable.
@@ -638,11 +646,23 @@ class BatchedEngine(Engine):
         return bits
 
 
-#: Registry of engine names to engine classes.
+#: Registry of engine names to engine classes.  The third tier -- the
+#: ``"kernel"`` engine (node-loop-free NumPy array programs, see
+#: :mod:`repro.congest.kernels`) -- registers itself lazily through
+#: :func:`_load_entry_point_engines` so this module keeps importing without
+#: NumPy installed.
 ENGINES: Dict[str, Type[Engine]] = {
     ReferenceEngine.name: ReferenceEngine,
     BatchedEngine.name: BatchedEngine,
 }
+
+
+def _load_entry_point_engines() -> None:
+    """Register the engines that live outside this module (idempotent)."""
+    if "kernel" not in ENGINES:
+        from repro.congest.kernels.engine import KernelEngine
+
+        ENGINES[KernelEngine.name] = KernelEngine
 
 #: Specification accepted everywhere an engine can be chosen.
 EngineSpec = Union[None, str, Engine, Type[Engine]]
@@ -652,6 +672,7 @@ _default_engine_name: str = ReferenceEngine.name
 
 def available_engines() -> Tuple[str, ...]:
     """Return the registered engine names, sorted."""
+    _load_entry_point_engines()
     return tuple(sorted(ENGINES))
 
 
@@ -667,6 +688,7 @@ def set_default_engine(name: str) -> str:
     harness uses this to run everything on the batched engine.
     """
     global _default_engine_name
+    _load_entry_point_engines()
     if name not in ENGINES:
         raise ValueError(f"unknown engine {name!r}; available: {available_engines()}")
     previous = _default_engine_name
@@ -687,6 +709,7 @@ def get_engine(engine: EngineSpec = None) -> Engine:
         return engine
     if isinstance(engine, type) and issubclass(engine, Engine):
         return engine()
+    _load_entry_point_engines()
     try:
         return ENGINES[engine]()
     except (KeyError, TypeError):

@@ -7,6 +7,7 @@ __all__ = [
     "BandwidthViolation",
     "AlgorithmError",
     "NonConvergenceError",
+    "EngineCapabilityError",
 ]
 
 
@@ -46,6 +47,15 @@ class BandwidthViolation(CongestError):
     def edge(self):
         """The offending ``(sender, receiver)`` link."""
         return (self.sender, self.receiver)
+
+
+class EngineCapabilityError(CongestError):
+    """A run asked an engine for a feature it does not provide.
+
+    Raised instead of silently degrading -- e.g. the kernel engine refuses
+    fault-injection hooks rather than executing the plan-free schedule and
+    reporting fault-free metrics under an adversary the caller configured.
+    """
 
 
 class AlgorithmError(CongestError):

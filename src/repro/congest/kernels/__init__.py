@@ -1,0 +1,94 @@
+"""Algorithm kernels: node-loop-free NumPy implementations over CSR arrays.
+
+This package is the third execution tier (after the reference and batched
+engines): for the paper's hot algorithms it replaces the per-node Python
+handler loop with whole-graph array programs over the network's CSR layout,
+scaling runs to 10^5+-node graphs while staying byte-identical to the
+reference engine (same dominating sets, same per-round
+:class:`~repro.congest.metrics.RunMetrics`).
+
+Kernels are registered per *exact* algorithm class -- subclasses with
+overridden behavior never silently inherit a kernel -- and resolved lazily,
+so importing this package does not import NumPy or the algorithm modules.
+Use :func:`register_kernel` to attach a kernel to a custom algorithm class;
+a kernel is a callable ``kernel(grid, config, algorithm, *, budget, limit,
+strict) -> (outputs, RunMetrics)`` over a
+:class:`~repro.congest.kernels.grid.KernelGrid`.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.congest.kernels.engine import KernelEngine
+
+__all__ = [
+    "KernelEngine",
+    "KERNELS",
+    "kernel_for",
+    "has_kernel",
+    "register_kernel",
+    "kernel_algorithm_classes",
+]
+
+
+def _dotted(cls: type) -> str:
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+#: Registered kernels, keyed by the dotted path of the exact algorithm
+#: class.  Values are either a resolved kernel callable or a lazy
+#: ``(module, attribute)`` reference (resolved on first use, so the keys can
+#: be declared without importing the algorithm or kernel modules).
+KERNELS: Dict[str, Union[Callable, Tuple[str, str]]] = {
+    "repro.core.trees.ForestMDSAlgorithm": (
+        "repro.congest.kernels.forest", "forest_kernel",
+    ),
+    "repro.core.weighted.WeightedMDSAlgorithm": (
+        "repro.congest.kernels.primal_dual", "primal_dual_kernel",
+    ),
+    "repro.core.unweighted.UnweightedMDSAlgorithm": (
+        "repro.congest.kernels.primal_dual", "primal_dual_kernel",
+    ),
+    "repro.baselines.lenzen_wattenhofer.LWDeterministicAlgorithm": (
+        "repro.congest.kernels.baseline", "lw_deterministic_kernel",
+    ),
+}
+
+
+def kernel_for(algorithm) -> Optional[Callable]:
+    """Return the kernel for ``algorithm``'s exact class, or ``None``.
+
+    Dispatch is deliberately not ``isinstance``-based: a subclass may
+    change round behavior the kernel does not replay, so only the exact
+    registered classes match.
+    """
+    key = _dotted(type(algorithm))
+    entry = KERNELS.get(key)
+    if entry is None:
+        return None
+    if not callable(entry):
+        module_name, attribute = entry
+        entry = getattr(importlib.import_module(module_name), attribute)
+        KERNELS[key] = entry
+    return entry
+
+
+def has_kernel(algorithm) -> bool:
+    """Whether ``algorithm`` (an instance) executes on the kernel tier."""
+    return _dotted(type(algorithm)) in KERNELS
+
+
+def register_kernel(algorithm_class: type, kernel: Callable, replace: bool = False):
+    """Register ``kernel`` for the exact ``algorithm_class``."""
+    key = _dotted(algorithm_class)
+    if not replace and key in KERNELS:
+        raise ValueError(f"a kernel for {key} is already registered")
+    KERNELS[key] = kernel
+    return kernel
+
+
+def kernel_algorithm_classes() -> Tuple[str, ...]:
+    """Dotted class paths of every algorithm with a registered kernel."""
+    return tuple(sorted(KERNELS))

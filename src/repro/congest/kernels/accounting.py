@@ -1,0 +1,86 @@
+"""Analytic CONGEST traffic accounting for the algorithm kernels.
+
+A kernel never materialises a message: every round's traffic is a closed
+form over the sender set (a broadcast from node ``v`` is ``degree(v)``
+messages of the payload's estimated size).  The helpers here fold that
+closed form into :class:`~repro.congest.metrics.RoundMetrics` with exactly
+the reference engine's semantics:
+
+* isolated senders are skipped entirely (no messages, no budget check, no
+  ``max_message_bits`` contribution);
+* the strict bandwidth check raises for the *first* offending sender in
+  global node order, naming that sender's first neighbor as the receiver --
+  the delivery the reference engine's per-message loop would have rejected;
+* in non-strict mode oversized traffic is recorded, not rejected.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.congest.errors import BandwidthViolation
+
+__all__ = ["account_broadcasts"]
+
+
+def account_broadcasts(
+    round_metrics,
+    grid,
+    senders: Optional[np.ndarray],
+    bits: Union[int, np.ndarray],
+    *,
+    budget: int,
+    strict: bool,
+    round_index: int,
+) -> None:
+    """Fold one round's broadcasts into ``round_metrics``.
+
+    ``senders`` is a boolean node mask (``None`` means every node
+    broadcast); ``bits`` is either one scalar payload size shared by every
+    sender or a per-node ``int64`` array.  Only senders with at least one
+    neighbor count, matching the reference engine's "isolated broadcasts
+    are free" behavior.
+    """
+    degrees = grid.degrees
+    if senders is None:
+        effective = degrees > 0
+    else:
+        effective = senders & (degrees > 0)
+    if not effective.any():
+        return
+    if np.isscalar(bits):
+        if budget and bits > budget and strict:
+            first = int(np.argmax(effective))
+            raise BandwidthViolation(
+                grid.node_order[first],
+                grid.first_neighbor_id(first),
+                int(bits),
+                budget,
+                round_index=round_index,
+            )
+        messages = int(degrees[effective].sum())
+        round_metrics.messages += messages
+        round_metrics.bits += int(bits) * messages
+        if bits > round_metrics.max_message_bits:
+            round_metrics.max_message_bits = int(bits)
+        return
+    if budget and strict:
+        oversized = effective & (bits > budget)
+        if oversized.any():
+            first = int(np.argmax(oversized))
+            raise BandwidthViolation(
+                grid.node_order[first],
+                grid.first_neighbor_id(first),
+                int(bits[first]),
+                budget,
+                round_index=round_index,
+            )
+    sender_degrees = degrees[effective]
+    sender_bits = bits[effective]
+    round_metrics.messages += int(sender_degrees.sum())
+    round_metrics.bits += int(sender_bits @ sender_degrees)
+    max_bits = int(sender_bits.max())
+    if max_bits > round_metrics.max_message_bits:
+        round_metrics.max_message_bits = max_bits

@@ -1,0 +1,83 @@
+"""Node-loop-free kernel for the parallel-threshold-greedy LW baseline.
+
+:class:`~repro.baselines.lenzen_wattenhofer.LWDeterministicAlgorithm` -- the
+distributed greedy comparison point of benchmark E8 -- alternates coverage
+reports with threshold joins.  Both message types are one-bit booleans, so
+each round is a pair of exact integer segment reductions: "any neighbor
+joined" (segment any) and "uncovered nodes in the closed neighborhood"
+(segment sum), with the phase counter and threshold shared by every node.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.congest.errors import NonConvergenceError
+from repro.congest.kernels.accounting import account_broadcasts
+from repro.congest.kernels.csr import segment_any, segment_sum
+from repro.congest.kernels.grid import output_dicts
+from repro.congest.metrics import RoundMetrics, RunMetrics
+
+__all__ = ["lw_deterministic_kernel"]
+
+
+def lw_deterministic_kernel(grid, config, algorithm, *, budget, limit, strict):
+    """Execute the LW-style deterministic greedy; see module docstring."""
+    del algorithm  # parameter-free
+    metrics = RunMetrics(bandwidth_budget_bits=budget)
+    n = grid.n
+    if n == 0:
+        return {}, metrics
+    indptr, indices = grid.indptr, grid.indices
+    # Identical to the per-node setup: the phase counter starts at
+    # ceil(log2(Delta + 2)) and every node counts down in lockstep.
+    phase = int(math.ceil(math.log2(config.get("max_degree", 0) + 2)))
+    covered = np.zeros(n, dtype=bool)
+    in_ds = np.zeros(n, dtype=bool)
+    joined_previous = np.zeros(n, dtype=bool)
+
+    round_index = 0
+    while True:
+        # Report round (even): absorb joins, then either finish (phase
+        # exhausted: uncovered nodes join themselves) or report coverage.
+        if round_index >= limit:
+            raise NonConvergenceError(rounds=round_index, pending=n)
+        round_metrics = RoundMetrics(round_index=round_index, active_nodes=n)
+        if joined_previous.any():
+            covered[segment_any(indptr, joined_previous[indices])] = True
+        if phase < 1:
+            in_ds |= ~covered
+            metrics.record(round_metrics)
+            break
+        account_broadcasts(
+            round_metrics, grid, None, 1,
+            budget=budget, strict=strict, round_index=round_index,
+        )
+        metrics.record(round_metrics)
+        round_index += 1
+
+        # Join round (odd): span over the closed neighborhood vs 2^phase.
+        if round_index >= limit:
+            raise NonConvergenceError(rounds=round_index, pending=n)
+        round_metrics = RoundMetrics(round_index=round_index, active_nodes=n)
+        uncovered = ~covered
+        span = uncovered.astype(np.int64) + segment_sum(
+            indptr, uncovered[indices].astype(np.int64)
+        )
+        threshold = 1 << phase
+        phase -= 1
+        joining = (~in_ds) & (span >= threshold)
+        in_ds |= joining
+        covered |= joining
+        account_broadcasts(
+            round_metrics, grid, joining, 1,
+            budget=budget, strict=strict, round_index=round_index,
+        )
+        metrics.record(round_metrics)
+        joined_previous = joining
+        round_index += 1
+
+    outputs = output_dicts(grid.node_order, {"in_ds": in_ds.tolist()})
+    return outputs, metrics

@@ -1,0 +1,59 @@
+"""The ``"kernel"`` execution engine: whole-graph array programs per round.
+
+Where :class:`~repro.congest.engine.BatchedEngine` vectorizes *delivery*
+around per-node Python handler calls, :class:`KernelEngine` removes the
+node loop entirely for the algorithms it knows: each round becomes a
+handful of CSR segment reductions producing the same outputs and the same
+:class:`~repro.congest.metrics.RunMetrics` by analytic accounting
+(``tests/congest/test_kernel_parity.py`` holds it byte-identical to the
+reference engine).
+
+Dispatch is by *exact* algorithm type -- a subclass that overrides any
+round behavior must register its own kernel -- and algorithms without a
+kernel fall back to the batched engine transparently, so ``engine="kernel"``
+is always safe to select.  Fault-injection hooks are not supported yet:
+executing under a fault plan raises
+:class:`~repro.congest.errors.EngineCapabilityError` instead of silently
+ignoring the adversary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.congest.engine import BatchedEngine, Engine
+from repro.congest.errors import EngineCapabilityError
+
+__all__ = ["KernelEngine"]
+
+
+class KernelEngine(Engine):
+    """Node-loop-free NumPy fast path with batched-engine fallback."""
+
+    name = "kernel"
+
+    def __init__(self):
+        self._fallback: Optional[BatchedEngine] = None
+
+    def execute(self, network, algorithm, *, budget, limit, strict, hooks=None):
+        if hooks is not None:
+            raise EngineCapabilityError(
+                "engine 'kernel' does not support fault-injection hooks yet; "
+                "run fault plans on the 'batched' or 'reference' engine"
+            )
+        from repro.congest.kernels import kernel_for
+
+        kernel = kernel_for(algorithm)
+        if kernel is None:
+            if self._fallback is None:
+                self._fallback = BatchedEngine()
+            return self._fallback.execute(
+                network, algorithm, budget=budget, limit=limit, strict=strict
+            )
+        from repro.congest.kernels.grid import grid_from_network
+
+        grid = grid_from_network(network)
+        return kernel(
+            grid, network.config, algorithm,
+            budget=budget, limit=limit, strict=strict,
+        )

@@ -1,0 +1,70 @@
+"""Node-loop-free kernel for :class:`~repro.core.trees.ForestMDSAlgorithm`.
+
+The forest algorithm's whole two-round schedule collapses into array
+programs: round 0 is one degree-payload broadcast (isolated nodes finish
+immediately), round 1 classifies every node from the degree vector -- the
+only per-node data a node ever receives -- with the two-node-component
+tie-break replayed through the grid's ``repr`` arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.congest.errors import NonConvergenceError
+from repro.congest.kernels.accounting import account_broadcasts
+from repro.congest.kernels.csr import int_bit_lengths
+from repro.congest.kernels.grid import output_dicts
+from repro.congest.metrics import RoundMetrics, RunMetrics
+
+__all__ = ["forest_kernel"]
+
+
+def forest_kernel(grid, config, algorithm, *, budget, limit, strict):
+    """Execute the Observation A.1 forest algorithm; see module docstring."""
+    del config, algorithm  # parameter-free and configuration-free
+    metrics = RunMetrics(bandwidth_budget_bits=budget)
+    n = grid.n
+    if n == 0:
+        return {}, metrics
+    degrees = grid.degrees
+    in_ds = np.zeros(n, dtype=bool)
+
+    # Round 0: isolated nodes dominate themselves and finish; everyone else
+    # broadcasts its degree ({"degree": d} -> d.bit_length() + 1 bits).
+    if 0 >= limit:
+        raise NonConvergenceError(rounds=0, pending=n)
+    round_metrics = RoundMetrics(round_index=0, active_nodes=n)
+    in_ds |= degrees == 0
+    account_broadcasts(
+        round_metrics,
+        grid,
+        None,
+        int_bit_lengths(degrees) + 1,
+        budget=budget,
+        strict=strict,
+        round_index=0,
+    )
+    metrics.record(round_metrics)
+
+    # Round 1: every non-isolated node decides from its neighbors' degrees.
+    pending = int((degrees > 0).sum())
+    if pending:
+        if 1 >= limit:
+            raise NonConvergenceError(rounds=1, pending=pending)
+        round_metrics = RoundMetrics(round_index=1, active_nodes=pending)
+        in_ds |= degrees >= 2
+        leaves = np.flatnonzero(degrees == 1)
+        if leaves.size:
+            partner = grid.indices[grid.indptr[leaves]]
+            # A leaf whose neighbor is internal stays out; in a two-node
+            # component the endpoint with the smaller repr joins.
+            two_node = degrees[partner] == 1
+            endpoints = leaves[two_node]
+            if endpoints.size:
+                reprs = grid.reprs
+                in_ds[endpoints] = reprs[endpoints] < reprs[partner[two_node]]
+        metrics.record(round_metrics)
+
+    outputs = output_dicts(grid.node_order, {"in_ds": in_ds.tolist()})
+    return outputs, metrics

@@ -10,7 +10,31 @@ import networkx as nx
 from repro.congest.node import NodeContext
 from repro.graphs.weights import node_weight
 
-__all__ = ["Network", "NetworkLayout"]
+__all__ = ["Network", "NetworkLayout", "shared_config"]
+
+
+def shared_config(
+    n: int,
+    max_degree: int,
+    alpha: Optional[int],
+    config: Optional[Mapping[str, Any]],
+    knows_max_degree: bool,
+) -> Mapping[str, Any]:
+    """Assemble the read-only globally-known config mapping.
+
+    The one definition of the n / ``max_degree`` / ``alpha`` / extras
+    precedence, shared by :class:`Network` construction, :meth:`Network.rebind`
+    and the network-free CSR kernel path (:meth:`repro.run.session.Session`),
+    so the three can never drift apart.
+    """
+    shared: Dict[str, Any] = {"n": n}
+    if knows_max_degree:
+        shared["max_degree"] = max_degree
+    if alpha is not None:
+        shared["alpha"] = alpha
+    if config:
+        shared.update(config)
+    return MappingProxyType(shared)
 
 
 class NetworkLayout:
@@ -37,6 +61,7 @@ class NetworkLayout:
         "neighbor_indices",
         "sorted_neighbor_ids",
         "bits_memo",
+        "kernel_grid",
         "_degrees",
         "_csr",
     )
@@ -67,6 +92,9 @@ class NetworkLayout:
         #: keyed by payload content+types, valid for the lifetime of the
         #: network because the estimates depend only on ``n``.
         self.bits_memo: Dict[tuple, int] = {}
+        #: Cached :class:`repro.congest.kernels.grid.KernelGrid` (set by
+        #: ``grid_from_network`` on first kernel-engine execution).
+        self.kernel_grid = None
         self._degrees = None
         self._csr = None
 
@@ -150,14 +178,9 @@ class Network:
         self.max_degree = max(degrees.values(), default=0)
         self.alpha = alpha
 
-        shared: Dict[str, Any] = {"n": self.n}
-        if knows_max_degree:
-            shared["max_degree"] = self.max_degree
-        if alpha is not None:
-            shared["alpha"] = alpha
-        if config:
-            shared.update(config)
-        self.config: Mapping[str, Any] = MappingProxyType(dict(shared))
+        self.config: Mapping[str, Any] = shared_config(
+            self.n, self.max_degree, alpha, config, knows_max_degree
+        )
 
         self.nodes: Dict[Hashable, NodeContext] = {}
         for node in graph.nodes():
@@ -196,14 +219,9 @@ class Network:
         ``knows_max_degree`` / extra config entries.
         """
         self.alpha = alpha
-        shared: Dict[str, Any] = {"n": self.n}
-        if knows_max_degree:
-            shared["max_degree"] = self.max_degree
-        if alpha is not None:
-            shared["alpha"] = alpha
-        if config:
-            shared.update(config)
-        self.config = MappingProxyType(dict(shared))
+        self.config = shared_config(
+            self.n, self.max_degree, alpha, config, knows_max_degree
+        )
         for node in self.nodes.values():
             node.config = self.config
 

@@ -22,7 +22,26 @@ from repro.congest.message import word_size_bits
 from repro.congest.metrics import RunMetrics
 from repro.congest.network import Network
 
-__all__ = ["Simulator", "RunResult", "run_algorithm"]
+__all__ = ["Simulator", "RunResult", "run_algorithm", "resolve_budget_and_limit"]
+
+
+def resolve_budget_and_limit(
+    algorithm: SynchronousAlgorithm, network, bandwidth_words: int, max_rounds: int
+):
+    """Return ``(budget_bits, round_limit)`` for one execution.
+
+    The one definition of the CONGEST budget formula and the round-limit
+    min-merge, shared by :meth:`Simulator.run` and the network-free CSR
+    kernel path -- ``network`` only needs ``n`` (and whatever the
+    algorithm's ``max_rounds`` reads), so a ``CSRGraph`` qualifies.
+    """
+    budget = 0
+    if algorithm.congest:
+        budget = bandwidth_words * word_size_bits(max(2, network.n))
+    limit = algorithm.max_rounds(network)
+    if limit is None:
+        limit = max_rounds
+    return budget, min(limit, max_rounds)
 
 #: Default multiple of ``log2(n)`` allowed per message.  The model allows any
 #: fixed constant; 16 words comfortably fits the handful of scalar fields the
@@ -109,14 +128,9 @@ class Simulator:
     def run(self, network: Network, algorithm: SynchronousAlgorithm) -> RunResult:
         """Run ``algorithm`` on ``network`` until all nodes finish."""
         network.reset()
-        budget = 0
-        if algorithm.congest:
-            budget = self.bandwidth_words * word_size_bits(max(2, network.n))
-
-        limit = algorithm.max_rounds(network)
-        if limit is None:
-            limit = self.max_rounds
-        limit = min(limit, self.max_rounds)
+        budget, limit = resolve_budget_and_limit(
+            algorithm, network, self.bandwidth_words, self.max_rounds
+        )
 
         outputs, metrics = self.engine.execute(
             network, algorithm, budget=budget, limit=limit, strict=self.strict

@@ -10,6 +10,10 @@ graphs themselves:
 * :mod:`repro.graphs.generators` -- generators for the graph families the
   paper targets: trees and forests, planar and outerplanar graphs, unions of
   forests, preferential-attachment "social network" graphs, and more.
+* :mod:`repro.graphs.large_scale` -- the same scale families streamed
+  straight into CSR arrays (:class:`~repro.graphs.large_scale.CSRGraph`)
+  for the kernel execution tier; imported on demand (NumPy-backed), not
+  re-exported here.
 * :mod:`repro.graphs.weights` -- node weight assignment schemes for the
   weighted minimum dominating set problem.
 * :mod:`repro.graphs.validation` -- structural validators used throughout the

@@ -42,6 +42,7 @@ import sys
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.experiments import ExperimentRecord, aggregate_records
+from repro.congest.errors import EngineCapabilityError
 from repro.analysis.tables import render_records, render_summary
 from repro.faults import FAULT_MODELS
 from repro.orchestration.cache import ResultCache, cache_key, code_version, records_to_bytes
@@ -57,7 +58,14 @@ from repro.orchestration.scenarios import register_builtin_scenarios
 
 __all__ = ["main", "build_parser"]
 
+#: The two universally applicable engines (the ``--smoke``/``both`` pair --
+#: every scenario, including fault scenarios, runs on them).
 _ENGINES = ("batched", "reference")
+
+#: All selectable engines.  ``kernel`` executes the hot algorithms as
+#: node-loop-free array programs (other solvers fall back to batched) but
+#: rejects fault scenarios, so it is opt-in rather than part of ``both``.
+_ALL_ENGINES = ("batched", "kernel", "reference")
 
 
 class _UsageError(Exception):
@@ -96,8 +104,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=0, help="sweep cell seed (default 0)")
     _add_cache_arguments(run_parser)
     run_parser.add_argument(
-        "--engine", choices=_ENGINES, default=DEFAULT_SWEEP_ENGINE,
-        help="simulation engine (default: batched)",
+        "--engine", choices=_ALL_ENGINES, default=DEFAULT_SWEEP_ENGINE,
+        help="simulation engine (default: batched; kernel rejects fault scenarios)",
     )
     _add_faults_argument(run_parser)
 
@@ -118,8 +126,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="worker processes (default 1 = serial)"
     )
     sweep_parser.add_argument(
-        "--engine", choices=_ENGINES + ("both",), default=DEFAULT_SWEEP_ENGINE,
-        help="simulation engine, or 'both' to run every cell under each engine",
+        "--engine", choices=_ALL_ENGINES + ("both", "all"), default=DEFAULT_SWEEP_ENGINE,
+        help="simulation engine; 'both' runs batched+reference per cell, 'all' "
+             "adds the kernel tier (fault-free scenarios only)",
     )
     sweep_parser.add_argument(
         "--report", action="store_true", help="print the full record tables, not just totals"
@@ -133,7 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("scenarios", nargs="+", help="scenario names")
     report_parser.add_argument("--seed", type=int, default=0, help="cell seed (default 0)")
     report_parser.add_argument(
-        "--engine", choices=_ENGINES, default=DEFAULT_SWEEP_ENGINE,
+        "--engine", choices=_ALL_ENGINES, default=DEFAULT_SWEEP_ENGINE,
         help="simulation engine the cells were run under",
     )
     report_parser.add_argument("--cache-dir", default=None, help="cache directory")
@@ -257,8 +266,13 @@ def _command_run(arguments: argparse.Namespace) -> int:
     _resolve_scenario(arguments.scenario)  # fail fast on unknown names
     (name,) = _overlay_faults([arguments.scenario], arguments.faults)
     runner = SweepRunner(cache=_make_cache(arguments), workers=1)
-    (result,) = runner.sweep([name], seeds=[arguments.seed],
-                             engines=[arguments.engine])
+    try:
+        (result,) = runner.sweep([name], seeds=[arguments.seed],
+                                 engines=[arguments.engine])
+    except EngineCapabilityError as error:
+        # e.g. a fault scenario on the kernel engine: an argument problem,
+        # not a bug -- report it as the documented exit-2 usage error.
+        raise _UsageError(str(error)) from None
     _print_cell_tables(result)
     if _is_fault_scenario(name):
         degraded = _violations(result.records)
@@ -291,14 +305,30 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     names = _overlay_faults(names, arguments.faults)
-    if arguments.smoke or arguments.engine == "both":
-        engines: Sequence[str] = _ENGINES
+    if arguments.engine == "all":
+        engines: Sequence[str] = _ALL_ENGINES
+    elif arguments.smoke or arguments.engine == "both":
+        engines = _ENGINES
     else:
         engines = (arguments.engine,)
     seeds = list(range(max(1, arguments.seeds)))
     cells = expand_cells(names, seeds, engines)
+    if "kernel" in engines:
+        # The kernel tier refuses fault plans (EngineCapabilityError); drop
+        # those cells rather than crashing the whole sweep -- the fault
+        # scenarios still run (and parity-check) on the other engines.
+        skipped = [cell for cell in cells
+                   if cell.engine == "kernel" and _is_fault_scenario(cell.scenario)]
+        if skipped:
+            cells = [cell for cell in cells if cell not in skipped]
+            print(f"(skipping {len(skipped)} kernel cells: fault scenarios "
+                  "run on batched/reference only)")
     cache = _make_cache(arguments)
     runner = SweepRunner(cache=cache, workers=max(1, arguments.workers))
+
+    if not cells:
+        print("no cells left to run (every selected cell was skipped)")
+        return 0
 
     results: List[CellResult] = []
     total_violations = 0

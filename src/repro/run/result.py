@@ -21,7 +21,7 @@ from repro.congest.metrics import RunMetrics
 from repro.congest.simulator import RunResult
 from repro.graphs.validation import dominating_set_weight, is_dominating_set
 
-__all__ = ["DominatingSetResult", "package_result", "result_bytes"]
+__all__ = ["DominatingSetResult", "package_result", "package_result_csr", "result_bytes"]
 
 
 @dataclass
@@ -65,6 +65,40 @@ def package_result(
         weight=dominating_set_weight(graph, selected),
         rounds=result.rounds,
         is_valid=is_dominating_set(graph, selected) if validate else None,
+        metrics=result.metrics,
+        outputs=result.outputs,
+        guarantee=guarantee,
+    )
+
+
+def package_result_csr(
+    csr_graph,
+    result: RunResult,
+    guarantee: Optional[float] = None,
+    validate: bool = True,
+) -> DominatingSetResult:
+    """:func:`package_result` for CSR-backed kernel runs.
+
+    Weight and the optional domination re-check run as array reductions
+    over the CSR layout (:mod:`repro.graphs.large_scale`) instead of graph
+    traversals, so packaging stays cheap at 10^5 nodes.
+    """
+    from repro.graphs.large_scale import csr_is_dominating_set
+
+    selected = result.selected_nodes()
+    weights = csr_graph.weight_array()
+    weight = 0
+    if selected:
+        import numpy as np
+
+        chosen = np.fromiter(selected, dtype=np.int64, count=len(selected))
+        weight = int(weights[chosen].sum())
+    return DominatingSetResult(
+        algorithm=result.algorithm_name,
+        dominating_set=selected,
+        weight=weight,
+        rounds=result.rounds,
+        is_valid=csr_is_dominating_set(csr_graph, selected) if validate else None,
         metrics=result.metrics,
         outputs=result.outputs,
         guarantee=guarantee,

@@ -29,6 +29,7 @@ machinery); a parallel batch is byte-identical to a serial one.
 from __future__ import annotations
 
 import dataclasses
+import sys
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import networkx as nx
@@ -39,10 +40,23 @@ from repro.congest.simulator import Simulator
 from repro.graphs.arboricity import arboricity_upper_bound
 from repro.graphs.generators import GraphInstance
 from repro.run.algorithms import resolve_algorithm, ResolvedRun
-from repro.run.result import DominatingSetResult, package_result
+from repro.run.result import DominatingSetResult, package_result, package_result_csr
 from repro.run.spec import RunSpec
 
 __all__ = ["CompiledGraph", "Session", "execute"]
+
+
+def _as_csr(graph: Any):
+    """Return ``graph`` as a :class:`~repro.graphs.large_scale.CSRGraph`, else ``None``.
+
+    Checked through ``sys.modules`` so the large-scale module (and NumPy)
+    is never imported by sessions that only ever see dict-based graphs: if
+    the caller holds a ``CSRGraph``, its module is necessarily loaded.
+    """
+    module = sys.modules.get("repro.graphs.large_scale")
+    if module is None:
+        return None
+    return graph if isinstance(graph, module.CSRGraph) else None
 
 
 class CompiledGraph:
@@ -76,24 +90,44 @@ class CompiledGraph:
 
     @property
     def default_alpha(self) -> int:
-        """The certified arboricity bound: ``max(1, degeneracy)``."""
+        """The certified arboricity bound: ``max(1, degeneracy)``.
+
+        CSR graphs use their generator's certificate when one exists, and
+        the CSR-native degeneracy sweep otherwise -- the same bound the
+        dict-based path computes.
+        """
         if self._default_alpha is None:
-            self._default_alpha = max(1, arboricity_upper_bound(self.graph))
+            csr = _as_csr(self.graph)
+            if csr is not None:
+                from repro.graphs.large_scale import csr_degeneracy
+
+                certified = csr.alpha if csr.alpha is not None else csr_degeneracy(csr)
+                self._default_alpha = max(1, certified)
+            else:
+                self._default_alpha = max(1, arboricity_upper_bound(self.graph))
         return self._default_alpha
 
     @property
     def is_unweighted(self) -> bool:
         if self._is_unweighted is None:
-            graph = self.graph
-            self._is_unweighted = all(
-                graph.nodes[node].get("weight", 1) == 1 for node in graph.nodes()
-            )
+            csr = _as_csr(self.graph)
+            if csr is not None:
+                self._is_unweighted = csr.is_unweighted
+            else:
+                graph = self.graph
+                self._is_unweighted = all(
+                    graph.nodes[node].get("weight", 1) == 1 for node in graph.nodes()
+                )
         return self._is_unweighted
 
     @property
     def max_degree(self) -> int:
         if self._max_degree is None:
-            self._max_degree = max(dict(self.graph.degree()).values(), default=0)
+            csr = _as_csr(self.graph)
+            if csr is not None:
+                self._max_degree = csr.max_degree
+            else:
+                self._max_degree = max(dict(self.graph.degree()).values(), default=0)
         return self._max_degree
 
     # -- the reusable network ---------------------------------------------
@@ -208,6 +242,14 @@ class Session:
 
     def _build(self, spec: RunSpec) -> CompiledGraph:
         source = spec.graph
+        if _as_csr(source) is not None:
+            if spec.weights is not None:
+                raise TypeError(
+                    "RunSpec.weights cannot be applied to a CSRGraph; bake "
+                    "weights into the CSR arrays instead (e.g. "
+                    "repro.graphs.large_scale.random_integer_weights)"
+                )
+            return CompiledGraph(source, source=source)
         if isinstance(source, nx.Graph):
             graph = source
         elif isinstance(source, GraphInstance):
@@ -262,6 +304,9 @@ class Session:
         """Execute one spec, reusing every piece of compiled state it allows."""
         compiled = self.compile(spec)
         resolved = self._resolve(compiled, spec)
+        csr = _as_csr(compiled.graph)
+        if csr is not None:
+            return self._run_csr(csr, resolved, spec)
         network = compiled.network(
             alpha=resolved.alpha,
             config=spec.config,
@@ -284,6 +329,66 @@ class Session:
         return package_result(
             compiled.graph,
             result,
+            guarantee=resolved.guarantee,
+            validate=spec.validate == "full",
+        )
+
+    def _run_csr(self, csr, resolved: ResolvedRun, spec: RunSpec) -> DominatingSetResult:
+        """Execute a spec on a streamed CSR graph through the kernel tier.
+
+        No :class:`Network` (and no per-node context objects) is ever
+        built: the kernel runs directly over the CSR arrays, which is what
+        makes 10^5-node instances tractable.  Only kernel-tier features are
+        available -- other engines and fault plans need the dict-based path
+        (``CSRGraph.to_networkx()``).
+        """
+        from repro.congest.engine import get_engine
+        from repro.congest.errors import EngineCapabilityError
+        from repro.congest.kernels import kernel_for
+        from repro.congest.kernels.engine import KernelEngine
+        from repro.congest.kernels.grid import grid_from_csr
+        from repro.congest.network import shared_config
+        from repro.congest.simulator import RunResult, resolve_budget_and_limit
+
+        engine_spec = spec.engine if spec.engine is not None else self.engine
+        # With nothing explicitly selected, a CSR input resolves straight to
+        # the kernel tier -- the only engine that can execute it -- instead
+        # of tripping over the process-wide default.
+        engine = get_engine("kernel" if engine_spec is None else engine_spec)
+        if not isinstance(engine, KernelEngine):
+            raise EngineCapabilityError(
+                f"CSRGraph inputs run on engine='kernel' only (got {engine.name!r}); "
+                "use CSRGraph.to_networkx() for the reference/batched engines"
+            )
+        if spec.faults is not None:
+            raise EngineCapabilityError(
+                "fault plans are not supported on CSRGraph runs yet; "
+                "use CSRGraph.to_networkx() with engine='batched'"
+            )
+        algorithm = resolved.algorithm
+        kernel = kernel_for(algorithm)
+        if kernel is None:
+            raise EngineCapabilityError(
+                f"algorithm {spec.algorithm_label!r} has no kernel implementation; "
+                "CSRGraph runs cannot fall back to the per-node engines -- use "
+                "CSRGraph.to_networkx() instead"
+            )
+        config = shared_config(
+            csr.n, csr.max_degree, resolved.alpha, spec.config,
+            resolved.knows_max_degree,
+        )
+        budget, limit = resolve_budget_and_limit(
+            algorithm, csr, spec.bandwidth_words, spec.max_rounds
+        )
+        outputs, metrics = kernel(
+            grid_from_csr(csr), config, algorithm,
+            budget=budget, limit=limit, strict=spec.strict,
+        )
+        result = RunResult(
+            algorithm_name=algorithm.name, outputs=outputs, metrics=metrics
+        )
+        return package_result_csr(
+            csr, result,
             guarantee=resolved.guarantee,
             validate=spec.validate == "full",
         )

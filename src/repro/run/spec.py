@@ -42,8 +42,10 @@ class RunSpec:
     ----------
     graph:
         The input: a prebuilt :class:`networkx.Graph`, a
-        :class:`~repro.graphs.generators.GraphInstance`, or any object with
-        a ``build(seed) -> GraphInstance`` method (e.g. a registry
+        :class:`~repro.graphs.generators.GraphInstance`, a streamed
+        :class:`~repro.graphs.large_scale.CSRGraph` (kernel tier only --
+        executed without ever building a network), or any object with a
+        ``build(seed) -> GraphInstance`` method (e.g. a registry
         :class:`~repro.orchestration.registry.GraphSpec`), materialised with
         ``graph_seed``.
     algorithm:
@@ -65,8 +67,8 @@ class RunSpec:
         ``apply(graph, seed)`` method (e.g. a registry ``WeightSpec``,
         seeded with ``graph_seed``).
     engine:
-        Simulation engine (``"reference"``/``"batched"``, an engine
-        instance, or ``None`` for the session/process default).
+        Simulation engine (``"reference"``/``"batched"``/``"kernel"``, an
+        engine instance, or ``None`` for the session/process default).
     faults:
         Adversarial regime: a materialised
         :class:`~repro.faults.plan.FaultPlan`, a graph-agnostic

@@ -4,9 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro import solve_mds, solve_weighted_mds
+from repro import RunSpec, execute
 from repro.analysis.experiments import (
-    ExperimentRecord,
     aggregate_records,
     run_algorithm_on_instance,
     sweep,
@@ -16,6 +15,20 @@ from repro.analysis.tables import format_table, render_records, render_summary
 from repro.analysis.verify import approximation_ratio, verify_run
 from repro.baselines.exact import exact_minimum_dominating_set
 from repro.graphs.generators import GraphInstance, forest_union_graph, random_tree
+
+
+def solve_mds(graph, alpha=None, epsilon=0.1):
+    return execute(
+        RunSpec(graph=graph, algorithm="deterministic",
+                params={"epsilon": epsilon}, alpha=alpha)
+    )
+
+
+def solve_weighted_mds(graph, alpha=None, epsilon=0.1):
+    return execute(
+        RunSpec(graph=graph, algorithm="weighted",
+                params={"epsilon": epsilon}, alpha=alpha)
+    )
 
 
 class TestOptEstimation:

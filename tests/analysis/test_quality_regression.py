@@ -1,0 +1,155 @@
+"""Approximation-quality regression suite.
+
+Byte-level parity gates guarantee the execution tiers agree with each
+other; nothing so far guarded the *quality* of the answers against silent
+drift (a plausible-looking change to a threshold, a tie-break, or a
+fallback path can keep every parity gate green while quietly producing
+worse dominating sets).  This suite pins, for every covered registry
+scenario, the achieved approximation ratio against the ``opt.py`` lower
+bound into the checked-in ``quality_baseline.json`` and fails when a ratio
+regresses beyond :data:`TOLERANCE`.
+
+The scenario record streams are deterministic in ``(scenario, seed)``, and
+all three execution tiers are byte-identical, so one baseline guards the
+reference, batched and kernel engines alike.  Improvements do not fail the
+suite -- refresh the baseline to lock them in::
+
+    PYTHONPATH=src python tests/analysis/test_quality_regression.py --regenerate
+
+Tier-1 runs the fast (smoke-sized) scenarios; the full fault-free registry
+sweep runs under ``pytest -m slow`` (nightly).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.orchestration.registry import get_scenario
+from repro.orchestration.scenarios import register_builtin_scenarios
+
+BASELINE_PATH = Path(__file__).parent / "quality_baseline.json"
+
+#: Relative regression tolerance on the achieved ratio.  Large enough to
+#: absorb LP-solver noise across SciPy versions, small enough that a real
+#: quality drift (a wrong threshold, a lost extension round) trips it.
+TOLERANCE = 0.05
+
+#: Small scenarios guarded in tier-1 on every run.
+FAST_SCENARIOS = ("smoke/forest", "smoke/mixed")
+
+#: The full fault-free, laptop-sized registry coverage (pytest -m slow).
+#: Excluded: fault scenarios (they measure degradation, not quality),
+#: E5/lower-bound (a construction, not an approximation), and the
+#: scale/heavy scenarios whose OPT estimation dominates the run.
+SLOW_SCENARIOS = (
+    "E1/unweighted-eps",
+    "E2/weighted-schemes",
+    "E3/randomized-t",
+    "E4/general-k",
+    "E6/forests",
+    "E7/unknown-params",
+    "E8/comparison",
+    "E10/lambda-ablation",
+    "example/quickstart",
+    "example/planar-city",
+    "example/adhoc-wireless",
+    "families/powerlaw-cluster",
+    "families/random-geometric",
+)
+
+ALL_SCENARIOS = FAST_SCENARIOS + SLOW_SCENARIOS
+
+
+def _measure(scenario_name: str):
+    """Run the scenario and key each record's quality measurements.
+
+    The record stream order is deterministic, so the positional index makes
+    keys unique even when one solver appears with several parameterisations.
+    """
+    register_builtin_scenarios()
+    records = get_scenario(scenario_name).run(seed=0, engine="batched")
+    measured = {}
+    for index, record in enumerate(records):
+        key = f"{index:02d}:{record.instance}:{record.algorithm}"
+        measured[key] = {
+            "ratio": record.ratio,
+            "weight": record.weight,
+            "opt": record.opt_value,
+            "opt_kind": record.opt_kind,
+            "is_dominating": record.is_dominating,
+        }
+    return measured
+
+
+def _load_baseline():
+    if not BASELINE_PATH.exists():
+        pytest.fail(
+            f"missing {BASELINE_PATH}; regenerate with "
+            "`python tests/analysis/test_quality_regression.py --regenerate`"
+        )
+    return json.loads(BASELINE_PATH.read_text())
+
+
+def _assert_no_regression(scenario_name: str):
+    baseline = _load_baseline()
+    assert scenario_name in baseline, (
+        f"scenario {scenario_name!r} missing from quality_baseline.json; "
+        "regenerate the baseline"
+    )
+    expected = baseline[scenario_name]
+    measured = _measure(scenario_name)
+    assert set(measured) == set(expected), (
+        f"{scenario_name}: record stream changed "
+        f"(baseline {sorted(expected)}, measured {sorted(measured)}); "
+        "regenerate the baseline if intentional"
+    )
+    failures = []
+    for key, values in measured.items():
+        if not values["is_dominating"] and expected[key]["is_dominating"]:
+            failures.append(f"{key}: output is no longer a dominating set")
+            continue
+        allowed = expected[key]["ratio"] * (1.0 + TOLERANCE) + 1e-9
+        if values["ratio"] > allowed:
+            failures.append(
+                f"{key}: ratio {values['ratio']:.4f} regressed past baseline "
+                f"{expected[key]['ratio']:.4f} (+{TOLERANCE:.0%} tolerance)"
+            )
+    assert not failures, f"{scenario_name}: quality regression:\n  " + "\n  ".join(failures)
+
+
+@pytest.mark.parametrize("scenario_name", FAST_SCENARIOS)
+def test_quality_no_regression_fast(scenario_name):
+    _assert_no_regression(scenario_name)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("scenario_name", SLOW_SCENARIOS)
+def test_quality_no_regression_full(scenario_name):
+    _assert_no_regression(scenario_name)
+
+
+def test_baseline_file_covers_all_scenarios():
+    baseline = _load_baseline()
+    missing = [name for name in ALL_SCENARIOS if name not in baseline]
+    assert not missing, f"baseline missing scenarios: {missing}; regenerate"
+
+
+def regenerate() -> None:
+    """Recompute the baseline for every covered scenario and write it."""
+    baseline = {}
+    for name in ALL_SCENARIOS:
+        print(f"measuring {name} ...", flush=True)
+        baseline[name] = _measure(name)
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {BASELINE_PATH} ({len(baseline)} scenarios)")
+
+
+if __name__ == "__main__":
+    if "--regenerate" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)

@@ -1,0 +1,289 @@
+"""Cross-implementation differential grid for the kernel execution tier.
+
+Every kerneled algorithm (the forest 3-approximation, the Theorem 1.1/3.1
+primal-dual pair, and the LW-style distributed greedy baseline) runs under
+all three engines -- reference oracle, batched, kernel -- across the eight
+seeded graph families, weighted and unweighted.  The assertion is the
+strongest the repository has: identical dominating sets and byte-identical
+results via :func:`repro.run.result.result_bytes` (which covers the full
+``RunMetrics`` trace, the per-node outputs, weights and validation flags).
+
+The CSR-direct path gets the same treatment: a kernel run on a streamed
+:class:`~repro.graphs.large_scale.CSRGraph` must be byte-identical to a
+reference run on the equivalent ``networkx`` graph.
+
+The default grid keeps tier-1 fast; the exhaustive grid (families x sizes x
+seeds x weightings) runs under ``pytest -m slow`` and in ``nightly.yml``.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.congest.errors import EngineCapabilityError
+from repro.graphs import large_scale
+from repro.graphs.generators import (
+    caterpillar_graph,
+    forest_union_graph,
+    grid_graph,
+    outerplanar_graph,
+    planar_triangulation_graph,
+    preferential_attachment_graph,
+    random_tree,
+)
+from repro.graphs.weights import assign_random_weights
+from repro.run import RunSpec, Session
+from repro.run.result import result_bytes
+
+ENGINES = ("reference", "batched", "kernel")
+
+#: The eight families of the repository's differential grids.
+FAMILIES = {
+    "tree": (lambda size, seed: random_tree(size, seed=seed), 1),
+    "caterpillar": (lambda size, seed: caterpillar_graph(max(2, size // 4), legs_per_node=3), 1),
+    "grid": (lambda size, seed: grid_graph(5, max(2, size // 5)), 2),
+    "outerplanar": (lambda size, seed: outerplanar_graph(size, seed=seed), 2),
+    "planar": (lambda size, seed: planar_triangulation_graph(size, seed=seed), 3),
+    "forest-union": (lambda size, seed: forest_union_graph(size, alpha=3, seed=seed), 3),
+    "ba": (lambda size, seed: preferential_attachment_graph(size, attachment=3, seed=seed), 3),
+    "gnp": (lambda size, seed: nx.gnp_random_graph(size, 0.15, seed=seed), None),
+}
+
+FAST_FAMILIES = ("tree", "grid", "forest-union", "ba")
+
+#: Kerneled algorithms: registry name plus the weightings they accept.
+#: ``deterministic`` on unit weights exercises UnweightedMDSAlgorithm,
+#: ``weighted`` exercises WeightedMDSAlgorithm on both weightings, and
+#: ``lw-deterministic`` is the unweighted distributed greedy baseline.
+KERNELED = {
+    "forest": (False,),
+    "deterministic": (False,),
+    "weighted": (False, True),
+    "lw-deterministic": (False,),
+}
+
+
+def _build(family_key, size, seed, weighted):
+    builder, alpha = FAMILIES[family_key]
+    graph = builder(size, seed)
+    if weighted:
+        assign_random_weights(graph, 1, 25, seed=seed + 1)
+    if alpha is None:
+        from repro.graphs.arboricity import arboricity_upper_bound
+
+        alpha = max(1, arboricity_upper_bound(graph))
+    return graph, alpha
+
+
+def _run_grid_point(graph, alpha, algorithm, seed):
+    results = {}
+    for engine in ENGINES:
+        spec = RunSpec(
+            graph=graph, algorithm=algorithm, alpha=alpha, seed=seed, engine=engine
+        )
+        results[engine] = Session().run(spec)
+    return results
+
+
+def _assert_byte_identical(results, label):
+    reference = results["reference"]
+    for engine, result in results.items():
+        assert result.dominating_set == reference.dominating_set, (
+            f"{label}: dominating sets differ on {engine}"
+        )
+        assert result_bytes(result) == result_bytes(reference), (
+            f"{label}: result bytes differ on {engine}"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Fast grid (tier-1)
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("algorithm", sorted(KERNELED))
+@pytest.mark.parametrize("family_key", FAST_FAMILIES)
+def test_kernel_byte_identical(family_key, algorithm):
+    for weighted in KERNELED[algorithm]:
+        graph, alpha = _build(family_key, size=40, seed=13, weighted=weighted)
+        results = _run_grid_point(graph, alpha, algorithm, seed=13)
+        _assert_byte_identical(
+            results, f"{algorithm}/{family_key}/weighted={weighted}"
+        )
+
+
+def test_kernel_on_edge_case_graphs():
+    corner_graphs = [
+        nx.empty_graph(0),
+        nx.empty_graph(1),
+        nx.empty_graph(7),
+        nx.path_graph(2),
+        nx.disjoint_union(nx.path_graph(3), nx.empty_graph(2)),
+        nx.disjoint_union(nx.path_graph(2), nx.path_graph(2)),  # two-node components
+        nx.star_graph(9),
+    ]
+    for algorithm in sorted(KERNELED):
+        for index, graph in enumerate(corner_graphs):
+            results = _run_grid_point(graph, 1, algorithm, seed=index)
+            _assert_byte_identical(results, f"{algorithm}/corner-{index}")
+
+
+def test_csr_direct_path_byte_identical():
+    """Kernel-on-CSRGraph == reference-on-networkx, byte for byte."""
+    cases = [
+        (large_scale.large_grid(6, 8), "deterministic"),
+        (large_scale.large_preferential_attachment(60, attachment=3, seed=5), "deterministic"),
+        (large_scale.large_preferential_attachment(60, attachment=3, seed=5), "forest"),
+        (large_scale.large_random_geometric(70, 0.15, seed=3), "lw-deterministic"),
+        (
+            large_scale.random_integer_weights(
+                large_scale.large_preferential_attachment(50, attachment=3, seed=2),
+                1, 40, seed=9,
+            ),
+            "weighted",
+        ),
+    ]
+    for csr, algorithm in cases:
+        alpha = csr.alpha if csr.alpha is not None else None
+        kernel_result = Session().run(
+            RunSpec(graph=csr, algorithm=algorithm, alpha=alpha, engine="kernel")
+        )
+        reference_result = Session().run(
+            RunSpec(
+                graph=csr.to_networkx(), algorithm=algorithm, alpha=alpha,
+                engine="reference",
+            )
+        )
+        label = f"{csr.name}/{algorithm}"
+        assert kernel_result.dominating_set == reference_result.dominating_set, label
+        assert result_bytes(kernel_result) == result_bytes(reference_result), label
+
+
+# --------------------------------------------------------------------------- #
+# Error-path parity and capability boundaries
+# --------------------------------------------------------------------------- #
+
+
+def test_unit_weight_rejection_identical_across_engines():
+    graph = random_tree(12, seed=0)
+    assign_random_weights(graph, 2, 9, seed=1)
+    messages = {}
+    for engine in ENGINES:
+        with pytest.raises(ValueError) as info:
+            # algorithm="deterministic" would dispatch to WeightedMDS; force
+            # the unweighted warm-up onto a weighted instance instead.
+            from repro.core.unweighted import UnweightedMDSAlgorithm
+
+            Session().run(
+                RunSpec(
+                    graph=graph, algorithm=UnweightedMDSAlgorithm(), alpha=1,
+                    engine=engine,
+                )
+            )
+        messages[engine] = str(info.value)
+    assert len(set(messages.values())) == 1, messages
+
+
+def test_round_limit_error_identical_across_engines():
+    from repro.congest.errors import NonConvergenceError
+
+    graph = preferential_attachment_graph(30, attachment=3, seed=1)
+    details = {}
+    for engine in ENGINES:
+        with pytest.raises(NonConvergenceError) as info:
+            Session().run(
+                RunSpec(
+                    graph=graph, algorithm="deterministic", alpha=3,
+                    engine=engine, max_rounds=3,
+                )
+            )
+        details[engine] = (info.value.rounds, info.value.pending)
+    assert len(set(details.values())) == 1, details
+
+
+def test_kernel_falls_back_for_unkerneled_algorithms():
+    graph = forest_union_graph(30, alpha=3, seed=2)
+    results = {
+        engine: Session().run(
+            RunSpec(graph=graph, algorithm="randomized", alpha=3, engine=engine)
+        )
+        for engine in ("batched", "kernel")
+    }
+    assert result_bytes(results["kernel"]) == result_bytes(results["batched"])
+
+
+def test_kernel_rejects_fault_plans():
+    graph = grid_graph(5, 5)
+    spec = RunSpec(
+        graph=graph, algorithm="deterministic", alpha=2,
+        engine="kernel", faults="lossy10",
+    )
+    with pytest.raises(EngineCapabilityError, match="kernel"):
+        Session().run(spec)
+
+
+def test_csr_rejects_non_kernel_engines_and_faults():
+    csr = large_scale.large_grid(4, 4)
+    with pytest.raises(EngineCapabilityError, match="engine='kernel'"):
+        Session().run(RunSpec(graph=csr, algorithm="deterministic", engine="batched"))
+    with pytest.raises(EngineCapabilityError, match="fault"):
+        Session().run(
+            RunSpec(
+                graph=csr, algorithm="deterministic", engine="kernel",
+                faults="lossy10",
+            )
+        )
+    with pytest.raises(EngineCapabilityError, match="no kernel"):
+        Session().run(RunSpec(graph=csr, algorithm="randomized", engine="kernel"))
+
+
+# --------------------------------------------------------------------------- #
+# Exhaustive grid (pytest -m slow; nightly.yml kernel-parity job)
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("algorithm", sorted(KERNELED))
+@pytest.mark.parametrize("family_key", sorted(FAMILIES))
+@pytest.mark.parametrize("size", [12, 60, 120])
+@pytest.mark.parametrize("seed", [0, 1, 2022])
+def test_kernel_byte_identical_exhaustive(family_key, algorithm, size, seed):
+    for weighted in KERNELED[algorithm]:
+        graph, alpha = _build(family_key, size=size, seed=seed, weighted=weighted)
+        results = _run_grid_point(graph, alpha, algorithm, seed=seed)
+        _assert_byte_identical(
+            results,
+            f"{algorithm}/{family_key}/n={size}/seed={seed}/weighted={weighted}",
+        )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [0, 7, 2022])
+@pytest.mark.parametrize(
+    "builder",
+    [
+        lambda seed: large_scale.large_preferential_attachment(300, attachment=4, seed=seed),
+        lambda seed: large_scale.large_grid(12, 18),
+        lambda seed: large_scale.large_random_geometric(250, 0.1, seed=seed),
+        lambda seed: large_scale.random_integer_weights(
+            large_scale.large_preferential_attachment(250, attachment=3, seed=seed),
+            1, 60, seed=seed + 1,
+        ),
+    ],
+)
+def test_csr_direct_path_exhaustive(builder, seed):
+    csr = builder(seed)
+    for algorithm in ("deterministic", "weighted", "lw-deterministic"):
+        kernel_result = Session().run(
+            RunSpec(graph=csr, algorithm=algorithm, alpha=csr.alpha, engine="kernel", seed=seed)
+        )
+        reference_result = Session().run(
+            RunSpec(
+                graph=csr.to_networkx(), algorithm=algorithm, alpha=csr.alpha,
+                engine="reference", seed=seed,
+            )
+        )
+        assert result_bytes(kernel_result) == result_bytes(reference_result), (
+            f"{csr.name}/{algorithm}/seed={seed}"
+        )

@@ -1,0 +1,234 @@
+"""Property-based tests (hypothesis) for the kernel tier's substrate.
+
+Three layers are covered:
+
+* the **CSR segment primitives** (:mod:`repro.congest.kernels.csr`) match
+  brute-force per-node loops on arbitrary random graphs -- including the
+  order-exact float fold, which must replay Python's left-to-right
+  accumulation bit for bit;
+* the **streaming generators** (:mod:`repro.graphs.large_scale`) round-trip
+  ``networkx.Graph`` <-> ``CSRGraph`` losslessly, keep their neighbor lists
+  sorted, and certify arboricity bounds consistent with the dict-based
+  degeneracy computation;
+* **kernel runs are deterministic**: the same spec produces byte-identical
+  results across repeated in-process runs and across worker processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.congest.kernels.csr import (
+    SequentialNeighborFold,
+    int_bit_lengths,
+    segment_any,
+    segment_min,
+    segment_min_argrank,
+    segment_sum,
+)
+from repro.graphs import large_scale
+from repro.graphs.arboricity import degeneracy
+from repro.graphs.generators import random_bounded_arboricity_graph
+
+FAST = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+graph_params = dict(
+    n=st.integers(min_value=0, max_value=40),
+    alpha=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10 ** 6),
+)
+
+
+def _random_csr(n, alpha, seed):
+    graph = random_bounded_arboricity_graph(n, alpha=alpha, seed=seed)
+    return graph, large_scale.csr_from_networkx(graph)
+
+
+class TestSegmentPrimitives:
+    @FAST
+    @given(**graph_params)
+    def test_segment_sum_matches_bruteforce(self, n, alpha, seed):
+        graph, csr = _random_csr(n, alpha, seed)
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 50, size=n)
+        summed = segment_sum(csr.indptr, values[csr.indices])
+        for node in range(n):
+            assert summed[node] == sum(values[u] for u in graph.neighbors(node))
+
+    @FAST
+    @given(**graph_params)
+    def test_segment_any_and_min_match_bruteforce(self, n, alpha, seed):
+        graph, csr = _random_csr(n, alpha, seed)
+        rng = np.random.default_rng(seed + 1)
+        flags = rng.random(n) < 0.3
+        values = rng.integers(1, 60, size=n)
+        any_set = segment_any(csr.indptr, flags[csr.indices])
+        minima = segment_min(csr.indptr, values[csr.indices], empty=10 ** 9)
+        for node in range(n):
+            neighbors = list(graph.neighbors(node))
+            assert any_set[node] == any(flags[u] for u in neighbors)
+            expected = min((values[u] for u in neighbors), default=10 ** 9)
+            assert minima[node] == expected
+
+    @FAST
+    @given(**graph_params)
+    def test_segment_min_argrank_is_first_minimum_in_rank_order(self, n, alpha, seed):
+        graph, csr = _random_csr(n, alpha, seed)
+        rng = np.random.default_rng(seed + 2)
+        values = rng.integers(1, 8, size=n)  # small range forces ties
+        ranks = rng.permutation(n).astype(np.int64)
+        minima = segment_min(csr.indptr, values[csr.indices], empty=10 ** 9)
+        argranks = segment_min_argrank(
+            csr.indptr, values[csr.indices], ranks[csr.indices], minima
+        )
+        for node in range(n):
+            neighbors = list(graph.neighbors(node))
+            if not neighbors:
+                continue
+            best = min(values[u] for u in neighbors)
+            expected = min(ranks[u] for u in neighbors if values[u] == best)
+            assert argranks[node] == expected
+
+    @FAST
+    @given(**graph_params)
+    def test_sequential_fold_is_bitwise_left_fold(self, n, alpha, seed):
+        """The fold must equal Python's sequential accumulation *exactly* --
+        not merely within tolerance -- because the decide rounds compare the
+        result against a threshold."""
+        graph, csr = _random_csr(n, alpha, seed)
+        rng = np.random.default_rng(seed + 3)
+        values = rng.random(n)
+        folded = SequentialNeighborFold(csr.indptr, csr.indices).fold(values)
+        for node in range(n):
+            expected = float(values[node])
+            for neighbor in sorted(graph.neighbors(node)):
+                expected += float(values[neighbor])
+            assert folded[node] == expected  # bit-exact, no tolerance
+
+    @FAST
+    @given(values=st.lists(st.integers(min_value=0, max_value=2 ** 40), max_size=30))
+    def test_int_bit_lengths_matches_python(self, values):
+        array = np.asarray(values, dtype=np.int64)
+        assert int_bit_lengths(array).tolist() == [v.bit_length() for v in values]
+
+
+class TestCSRRoundTrip:
+    @FAST
+    @given(**graph_params, weighted=st.booleans())
+    def test_networkx_roundtrip_lossless(self, n, alpha, seed, weighted):
+        graph = random_bounded_arboricity_graph(n, alpha=alpha, seed=seed)
+        if weighted:
+            rng = np.random.default_rng(seed)
+            for node in graph.nodes():
+                graph.nodes[node]["weight"] = int(rng.integers(1, 40))
+        csr = large_scale.csr_from_networkx(graph)
+        back = csr.to_networkx()
+        assert set(back.nodes()) == set(graph.nodes())
+        assert set(map(frozenset, back.edges())) == set(map(frozenset, graph.edges()))
+        for node in graph.nodes():
+            assert back.nodes[node].get("weight", 1) == graph.nodes[node].get("weight", 1)
+        # CSR invariants: sorted neighbor slices, symmetric edge count.
+        for node in range(n):
+            row = csr.indices[csr.indptr[node]:csr.indptr[node + 1]].tolist()
+            assert row == sorted(graph.neighbors(node))
+
+    @FAST
+    @given(**graph_params)
+    def test_csr_degeneracy_matches_dict_based(self, n, alpha, seed):
+        graph, csr = _random_csr(n, alpha, seed)
+        if n == 0:
+            assert large_scale.csr_degeneracy(csr) == 0
+        else:
+            assert large_scale.csr_degeneracy(csr) == degeneracy(graph)
+
+    def test_streamed_generators_have_valid_structure(self):
+        for csr in [
+            large_scale.large_preferential_attachment(200, attachment=3, seed=1),
+            large_scale.large_grid(9, 13),
+            large_scale.large_grid(5, 5, diagonal=True),
+            large_scale.large_random_geometric(150, 0.12, seed=4),
+        ]:
+            graph = csr.to_networkx()
+            assert graph.number_of_nodes() == csr.n
+            assert graph.number_of_edges() == csr.m
+            assert not any(u == v for u, v in graph.edges())
+            if csr.alpha is not None:
+                # The certificate must actually bound the arboricity, which
+                # degeneracy/2-rounding witnesses: alpha <= degeneracy is not
+                # required, but degeneracy <= 2*alpha - 1 always holds for a
+                # correct certificate.
+                assert degeneracy(graph) <= 2 * csr.alpha - 1
+
+    def test_rejects_self_loops_and_duplicates(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="self-loop"):
+            large_scale.csr_from_edges(3, np.array([0, 1]), np.array([0, 2]))
+        with pytest.raises(ValueError, match="duplicate"):
+            large_scale.csr_from_edges(3, np.array([0, 0]), np.array([1, 1]))
+
+    def test_from_networkx_rejects_non_integer_weights(self):
+        import networkx as nx
+        import pytest
+
+        graph = nx.path_graph(3)
+        graph.nodes[1]["weight"] = 2.7
+        with pytest.raises(ValueError, match="positive integers"):
+            large_scale.csr_from_networkx(graph)
+        graph.nodes[1]["weight"] = 0
+        with pytest.raises(ValueError, match="positive integers"):
+            large_scale.csr_from_networkx(graph)
+
+    def test_kernel_grid_cache_is_not_pickled(self):
+        import pickle
+
+        from repro.run import RunSpec, Session
+
+        csr = large_scale.large_preferential_attachment(500, attachment=3, seed=1)
+        cold = len(pickle.dumps(csr))
+        Session().run(RunSpec(graph=csr, algorithm="deterministic", engine="kernel"))
+        assert hasattr(csr, "_kernel_grid")  # the cache exists after a run...
+        warm = len(pickle.dumps(csr))
+        assert warm == cold  # ...but never crosses a process boundary
+        assert not hasattr(pickle.loads(pickle.dumps(csr)), "_kernel_grid")
+
+
+def _run_kernel_once(payload):
+    """Worker entry point for the cross-process determinism check."""
+    n, attachment, seed, algorithm = payload
+    from repro.graphs.large_scale import large_preferential_attachment
+    from repro.run import RunSpec, Session
+    from repro.run.result import result_bytes
+
+    csr = large_preferential_attachment(n, attachment=attachment, seed=seed)
+    result = Session().run(
+        RunSpec(graph=csr, algorithm=algorithm, alpha=attachment, engine="kernel")
+    )
+    return result_bytes(result)
+
+
+class TestKernelDeterminism:
+    def test_repeated_runs_byte_identical(self):
+        from repro.run import RunSpec, Session
+        from repro.run.result import result_bytes
+
+        csr = large_scale.large_preferential_attachment(120, attachment=3, seed=6)
+        session = Session()
+        spec = RunSpec(graph=csr, algorithm="deterministic", alpha=3, engine="kernel")
+        blobs = {result_bytes(session.run(spec)) for _ in range(3)}
+        blobs.add(result_bytes(Session().run(spec)))  # fresh session too
+        assert len(blobs) == 1
+
+    def test_runs_byte_identical_across_processes(self):
+        import multiprocessing
+
+        payload = (120, 3, 6, "deterministic")
+        local = _run_kernel_once(payload)
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(2) as pool:
+            remote = pool.map(_run_kernel_once, [payload, payload])
+        assert remote == [local, local]

@@ -19,6 +19,28 @@ from repro.congest.algorithm import SynchronousAlgorithm
 from repro.core.api import solve_with_algorithm
 from repro.graphs.generators import random_tree
 
+#: This module exercises the deprecated ``solve_*`` helpers *on purpose*,
+#: so the tier-1 "error on repro DeprecationWarning" filter (pytest.ini) is
+#: relaxed here; the deprecation contract itself is asserted explicitly in
+#: :class:`TestDeprecationContract`.
+pytestmark = pytest.mark.filterwarnings("ignore:solve_")
+
+
+class TestDeprecationContract:
+    def test_every_legacy_helper_warns(self, small_forest_union, small_tree):
+        helpers = [
+            lambda: solve_mds(small_forest_union, alpha=3),
+            lambda: solve_weighted_mds(small_forest_union, alpha=3),
+            lambda: solve_mds_randomized(small_forest_union, alpha=3),
+            lambda: solve_mds_general(small_forest_union),
+            lambda: solve_mds_forest(small_tree),
+            lambda: solve_mds_unknown_degree(small_forest_union, alpha=3),
+            lambda: solve_mds_unknown_arboricity(small_forest_union),
+        ]
+        for helper in helpers:
+            with pytest.warns(DeprecationWarning, match="legacy wrapper"):
+                helper()
+
 
 class TestSolveMds:
     def test_returns_result_dataclass(self, small_forest_union):

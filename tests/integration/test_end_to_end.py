@@ -14,12 +14,7 @@ import math
 
 import pytest
 
-from repro import (
-    solve_mds,
-    solve_mds_forest,
-    solve_mds_randomized,
-    solve_weighted_mds,
-)
+from repro import RunSpec, execute
 from repro.analysis.experiments import aggregate_records, sweep
 from repro.analysis.opt import estimate_opt
 from repro.baselines.bansal_umboh import bansal_umboh_dominating_set
@@ -27,13 +22,37 @@ from repro.baselines.greedy import greedy_dominating_set
 from repro.baselines.lenzen_wattenhofer import LWDeterministicAlgorithm
 from repro.congest.simulator import run_algorithm
 from repro.graphs.generators import (
-    GraphInstance,
     preferential_attachment_graph,
     random_tree,
     standard_test_suite,
 )
 from repro.graphs.validation import is_dominating_set
 from repro.graphs.weights import assign_random_weights
+
+
+def solve_mds(graph, alpha=None, epsilon=0.1):
+    return execute(
+        RunSpec(graph=graph, algorithm="deterministic",
+                params={"epsilon": epsilon}, alpha=alpha)
+    )
+
+
+def solve_weighted_mds(graph, alpha=None, epsilon=0.1):
+    return execute(
+        RunSpec(graph=graph, algorithm="weighted",
+                params={"epsilon": epsilon}, alpha=alpha)
+    )
+
+
+def solve_mds_randomized(graph, alpha=None, t=1, seed=0):
+    return execute(
+        RunSpec(graph=graph, algorithm="randomized",
+                params={"t": t}, alpha=alpha, seed=seed)
+    )
+
+
+def solve_mds_forest(graph):
+    return execute(RunSpec(graph=graph, algorithm="forest"))
 
 
 @pytest.fixture(scope="module")

@@ -12,7 +12,7 @@ import networkx as nx
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro import solve_mds, solve_mds_randomized, solve_weighted_mds
+from repro import RunSpec, execute
 from repro.baselines.exact import exact_minimum_weight_dominating_set
 from repro.congest.engine import available_engines
 from repro.congest.simulator import run_algorithm
@@ -21,6 +21,27 @@ from repro.core.weighted import WeightedMDSAlgorithm
 from repro.graphs.arboricity import arboricity_upper_bound
 from repro.graphs.generators import random_bounded_arboricity_graph
 from repro.graphs.validation import dominating_set_weight, is_dominating_set
+
+
+def solve_mds(graph, alpha=None, epsilon=0.1, engine=None):
+    return execute(
+        RunSpec(graph=graph, algorithm="deterministic",
+                params={"epsilon": epsilon}, alpha=alpha, engine=engine)
+    )
+
+
+def solve_weighted_mds(graph, alpha=None, epsilon=0.1, engine=None):
+    return execute(
+        RunSpec(graph=graph, algorithm="weighted",
+                params={"epsilon": epsilon}, alpha=alpha, engine=engine)
+    )
+
+
+def solve_mds_randomized(graph, alpha=None, t=1, seed=0, engine=None):
+    return execute(
+        RunSpec(graph=graph, algorithm="randomized",
+                params={"t": t}, alpha=alpha, seed=seed, engine=engine)
+    )
 
 
 def _random_weighted_graph(n, alpha, weight_seed, structure_seed):

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import solve_mds
+from repro import RunSpec, execute
 from repro.baselines.exact import exact_minimum_dominating_set
 from repro.baselines.greedy import greedy_dominating_set
 from repro.baselines.lp import fractional_vertex_cover_lp
@@ -15,6 +15,13 @@ from repro.lowerbound.reduction import (
     extract_fractional_vertex_cover,
     verify_structural_properties,
 )
+
+
+def solve_mds(graph, alpha=None, epsilon=0.1):
+    return execute(
+        RunSpec(graph=graph, algorithm="deterministic",
+                params={"epsilon": epsilon}, alpha=alpha)
+    )
 
 
 @pytest.fixture

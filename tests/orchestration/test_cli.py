@@ -60,6 +60,14 @@ class TestList:
 
 
 class TestRun:
+    def test_fault_scenario_on_kernel_engine_is_usage_error(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "run", "smoke/faults", "--engine", "kernel",
+            "--cache-dir", str(tmp_path),
+        )
+        assert code == 2
+        assert "kernel" in err and "fault" in err
+
     def test_run_prints_tables(self, capsys, tmp_path):
         code, out, _ = run_cli(
             capsys, "run", "smoke/forest", "--cache-dir", str(tmp_path)
@@ -113,6 +121,33 @@ class TestSweep:
         ]
         assert len(cell_lines) == 4  # 2 seeds x 2 engines
         assert "parity OK" in out
+
+    def test_engine_all_adds_kernel_parity_cells(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "sweep", "smoke/forest", "--engine", "all",
+            "--cache-dir", str(tmp_path),
+        )
+        assert code == 0
+        assert "parity OK: smoke/forest seed=0 (batched, kernel, reference)" in out
+
+    def test_kernel_fault_cells_are_skipped_not_crashed(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "sweep", "smoke/faults", "--engine", "all",
+            "--cache-dir", str(tmp_path),
+        )
+        assert code == 0
+        assert "skipping 1 kernel cells" in out
+        assert "parity OK: smoke/faults seed=0 (batched, reference)" in out
+
+    def test_all_cells_skipped_is_a_clean_no_op(self, capsys, tmp_path):
+        # Only fault scenarios + kernel engine: every cell is skipped; the
+        # summary must not divide by zero (regression test).
+        code, out, _ = run_cli(
+            capsys, "sweep", "smoke/faults", "--engine", "kernel",
+            "--cache-dir", str(tmp_path),
+        )
+        assert code == 0
+        assert "no cells left to run" in out
 
     def test_no_cache_flag(self, capsys, tmp_path):
         code, out, _ = run_cli(
