@@ -29,8 +29,9 @@ A third tier lives in :mod:`repro.congest.kernels`: the ``"kernel"`` engine
 executes the paper's hot algorithms as node-loop-free NumPy array programs
 over the CSR layout (registered lazily here so this module stays importable
 without NumPy).  Algorithms without a kernel fall back to the batched
-engine; fault hooks raise
-:class:`~repro.congest.errors.EngineCapabilityError`.
+engine (the fallback is recorded in ``RunMetrics.engine_used``); fault
+hooks run through the vectorized faulted driver in
+:mod:`repro.congest.kernels.faults`.
 
 Engine selection
 ----------------
@@ -154,6 +155,7 @@ class Engine(abc.ABC):
         engine's plain path.
         """
         metrics = RunMetrics(bandwidth_budget_bits=budget)
+        metrics.engine_used = self.name
         metrics.faulty_nodes = hooks.faulty_nodes
 
         layout = network.layout()
@@ -302,6 +304,7 @@ class ReferenceEngine(Engine):
                 network, algorithm, hooks, budget=budget, limit=limit, strict=strict
             )
         metrics = RunMetrics(bandwidth_budget_bits=budget)
+        metrics.engine_used = self.name
 
         for node_id in network.node_ids():
             algorithm.setup(network.context(node_id))
@@ -403,6 +406,7 @@ class BatchedEngine(Engine):
         import numpy as np
 
         metrics = RunMetrics(bandwidth_budget_bits=budget)
+        metrics.engine_used = self.name
 
         # All adjacency state comes from the network's cached layout: built
         # once per network and shared across executions (the compiled-state

@@ -12,8 +12,13 @@ overridden behavior never silently inherit a kernel -- and resolved lazily,
 so importing this package does not import NumPy or the algorithm modules.
 Use :func:`register_kernel` to attach a kernel to a custom algorithm class;
 a kernel is a callable ``kernel(grid, config, algorithm, *, budget, limit,
-strict) -> (outputs, RunMetrics)`` over a
-:class:`~repro.congest.kernels.grid.KernelGrid`.
+strict, seed=None, hooks=None) -> (outputs, RunMetrics)`` over a
+:class:`~repro.congest.kernels.grid.KernelGrid`.  ``seed`` is the network
+seed (randomized kernels replay the per-node RNG streams from it) and
+``hooks`` an optional compiled :class:`~repro.faults.session.FaultSession`:
+when present the kernel must apply the fault schedule -- the built-in
+kernels do so through the vectorized driver in
+:mod:`repro.congest.kernels.faults`.
 """
 
 from __future__ import annotations
@@ -53,6 +58,12 @@ KERNELS: Dict[str, Union[Callable, Tuple[str, str]]] = {
     ),
     "repro.baselines.lenzen_wattenhofer.LWDeterministicAlgorithm": (
         "repro.congest.kernels.baseline", "lw_deterministic_kernel",
+    ),
+    "repro.baselines.lenzen_wattenhofer.LWRandomizedAlgorithm": (
+        "repro.congest.kernels.interleaved", "lw_randomized_kernel",
+    ),
+    "repro.core.unknown_params.UnknownDegreeMDSAlgorithm": (
+        "repro.congest.kernels.interleaved", "unknown_degree_kernel",
     ),
 }
 

@@ -17,15 +17,78 @@ import numpy as np
 from repro.congest.errors import NonConvergenceError
 from repro.congest.kernels.accounting import account_broadcasts
 from repro.congest.kernels.csr import segment_any, segment_sum
+from repro.congest.kernels.faults import KIND_JOINED, KIND_UNCOVERED, run_program
 from repro.congest.kernels.grid import output_dicts
 from repro.congest.metrics import RoundMetrics, RunMetrics
 
 __all__ = ["lw_deterministic_kernel"]
 
 
-def lw_deterministic_kernel(grid, config, algorithm, *, budget, limit, strict):
+class _FaultedLWDeterministic:
+    """Round-by-round LW deterministic greedy for the faulted driver.
+
+    Unlike the lockstep closed form, crashed rounds desynchronise the phase
+    counters, so ``phase`` is a per-node array and the join threshold is
+    ``2.0 ** phase`` (a float once a node's counter goes negative -- exactly
+    the per-node handler's ``2 ** phase``).
+    """
+
+    def __init__(self, grid, config):
+        self.grid = grid
+        n = grid.n
+        self.phase = np.full(
+            n, int(math.ceil(math.log2(config.get("max_degree", 0) + 2))), np.int64
+        )
+        self.covered = np.zeros(n, dtype=bool)
+        self.in_ds = np.zeros(n, dtype=bool)
+        self.finished = np.zeros(n, dtype=bool)
+
+    def step(self, round_index, acting, inbox, run):
+        if round_index % 2 == 0:
+            # Report round: absorb joins, finish exhausted nodes, report.
+            if inbox is not None:
+                self.covered |= acting & inbox.any_truthy(KIND_JOINED)
+            done = acting & (self.phase < 1)
+            if done.any():
+                join = done & ~self.covered
+                self.in_ds |= join
+                self.covered |= join
+                self.finished |= done
+            run.broadcast(
+                round_index,
+                acting & ~done,
+                KIND_UNCOVERED,
+                bits=1,
+                values=(~self.covered).astype(np.int64),
+            )
+        else:
+            # Join round: span over the closed neighborhood vs 2^phase.
+            span = (~self.covered).astype(np.int64)
+            if inbox is not None:
+                span = span + inbox.count_truthy(KIND_UNCOVERED)
+            threshold = np.exp2(self.phase.astype(np.float64))
+            joining = acting & ~self.in_ds & (span >= threshold)
+            self.phase[acting] -= 1
+            self.in_ds |= joining
+            self.covered |= joining
+            run.broadcast(round_index, joining, KIND_JOINED, bits=1)
+
+    def outputs(self):
+        return output_dicts(self.grid.node_order, {"in_ds": self.in_ds.tolist()})
+
+
+def lw_deterministic_kernel(grid, config, algorithm, *, budget, limit, strict, seed=None, hooks=None):
     """Execute the LW-style deterministic greedy; see module docstring."""
-    del algorithm  # parameter-free
+    del algorithm, seed  # parameter-free
+    if hooks is not None:
+        return run_program(
+            grid,
+            hooks,
+            _FaultedLWDeterministic(grid, config),
+            budget=budget,
+            limit=limit,
+            strict=strict,
+        )
     metrics = RunMetrics(bandwidth_budget_bits=budget)
     n = grid.n
     if n == 0:

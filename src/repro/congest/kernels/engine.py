@@ -10,11 +10,14 @@ reference engine).
 
 Dispatch is by *exact* algorithm type -- a subclass that overrides any
 round behavior must register its own kernel -- and algorithms without a
-kernel fall back to the batched engine transparently, so ``engine="kernel"``
-is always safe to select.  Fault-injection hooks are not supported yet:
-executing under a fault plan raises
-:class:`~repro.congest.errors.EngineCapabilityError` instead of silently
-ignoring the adversary.
+kernel fall back to the batched engine transparently (fault hooks and all),
+so ``engine="kernel"`` is always safe to select.  Fault-injection hooks run
+on the kernel tier itself: the compiled
+:class:`~repro.faults.session.FaultSession` is applied as per-round NumPy
+masks by the driver in :mod:`repro.congest.kernels.faults`, byte-identical
+to the per-node engines under the same plan.  ``RunMetrics.engine_used``
+records which tier actually executed, so a fallback can never masquerade as
+a kernel run.
 """
 
 from __future__ import annotations
@@ -22,7 +25,6 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.congest.engine import BatchedEngine, Engine
-from repro.congest.errors import EngineCapabilityError
 
 __all__ = ["KernelEngine"]
 
@@ -36,11 +38,6 @@ class KernelEngine(Engine):
         self._fallback: Optional[BatchedEngine] = None
 
     def execute(self, network, algorithm, *, budget, limit, strict, hooks=None):
-        if hooks is not None:
-            raise EngineCapabilityError(
-                "engine 'kernel' does not support fault-injection hooks yet; "
-                "run fault plans on the 'batched' or 'reference' engine"
-            )
         from repro.congest.kernels import kernel_for
 
         kernel = kernel_for(algorithm)
@@ -48,12 +45,16 @@ class KernelEngine(Engine):
             if self._fallback is None:
                 self._fallback = BatchedEngine()
             return self._fallback.execute(
-                network, algorithm, budget=budget, limit=limit, strict=strict
+                network, algorithm, budget=budget, limit=limit, strict=strict,
+                hooks=hooks,
             )
         from repro.congest.kernels.grid import grid_from_network
 
         grid = grid_from_network(network)
-        return kernel(
+        outputs, metrics = kernel(
             grid, network.config, algorithm,
             budget=budget, limit=limit, strict=strict,
+            seed=network.seed, hooks=hooks,
         )
+        metrics.engine_used = self.name
+        return outputs, metrics

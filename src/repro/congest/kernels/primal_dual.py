@@ -47,6 +47,13 @@ from repro.congest.kernels.csr import (
     segment_min_argrank,
     segment_sum,
 )
+from repro.congest.kernels.faults import (
+    KIND_JOINED_S,
+    KIND_SELECTED,
+    KIND_WEIGHT,
+    KIND_X,
+    run_program,
+)
 from repro.congest.kernels.grid import output_dicts
 from repro.congest.message import word_size_bits
 from repro.congest.metrics import RoundMetrics, RunMetrics
@@ -64,21 +71,18 @@ _UNKNOWN_DELTA_MESSAGE = (
 )
 
 
-def primal_dual_kernel(grid, config, algorithm, *, budget, limit, strict):
-    """Execute a Weighted/Unweighted MDS instance; see module docstring."""
+def _validated_schedule(grid, config, algorithm):
+    """Shared setup validation; returns ``(max_degree, finalize_round)``.
+
+    Raises in the reference per-node loop's precedence: node 0's weight
+    check, node 0's Delta/lambda resolution, then the remaining nodes'
+    weight checks.
+    """
     from repro.core.unweighted import UnweightedMDSAlgorithm
 
-    metrics = RunMetrics(bandwidth_budget_bits=budget)
-    n = grid.n
-    if n == 0:
-        return {}, metrics
     weights = grid.weights
     unweighted = isinstance(algorithm, UnweightedMDSAlgorithm)
-
-    # Setup-time validation, in the reference per-node loop's precedence:
-    # node 0's weight check, node 0's Delta/lambda resolution, then the
-    # remaining nodes' weight checks.
-    if unweighted and weights[0] != 1:
+    if unweighted and grid.n and weights[0] != 1:
         raise ValueError(_UNIT_WEIGHT_MESSAGE)
     max_degree = config.get("max_degree")
     if max_degree is None:
@@ -87,14 +91,30 @@ def primal_dual_kernel(grid, config, algorithm, *, budget, limit, strict):
     lambda_value = algorithm.resolve_lambda(SimpleNamespace(config=config))
     if unweighted and (weights != 1).any():
         raise ValueError(_UNIT_WEIGHT_MESSAGE)
-
-    epsilon = algorithm.epsilon
     iterations = (
         0
         if algorithm.skip_partial
-        else partial_iteration_count(max_degree, epsilon, lambda_value)
+        else partial_iteration_count(max_degree, algorithm.epsilon, lambda_value)
     )
     finalize_round = 1 if iterations == 0 else 2 * iterations + 1
+    return max_degree, finalize_round
+
+
+def primal_dual_kernel(grid, config, algorithm, *, budget, limit, strict, seed=None, hooks=None):
+    """Execute a Weighted/Unweighted MDS instance; see module docstring."""
+    del seed  # deterministic algorithm
+    if hooks is not None:
+        program = _FaultedPrimalDual(grid, config, algorithm)
+        return run_program(
+            grid, hooks, program, budget=budget, limit=limit, strict=strict
+        )
+    metrics = RunMetrics(bandwidth_budget_bits=budget)
+    n = grid.n
+    if n == 0:
+        return {}, metrics
+    weights = grid.weights
+    max_degree, finalize_round = _validated_schedule(grid, config, algorithm)
+    epsilon = algorithm.epsilon
     total_rounds = finalize_round + 2
 
     indptr, indices, degrees = grid.indptr, grid.indices, grid.degrees
@@ -227,6 +247,154 @@ def primal_dual_kernel(grid, config, algorithm, *, budget, limit, strict):
         },
     )
     return outputs, metrics
+
+
+class _FaultedPrimalDual:
+    """Round-by-round Weighted/Unweighted MDS for the faulted driver.
+
+    State that the closed form derives analytically (``tau``, the packing
+    values, the received-weight table behind the cheapest-dominator pick)
+    becomes explicit per-node/per-edge arrays here, because a crashed or
+    silenced neighbor changes what each node actually received.
+    """
+
+    def __init__(self, grid, config, algorithm):
+        self.grid = grid
+        n = grid.n
+        if n:
+            self.max_degree, self.finalize_round = _validated_schedule(
+                grid, config, algorithm
+            )
+        else:
+            self.max_degree, self.finalize_round = 0, 1
+        self.weights = grid.weights
+        self.weight_bits = np.maximum(1, int_bit_lengths(self.weights) + 1)
+        self.float_bits = 2 * word_size_bits(max(2, n))
+        self.one_plus_eps = 1.0 + algorithm.epsilon
+        self.join_threshold = self.weights / self.one_plus_eps
+        self.x = np.zeros(n, dtype=np.float64)
+        self.x_partial = np.zeros(n, dtype=np.float64)
+        self.tau = np.zeros(n, dtype=np.int64)
+        self.has_tau = np.zeros(n, dtype=bool)
+        self.in_s = np.zeros(n, dtype=bool)
+        self.in_s_prime = np.zeros(n, dtype=bool)
+        self.dominated = np.zeros(n, dtype=bool)
+        self.dominated_at_partial = np.zeros(n, dtype=bool)
+        self.increase_count = np.zeros(n, dtype=np.int64)
+        # Per directed edge v->u: did v receive u's round-0 weight report?
+        self.got_weight = np.zeros(len(grid.indices), dtype=bool)
+        self.finished = np.zeros(n, dtype=bool)
+
+    def _initialise(self, acting, inbox, run):
+        n = self.grid.n
+        candidate_min = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+        if inbox is not None:
+            mask = inbox.kind == KIND_WEIGHT
+            receivers = inbox.recv[mask]
+            if receivers.size:
+                edges = run.edge_positions(receivers, inbox.send[mask])
+                self.got_weight[edges] = True
+                np.minimum.at(candidate_min, receivers, inbox.ival[mask])
+        tau_new = np.minimum(self.weights, candidate_min)
+        self.tau[acting] = tau_new[acting]
+        self.has_tau |= acting
+        x_new = tau_new / float(self.max_degree + 1)
+        self.x[acting] = x_new[acting]
+        self.x_partial[acting] = x_new[acting]
+
+    def _absorb_and_increase(self, acting, inbox):
+        if inbox is not None:
+            self.dominated |= inbox.any_truthy(KIND_JOINED_S)
+        undominated = acting & ~self.dominated
+        self.x[undominated] *= self.one_plus_eps
+        self.increase_count[undominated] += 1
+
+    def _finalize(self, round_index, acting, run):
+        grid = self.grid
+        undominated = acting & ~self.dominated
+        if not undominated.any():
+            return
+        sentinel = np.iinfo(np.int64).max
+        received = np.where(self.got_weight, self.weights[grid.indices], sentinel)
+        neighbor_min = segment_min(grid.indptr, received, empty=sentinel)
+        remote = undominated & (neighbor_min < self.weights)
+        joins_self = undominated & ~remote
+        self.in_s_prime |= joins_self
+        self.dominated |= joins_self
+        senders = np.flatnonzero(remote)
+        if senders.size:
+            min_rank = segment_min_argrank(
+                grid.indptr, received, grid.repr_rank[grid.indices], neighbor_min
+            )
+            node_by_rank = np.argsort(grid.repr_rank, kind="stable")
+            targets = node_by_rank[min_rank[remote]]
+            run.unicast(round_index, senders, targets, KIND_SELECTED, bits=1)
+
+    def step(self, round_index, acting, inbox, run):
+        finalize = self.finalize_round
+        if round_index == 0:
+            run.broadcast(
+                0, acting, KIND_WEIGHT, bits=self.weight_bits, values=self.weights
+            )
+            return
+        if round_index == 1 and finalize != 1:
+            self._initialise(acting, inbox, run)
+            run.broadcast(1, acting, KIND_X, bits=self.float_bits, fvalues=self.x)
+            return
+        if round_index < finalize:
+            if round_index % 2 == 0:
+                # Decide round (P2): the order-exact inbox fold is the load.
+                load = (
+                    inbox.ordered_float_sum((KIND_X,), self.x)
+                    if inbox is not None
+                    else self.x.copy()
+                )
+                joining = acting & ~self.in_s & (load >= self.join_threshold)
+                self.in_s |= joining
+                self.dominated |= joining
+                run.broadcast(round_index, joining, KIND_JOINED_S, bits=1)
+            else:
+                self._absorb_and_increase(acting, inbox)
+                run.broadcast(
+                    round_index, acting, KIND_X, bits=self.float_bits, fvalues=self.x
+                )
+            return
+        if round_index == finalize:
+            if finalize == 1:
+                self._initialise(acting, inbox, run)
+            else:
+                self._absorb_and_increase(acting, inbox)
+            self.x_partial[acting] = self.x[acting]
+            self.dominated_at_partial[acting] = self.dominated[acting]
+            self._finalize(round_index, acting, run)
+            return
+        # Extension round: selected nodes join; acting nodes finish.
+        if inbox is not None:
+            selected = inbox.any_truthy(KIND_SELECTED)
+            self.in_s_prime |= selected
+            self.dominated |= selected
+        self.finished |= acting
+
+    def outputs(self):
+        n = self.grid.n
+        tau_column = [
+            int(value) if known else None
+            for value, known in zip(self.tau.tolist(), self.has_tau.tolist())
+        ]
+        return output_dicts(
+            self.grid.node_order,
+            {
+                "in_ds": (self.in_s | self.in_s_prime).tolist(),
+                "in_partial": self.in_s.tolist(),
+                "in_extension": self.in_s_prime.tolist(),
+                "dominated_by_partial": self.dominated_at_partial.tolist(),
+                "x_partial": self.x_partial.tolist(),
+                "x": self.x.tolist(),
+                "tau": tau_column,
+                "increase_count": self.increase_count.tolist(),
+                "fallback_join": [False] * n,
+            },
+        )
 
 
 # Re-exported for the property-based tests, which cross-check the decide

@@ -64,6 +64,14 @@ class RunMetrics:
         Sorted tuple of node ids the fault plan ever crashes.
     per_round:
         The individual :class:`RoundMetrics` records.
+    engine_used:
+        The name of the engine that actually executed the round loop
+        (``"reference"``, ``"batched"``, ``"kernel"``), recorded so a
+        kernel run that silently fell back to the batched engine can be
+        told apart from a true kernel run.  ``None`` on metrics produced
+        before the field existed.  Excluded from :func:`summary` and
+        normalised away by cross-engine byte comparators
+        (:func:`repro.run.result.result_bytes`).
     """
 
     rounds: int = 0
@@ -76,6 +84,7 @@ class RunMetrics:
     total_delayed_messages: int = 0
     stalled_nodes: int = 0
     faulty_nodes: Tuple[Hashable, ...] = ()
+    engine_used: Optional[str] = None
 
     def record(self, round_metrics: RoundMetrics) -> None:
         """Fold one round's statistics into the aggregate."""

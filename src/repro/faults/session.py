@@ -16,12 +16,15 @@ engine as its ``hooks`` object.  It owns everything both engines need:
   ``(send round, sender order)`` sequence, so inbox insertion order (which
   algorithms observe through float accumulation) is engine-independent.
 
-The two delivery entry points mirror the two engines: :meth:`route` decides
-the fate of a single delivery (the reference engine's per-message loop),
+The delivery entry points mirror the engines: :meth:`route` decides the
+fate of a single delivery (the reference engine's per-message loop),
 :meth:`broadcast` decides a whole broadcast at once with NumPy masks over
-the sender's CSR slice (the batched engine's vectorized loop).  Both read
-the same per-round arrays, so an execution is byte-identical whichever
-engine runs it -- ``tests/faults/`` enforces this.
+the sender's CSR slice (the batched engine's vectorized loop), and
+:meth:`edge_fates` exposes the full per-round edge decision arrays in one
+call (the kernel tier's faulted driver,
+:mod:`repro.congest.kernels.faults`).  All read the same per-round uniform
+arrays, so an execution is byte-identical whichever engine runs it --
+``tests/faults/`` enforces this.
 """
 
 from __future__ import annotations
@@ -40,6 +43,10 @@ _SEED_MASK = (1 << 63) - 1
 class FaultSession:
     """Round-loop hooks implementing a :class:`FaultPlan` for one execution.
 
+    ``report_pending_nodes`` tells the kernel driver that a hooked run's
+    :class:`~repro.congest.errors.NonConvergenceError` carries the pending
+    node list, matching ``Engine._execute_hooked``.
+
     The session implements the engine hook protocol documented in
     :mod:`repro.congest.engine`: ``begin_round`` / ``runnable`` / ``acting``
     for crash handling, ``route`` / ``broadcast`` / ``collect`` for the
@@ -47,7 +54,73 @@ class FaultSession:
     ``live_edge_count`` / ``faulty_nodes`` / ``stop_at_limit``.
     """
 
+    #: Hooked runs report the pending node list in NonConvergenceError
+    #: (matching ``Engine._execute_hooked``); the kernel driver keys on this.
+    report_pending_nodes = True
+
     def __init__(self, plan: FaultPlan, network: Network):
+        # CSR over directed edges (neighbor lists sorted by global node
+        # order, the batched engine's canonical order) comes from the
+        # network's cached layout: compiled once per network and shared by
+        # every fault session executed on it.
+        layout = network.layout()
+        indptr, indices, edge_pos = layout.csr()
+        self._compile(
+            plan,
+            network,
+            layout.node_order,
+            layout.index_of,
+            indptr,
+            indices,
+            edge_pos,
+            network.m,
+        )
+
+    @classmethod
+    def for_csr(cls, plan: FaultPlan, csr_graph) -> "FaultSession":
+        """Compile ``plan`` directly against a CSR graph for the kernel tier.
+
+        CSR node ids *are* their indices, so the identity order stands in
+        for the layout's node order.  The resulting session makes exactly
+        the decisions :meth:`route`/:meth:`broadcast` would make on the
+        equivalent ``Network`` (same CSR edge positions, same seeded
+        uniforms), which is what keeps kernel runs on ``CSRGraph`` inputs
+        byte-identical to reference runs on ``to_networkx()``.
+        """
+        session = cls.__new__(cls)
+        n = int(csr_graph.n)
+        indptr = csr_graph.indptr
+        indices = csr_graph.indices
+        edge_pos = getattr(csr_graph, "_fault_edge_pos", None)
+        if edge_pos is None:
+            sources = [i for i in range(n) for _ in range(int(indptr[i + 1]) - int(indptr[i]))]
+            edge_pos = {
+                (src, int(dst)): e for e, (src, dst) in enumerate(zip(sources, indices))
+            }
+            csr_graph._fault_edge_pos = edge_pos
+        session._compile(
+            plan,
+            None,
+            list(range(n)),
+            {i: i for i in range(n)},
+            indptr,
+            indices,
+            edge_pos,
+            len(indices) // 2,
+        )
+        return session
+
+    def _compile(
+        self,
+        plan: FaultPlan,
+        network: Optional[Network],
+        node_order: List[Hashable],
+        index_of: Dict[Hashable, int],
+        indptr,
+        indices,
+        edge_pos: Dict[Tuple[int, int], int],
+        undirected_edges: int,
+    ) -> None:
         import numpy as np
 
         self._np = np
@@ -57,29 +130,31 @@ class FaultSession:
         self.faulty_nodes: Tuple[Hashable, ...] = plan.faulty_nodes()
         self._report_topology = not plan.is_empty()
 
-        # CSR over directed edges (neighbor lists sorted by global node
-        # order, the batched engine's canonical order) comes from the
-        # network's cached layout: compiled once per network and shared by
-        # every fault session executed on it.
-        layout = network.layout()
-        node_order: List[Hashable] = layout.node_order
         self.node_order = node_order
         n = len(node_order)
-        index_of = layout.index_of
         self._index_of = index_of
-        self._indptr, self._indices, self._edge_pos = layout.csr()
+        self._indptr, self._indices, self._edge_pos = indptr, indices, edge_pos
         edge_count = len(self._indices)
+
+        # Directed edge keys (src * n + dst) in CSR order; strictly
+        # increasing whenever neighbor lists follow the canonical node order,
+        # which lets the compile loops resolve edge positions with a single
+        # searchsorted instead of per-edge dict lookups.
+        self._sorted_edge_keys = None
+        if edge_count:
+            degrees = np.diff(np.asarray(indptr, dtype=np.int64))
+            keys = np.repeat(
+                np.arange(n, dtype=np.int64), degrees
+            ) * n + np.asarray(indices, dtype=np.int64)
+            if edge_count == 1 or bool((np.diff(keys) > 0).all()):
+                self._sorted_edge_keys = keys
 
         # Per-edge omission probability and latency bounds (defaults plus
         # per-link overrides; a link override applies to both directions).
         drop_p = np.full(edge_count, float(plan.drop_probability))
         lat_low = np.full(edge_count, int(plan.latency_low), dtype=np.int64)
         lat_high = np.full(edge_count, int(plan.latency_high), dtype=np.int64)
-        for link in plan.links:
-            for e in self._directed_pair(link.u, link.v, "link fault"):
-                drop_p[e] = link.drop_probability
-                lat_low[e] = link.latency_low
-                lat_high[e] = link.latency_high
+        self._apply_link_overrides(plan, drop_p, lat_low, lat_high)
         self._drop_p = drop_p
         self._lat_low = lat_low
         self._lat_span = lat_high - lat_low + 1
@@ -89,19 +164,21 @@ class FaultSession:
         # Link aliveness (churn) over directed edges, plus the undirected
         # live-edge counter reported in the per-round metrics.
         self._alive = np.ones(edge_count, dtype=bool)
-        self._live_undirected = network.m
-        churn_events: Dict[int, List[Tuple[int, int, bool]]] = {}
+        self._live_undirected = undirected_edges
         # Inserts before removes within a round: an edge both re-inserted
         # (end of its downtime) and freshly removed in the same round ends up
         # removed, which is the natural reading of the schedule.
         ordered_churn = sorted(
             plan.churn, key=lambda event: (event.round_index, event.action != "insert")
         )
-        for event in ordered_churn:
-            e_uv, e_vu = self._directed_pair(event.u, event.v, "churn event")
-            churn_events.setdefault(event.round_index, []).append(
-                (e_uv, e_vu, event.action == "insert")
-            )
+        churn_events = self._compile_churn_vec(ordered_churn) if ordered_churn else {}
+        if churn_events is None:
+            churn_events = {}
+            for event in ordered_churn:
+                e_uv, e_vu = self._directed_pair(event.u, event.v, "churn event")
+                churn_events.setdefault(event.round_index, []).append(
+                    (e_uv, e_vu, event.action == "insert")
+                )
         self._churn_events = churn_events
 
         # Crash windows compiled to per-round down/up toggles.
@@ -137,6 +214,110 @@ class FaultSession:
     # Compilation helpers
     # ------------------------------------------------------------------ #
 
+    def _apply_link_overrides(self, plan, drop_p, lat_low, lat_high) -> None:
+        """Scatter per-link drop/latency overrides into the edge columns.
+
+        Large plans (a latency or chaos regime touches most links) resolve
+        every edge position in a few array operations; anything the fast
+        path cannot express exactly -- unknown labels, edges outside the
+        graph, duplicate overrides of one link (where the later entry must
+        win, in plan order) -- falls back to the scalar loop, which also
+        raises the precise per-link errors.
+        """
+        links = plan.links
+        if not links:
+            return
+        np = self._np
+        index_of = self._index_of
+        count = len(links)
+        try:
+            u_idx = np.fromiter((index_of[link.u] for link in links), np.int64, count)
+            v_idx = np.fromiter((index_of[link.v] for link in links), np.int64, count)
+        except KeyError:
+            self._apply_link_overrides_slow(plan, drop_p, lat_low, lat_high)
+            return
+        pos = self._edge_positions_vec(u_idx, v_idx)
+        if pos is None or np.unique(np.concatenate(pos)).size != 2 * count:
+            self._apply_link_overrides_slow(plan, drop_p, lat_low, lat_high)
+            return
+        pos_uv, pos_vu = pos
+        dp = np.fromiter((link.drop_probability for link in links), np.float64, count)
+        ll = np.fromiter((link.latency_low for link in links), np.int64, count)
+        lh = np.fromiter((link.latency_high for link in links), np.int64, count)
+        for pos in (pos_uv, pos_vu):
+            drop_p[pos] = dp
+            lat_low[pos] = ll
+            lat_high[pos] = lh
+
+    def _apply_link_overrides_slow(self, plan, drop_p, lat_low, lat_high) -> None:
+        for link in plan.links:
+            for e in self._directed_pair(link.u, link.v, "link fault"):
+                drop_p[e] = link.drop_probability
+                lat_low[e] = link.latency_low
+                lat_high[e] = link.latency_high
+
+    def _compile_churn_vec(self, ordered_churn):
+        """Per-round ``(e_uv, e_vu, alive)`` array triples, or ``None``.
+
+        ``None`` sends the caller to the scalar loop: unknown labels or
+        edges (where it raises the precise error), unsorted CSR keys, or a
+        round touching the same undirected edge twice (where the toggles
+        must apply strictly in plan order).
+        """
+        np = self._np
+        index_of = self._index_of
+        count = len(ordered_churn)
+        try:
+            u_idx = np.fromiter(
+                (index_of[e.u] for e in ordered_churn), np.int64, count
+            )
+            v_idx = np.fromiter(
+                (index_of[e.v] for e in ordered_churn), np.int64, count
+            )
+        except KeyError:
+            return None
+        pos = self._edge_positions_vec(u_idx, v_idx)
+        if pos is None:
+            return None
+        pos_uv, pos_vu = pos
+        rounds = np.fromiter(
+            (e.round_index for e in ordered_churn), np.int64, count
+        )
+        alive = np.fromiter(
+            (e.action == "insert" for e in ordered_churn), bool, count
+        )
+        undirected = np.minimum(pos_uv, pos_vu)
+        edge_count = np.int64(len(self._indices))
+        if np.unique(rounds * edge_count + undirected).size != count:
+            return None
+        # ordered_churn is sorted by round, so each round is a slice.
+        bounds = np.flatnonzero(np.r_[True, rounds[1:] != rounds[:-1]])
+        ends = np.r_[bounds[1:], count]
+        return {
+            int(rounds[lo]): (pos_uv[lo:hi], pos_vu[lo:hi], alive[lo:hi])
+            for lo, hi in zip(bounds.tolist(), ends.tolist())
+        }
+
+    def _edge_positions_vec(self, u_idx, v_idx):
+        """Positions of directed edges ``u -> v`` and ``v -> u``, or ``None``.
+
+        ``None`` means the fast path cannot answer -- the CSR keys are not
+        sorted, or some named edge is absent -- and the caller must take the
+        scalar path (which raises the precise error for missing edges).
+        """
+        np = self._np
+        keys = self._sorted_edge_keys
+        if keys is None:
+            return None
+        n = np.int64(len(self.node_order))
+        key_uv = u_idx * n + v_idx
+        key_vu = v_idx * n + u_idx
+        pos_uv = np.searchsorted(keys, key_uv).clip(max=keys.size - 1)
+        pos_vu = np.searchsorted(keys, key_vu).clip(max=keys.size - 1)
+        if (keys[pos_uv] != key_uv).any() or (keys[pos_vu] != key_vu).any():
+            return None
+        return pos_uv, pos_vu
+
     def _directed_pair(self, u: Hashable, v: Hashable, what: str) -> Tuple[int, int]:
         index_of = self._index_of
         if u not in index_of or v not in index_of:
@@ -161,11 +342,25 @@ class FaultSession:
             self._crashed_now[i] = down
             if permanent:
                 self._permanently_crashed[i] = True
-        for e_uv, e_vu, alive in self._churn_events.get(round_index, ()):
-            if bool(self._alive[e_uv]) != alive:
-                self._live_undirected += 1 if alive else -1
-            self._alive[e_uv] = alive
-            self._alive[e_vu] = alive
+        events = self._churn_events.get(round_index)
+        if events is None:
+            return
+        if isinstance(events, list):
+            # Scalar fallback format: apply toggles strictly in plan order.
+            for e_uv, e_vu, alive in events:
+                if bool(self._alive[e_uv]) != alive:
+                    self._live_undirected += 1 if alive else -1
+                self._alive[e_uv] = alive
+                self._alive[e_vu] = alive
+            return
+        # Array format: each undirected edge appears at most once per round,
+        # so the toggles commute and apply as one scatter per direction.
+        e_uv, e_vu, alive = events
+        current = self._alive[e_uv]
+        self._live_undirected += int((alive & ~current).sum())
+        self._live_undirected -= int((~alive & current).sum())
+        self._alive[e_uv] = alive
+        self._alive[e_vu] = alive
 
     def runnable(self, index: int) -> bool:
         """False iff the node is permanently crashed (it will never act again)."""
@@ -174,6 +369,16 @@ class FaultSession:
     def acting(self, index: int) -> bool:
         """False iff the node is crashed in the current round."""
         return not self._crashed_now[index]
+
+    @property
+    def crashed_now(self):
+        """Boolean mask (n,) of nodes crashed in the current round.  Read-only."""
+        return self._crashed_now
+
+    @property
+    def permanently_crashed(self):
+        """Boolean mask (n,) of nodes that will never act again.  Read-only."""
+        return self._permanently_crashed
 
     def crashed_count(self) -> int:
         return int(self._crashed_now.sum())
@@ -272,6 +477,35 @@ class FaultSession:
             for p in kept_local[kept_delays == delay]:
                 bucket.append((int(receivers[p]), sender_id, payload))
         return kept, dropped, delayed
+
+    # ------------------------------------------------------------------ #
+    # Delivery: whole-round path (kernel faulted driver)
+    # ------------------------------------------------------------------ #
+
+    def edge_fates(self, round_index: int) -> Tuple[Any, Optional[Any]]:
+        """All per-edge decisions for sends in ``round_index``, in one call.
+
+        Returns ``(keep, delays)`` over the directed-edge array: ``keep[e]``
+        is ``True`` iff a message sent over edge ``e`` this round survives
+        (link alive and the omission draw passes), and ``delays`` is either
+        ``None`` (no latency anywhere in the plan) or the per-edge extra
+        latency in rounds.  The arrays are views/derivations of the same
+        seeded per-round uniforms :meth:`route` and :meth:`broadcast` read,
+        so a driver that applies them in CSR edge order reproduces the
+        reference engine's decisions bit for bit.  Callers must not mutate
+        the returned arrays.
+        """
+        np = self._np
+        self._round = round_index
+        keep = self._alive
+        delays = None
+        if self._has_drops:
+            self._ensure_uniforms()
+            keep = keep & (self._drop_u >= self._drop_p)
+        if self._has_latency:
+            self._ensure_uniforms()
+            delays = (self._lat_u * self._lat_span).astype(np.int64) + self._lat_low
+        return keep, delays
 
     # ------------------------------------------------------------------ #
     # Inbox assembly

@@ -55,11 +55,13 @@ class CSRGraph:
     """
 
     def __getstate__(self):
-        # The cached KernelGrid (CSR copies, fold schedule, repr arrays) is
-        # derived state rebuilt on demand; shipping it with every pickled
-        # RunSpec would triple the per-worker IPC payload at scale.
+        # The cached KernelGrid (CSR copies, fold schedule, repr arrays) and
+        # the fault runtime's edge-position map are derived state rebuilt on
+        # demand; shipping them with every pickled RunSpec would triple the
+        # per-worker IPC payload at scale.
         state = dict(self.__dict__)
         state.pop("_kernel_grid", None)
+        state.pop("_fault_edge_pos", None)
         return state
 
     n: int
@@ -104,6 +106,20 @@ class CSRGraph:
 
     def number_of_edges(self) -> int:
         return self.m
+
+    def nodes(self) -> range:
+        """Node ids in canonical order (Graph-like sugar).
+
+        Matches ``to_networkx().nodes()``, so graph-agnostic samplers such
+        as :meth:`repro.faults.spec.FaultSpec.materialize` draw identical
+        victims on either representation.
+        """
+        return range(self.n)
+
+    def edges(self):
+        """The ``u < v`` edge list as tuples, in ``to_networkx()`` order."""
+        u, v = self.edge_arrays()
+        return list(zip(u.tolist(), v.tolist()))
 
     def edge_arrays(self):
         """The ``u < v`` edge list as two aligned ``int64`` arrays."""

@@ -58,13 +58,15 @@ from repro.orchestration.scenarios import register_builtin_scenarios
 
 __all__ = ["main", "build_parser"]
 
-#: The two universally applicable engines (the ``--smoke``/``both`` pair --
-#: every scenario, including fault scenarios, runs on them).
+#: The two universally applicable engines (the ``--smoke``/``both`` pair).
 _ENGINES = ("batched", "reference")
 
-#: All selectable engines.  ``kernel`` executes the hot algorithms as
-#: node-loop-free array programs (other solvers fall back to batched) but
-#: rejects fault scenarios, so it is opt-in rather than part of ``both``.
+#: All selectable engines.  ``kernel`` executes the hot algorithms --
+#: fault scenarios included -- as node-loop-free array programs (other
+#: solvers fall back to batched, recorded via ``RunMetrics.engine_used``);
+#: it is opt-in rather than part of ``both`` purely to keep the smoke pair
+#: small.  Cells an engine genuinely cannot run surface as explicit
+#: ``skipped`` results in the sweep summary.
 _ALL_ENGINES = ("batched", "kernel", "reference")
 
 
@@ -105,7 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_arguments(run_parser)
     run_parser.add_argument(
         "--engine", choices=_ALL_ENGINES, default=DEFAULT_SWEEP_ENGINE,
-        help="simulation engine (default: batched; kernel rejects fault scenarios)",
+        help="simulation engine (default: batched)",
     )
     _add_faults_argument(run_parser)
 
@@ -128,7 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--engine", choices=_ALL_ENGINES + ("both", "all"), default=DEFAULT_SWEEP_ENGINE,
         help="simulation engine; 'both' runs batched+reference per cell, 'all' "
-             "adds the kernel tier (fault-free scenarios only)",
+             "adds the kernel tier",
     )
     sweep_parser.add_argument(
         "--report", action="store_true", help="print the full record tables, not just totals"
@@ -270,9 +272,13 @@ def _command_run(arguments: argparse.Namespace) -> int:
         (result,) = runner.sweep([name], seeds=[arguments.seed],
                                  engines=[arguments.engine])
     except EngineCapabilityError as error:
-        # e.g. a fault scenario on the kernel engine: an argument problem,
-        # not a bug -- report it as the documented exit-2 usage error.
+        # A capability error raised outside the cell body (e.g. while
+        # resolving the engine) is an argument problem, not a bug -- report
+        # it as the documented exit-2 usage error.
         raise _UsageError(str(error)) from None
+    if result.skipped is not None:
+        # An unsupported (scenario, engine) cell: same usage-error contract.
+        raise _UsageError(result.skipped)
     _print_cell_tables(result)
     if _is_fault_scenario(name):
         degraded = _violations(result.records)
@@ -313,30 +319,26 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
         engines = (arguments.engine,)
     seeds = list(range(max(1, arguments.seeds)))
     cells = expand_cells(names, seeds, engines)
-    if "kernel" in engines:
-        # The kernel tier refuses fault plans (EngineCapabilityError); drop
-        # those cells rather than crashing the whole sweep -- the fault
-        # scenarios still run (and parity-check) on the other engines.
-        skipped = [cell for cell in cells
-                   if cell.engine == "kernel" and _is_fault_scenario(cell.scenario)]
-        if skipped:
-            cells = [cell for cell in cells if cell not in skipped]
-            print(f"(skipping {len(skipped)} kernel cells: fault scenarios "
-                  "run on batched/reference only)")
     cache = _make_cache(arguments)
     runner = SweepRunner(cache=cache, workers=max(1, arguments.workers))
-
-    if not cells:
-        print("no cells left to run (every selected cell was skipped)")
-        return 0
 
     results: List[CellResult] = []
     total_violations = 0
     total_degraded = 0
+    total_skipped = 0
     for result in runner.run_cells(cells):
         results.append(result)
-        flagged = _violations(result.records)
         origin = "cache " if result.from_cache else f"{result.duration_s:5.2f}s"
+        if result.skipped is not None:
+            # An unsupported (scenario, engine) cell: reported, counted in
+            # the summary, never cached -- and never silently dropped.
+            total_skipped += 1
+            print(
+                f"[{origin}] {result.scenario} seed={result.seed} "
+                f"engine={result.engine} skipped: {result.skipped}"
+            )
+            continue
+        flagged = _violations(result.records)
         if _is_fault_scenario(result.scenario):
             # Adversarial cells measure degradation; a broken guarantee is
             # the data point, not a failure.
@@ -356,17 +358,19 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
 
     cached = sum(1 for result in results if result.from_cache)
     degraded_note = f", {total_degraded} degraded (adversarial)" if total_degraded else ""
+    skipped_note = f", {total_skipped} skipped (unsupported cells)" if total_skipped else ""
     print(
         f"\n{len(results)} cells, {cached} from cache "
         f"({100.0 * cached / len(results):.0f}%), "
         f"{sum(len(result.records) for result in results)} records, "
-        f"{total_violations} violations{degraded_note}"
+        f"{total_violations} violations{degraded_note}{skipped_note}"
     )
     if cache is not None:
         print(f"cache: {cache.root} ({cache.entry_count()} entries)")
     if arguments.report:
         for result in results:
-            _print_cell_tables(result)
+            if result.skipped is None:
+                _print_cell_tables(result)
     return 1 if (total_violations or parity_failures) else 0
 
 
@@ -374,6 +378,9 @@ def _check_engine_parity(results: Sequence[CellResult]) -> int:
     """Byte-compare record streams across engines for each (scenario, seed)."""
     grouped: Dict[tuple, Dict[str, bytes]] = {}
     for result in results:
+        if result.skipped is not None:
+            # A skipped cell produced no record stream to compare.
+            continue
         grouped.setdefault((result.scenario, result.seed), {})[result.engine] = (
             records_to_bytes(result.records)
         )

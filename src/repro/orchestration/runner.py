@@ -49,7 +49,14 @@ class SweepCell:
 
 @dataclass
 class CellResult:
-    """The outcome of one cell, cached or freshly computed."""
+    """The outcome of one cell, cached, freshly computed, or skipped.
+
+    ``skipped`` carries the engine's capability error message when the cell
+    names a genuinely unsupported (scenario, engine) combination; such
+    results have no records and are never written to the cache, so the cell
+    re-runs (and surfaces again) on every sweep until the capability gap is
+    closed.
+    """
 
     cell: SweepCell
     records: List[ExperimentRecord]
@@ -57,6 +64,7 @@ class CellResult:
     duration_s: float
     key: str
     spec_hash: str = ""
+    skipped: Optional[str] = None
 
     @property
     def scenario(self) -> str:
@@ -144,15 +152,26 @@ def _execute_cell(
     explicitly makes ``engine=None`` cells (and any ``engine=None`` lookup
     inside a solver) resolve identically inline, under fork, and under
     spawn.
+
+    A cell naming a genuinely unsupported (scenario, engine) combination
+    raises :class:`~repro.congest.errors.EngineCapabilityError` inside the
+    run; that is a property of the capability matrix, not a bug, so it is
+    returned as a skip marker for the runner to surface as an explicit
+    skipped :class:`CellResult` instead of crashing the whole sweep.
     """
-    if default_engine is None:
-        records = spec.run(seed=seed, engine=engine)
-    else:
-        previous = set_default_engine(default_engine)
-        try:
+    from repro.congest.errors import EngineCapabilityError
+
+    try:
+        if default_engine is None:
             records = spec.run(seed=seed, engine=engine)
-        finally:
-            set_default_engine(previous)
+        else:
+            previous = set_default_engine(default_engine)
+            try:
+                records = spec.run(seed=seed, engine=engine)
+            finally:
+                set_default_engine(previous)
+    except EngineCapabilityError as error:
+        return {"skipped": str(error)}
     return [record_to_dict(record) for record in records]
 
 
@@ -231,6 +250,18 @@ class SweepRunner:
                     )
                     continue
                 payload, duration = next(miss_stream)
+                if isinstance(payload, dict):
+                    # Capability-skip marker: surface it, never cache it.
+                    yield CellResult(
+                        cell=cell,
+                        records=[],
+                        from_cache=False,
+                        duration_s=duration,
+                        key=key,
+                        spec_hash=spec_hash,
+                        skipped=payload["skipped"],
+                    )
+                    continue
                 records = [record_from_dict(entry) for entry in payload]
                 if self.cache is not None:
                     self.cache.put(

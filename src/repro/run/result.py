@@ -45,6 +45,16 @@ class DominatingSetResult:
     def __len__(self) -> int:
         return len(self.dominating_set)
 
+    @property
+    def engine_used(self) -> Optional[str]:
+        """The engine that actually executed the run.
+
+        ``"kernel"`` only when a true array kernel ran; a kernel request
+        that fell back to the batched engine reports ``"batched"``, so a
+        benchmark can no longer mistake a fallback run for a kernel run.
+        """
+        return self.metrics.engine_used
+
 
 def package_result(
     graph: nx.Graph,
@@ -113,7 +123,14 @@ def result_bytes(result: DominatingSetResult) -> bytes:
     (``python -m repro.run.smoke``, ``tests/run/test_parity_grid.py``, the
     E13 benchmark).  The set is serialised in sorted-repr order so iteration
     order can never mask or fake a difference.
+
+    ``RunMetrics.engine_used`` is normalised away: it names the engine that
+    ran, which by design differs between the executions this comparator is
+    meant to prove equivalent.  Read it off ``result.engine_used`` directly
+    when the identity of the executing engine is the thing under test.
     """
+    from dataclasses import replace
+
     return pickle.dumps(
         (
             result.algorithm,
@@ -121,7 +138,7 @@ def result_bytes(result: DominatingSetResult) -> bytes:
             result.weight,
             result.rounds,
             result.is_valid,
-            result.metrics,
+            replace(result.metrics, engine_used=None),
             result.outputs,
             result.guarantee,
         )

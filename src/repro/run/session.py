@@ -306,7 +306,7 @@ class Session:
         resolved = self._resolve(compiled, spec)
         csr = _as_csr(compiled.graph)
         if csr is not None:
-            return self._run_csr(csr, resolved, spec)
+            return self._run_csr(compiled, csr, resolved, spec)
         network = compiled.network(
             alpha=resolved.alpha,
             config=spec.config,
@@ -333,14 +333,19 @@ class Session:
             validate=spec.validate == "full",
         )
 
-    def _run_csr(self, csr, resolved: ResolvedRun, spec: RunSpec) -> DominatingSetResult:
+    def _run_csr(
+        self, compiled: CompiledGraph, csr, resolved: ResolvedRun, spec: RunSpec
+    ) -> DominatingSetResult:
         """Execute a spec on a streamed CSR graph through the kernel tier.
 
         No :class:`Network` (and no per-node context objects) is ever
         built: the kernel runs directly over the CSR arrays, which is what
-        makes 10^5-node instances tractable.  Only kernel-tier features are
-        available -- other engines and fault plans need the dict-based path
-        (``CSRGraph.to_networkx()``).
+        makes 10^5-node instances tractable.  Fault plans run here too: the
+        plan compiles straight against the CSR arrays
+        (:meth:`~repro.faults.session.FaultSession.for_csr`) and the kernels
+        apply it, byte-identical to a reference run on ``to_networkx()``
+        under the same plan.  Only algorithms *without* a kernel need the
+        dict-based path (``CSRGraph.to_networkx()``).
         """
         from repro.congest.engine import get_engine
         from repro.congest.errors import EngineCapabilityError
@@ -360,19 +365,28 @@ class Session:
                 f"CSRGraph inputs run on engine='kernel' only (got {engine.name!r}); "
                 "use CSRGraph.to_networkx() for the reference/batched engines"
             )
-        if spec.faults is not None:
-            raise EngineCapabilityError(
-                "fault plans are not supported on CSRGraph runs yet; "
-                "use CSRGraph.to_networkx() with engine='batched'"
-            )
         algorithm = resolved.algorithm
+        plan = compiled.fault_plan(spec)
         kernel = kernel_for(algorithm)
         if kernel is None:
+            if plan is not None:
+                raise EngineCapabilityError(
+                    f"unsupported capability cell: algorithm "
+                    f"{spec.algorithm_label!r} on engine='kernel' with faults -- "
+                    "the algorithm has no kernel, and CSRGraph runs cannot fall "
+                    "back to the per-node engines; use CSRGraph.to_networkx() "
+                    "with engine='batched'"
+                )
             raise EngineCapabilityError(
                 f"algorithm {spec.algorithm_label!r} has no kernel implementation; "
                 "CSRGraph runs cannot fall back to the per-node engines -- use "
                 "CSRGraph.to_networkx() instead"
             )
+        hooks = None
+        if plan is not None:
+            from repro.faults.session import FaultSession
+
+            hooks = FaultSession.for_csr(plan, csr)
         config = shared_config(
             csr.n, csr.max_degree, resolved.alpha, spec.config,
             resolved.knows_max_degree,
@@ -383,7 +397,9 @@ class Session:
         outputs, metrics = kernel(
             grid_from_csr(csr), config, algorithm,
             budget=budget, limit=limit, strict=spec.strict,
+            seed=spec.seed, hooks=hooks,
         )
+        metrics.engine_used = engine.name
         result = RunResult(
             algorithm_name=algorithm.name, outputs=outputs, metrics=metrics
         )

@@ -24,9 +24,16 @@ from repro.graphs.generators import forest_union_graph, preferential_attachment_
 
 
 def _trace(graph, algorithm_factory, seed, engine, **kwargs):
-    """Run and serialise everything observable about the execution."""
+    """Run and serialise everything observable about the execution.
+
+    ``engine_used`` is normalised away: it names the executing engine by
+    design, which is exactly what the cross-engine traces must ignore.
+    """
+    import dataclasses
+
     result = run_algorithm(graph, algorithm_factory(), seed=seed, engine=engine, **kwargs)
-    return pickle.dumps((result.algorithm_name, result.outputs, result.metrics))
+    metrics = dataclasses.replace(result.metrics, engine_used=None)
+    return pickle.dumps((result.algorithm_name, result.outputs, metrics))
 
 
 @pytest.mark.parametrize("engine", sorted(available_engines()))

@@ -1,16 +1,19 @@
 """Cross-implementation differential grid for the kernel execution tier.
 
 Every kerneled algorithm (the forest 3-approximation, the Theorem 1.1/3.1
-primal-dual pair, and the LW-style distributed greedy baseline) runs under
-all three engines -- reference oracle, batched, kernel -- across the eight
-seeded graph families, weighted and unweighted.  The assertion is the
-strongest the repository has: identical dominating sets and byte-identical
-results via :func:`repro.run.result.result_bytes` (which covers the full
-``RunMetrics`` trace, the per-node outputs, weights and validation flags).
+primal-dual pair, both LW-style distributed greedy baselines, and the
+unknown-max-degree Remark 4.4 variant) runs under all three engines --
+reference oracle, batched, kernel -- across the eight seeded graph
+families, weighted and unweighted.  The assertion is the strongest the
+repository has: identical dominating sets and byte-identical results via
+:func:`repro.run.result.result_bytes` (which covers the full ``RunMetrics``
+trace, the per-node outputs, weights and validation flags).
 
 The CSR-direct path gets the same treatment: a kernel run on a streamed
 :class:`~repro.graphs.large_scale.CSRGraph` must be byte-identical to a
-reference run on the equivalent ``networkx`` graph.
+reference run on the equivalent ``networkx`` graph -- with and without a
+fault plan (plans compile against the CSR arrays through
+:meth:`~repro.faults.session.FaultSession.for_csr`).
 
 The default grid keeps tier-1 fast; the exhaustive grid (families x sizes x
 seeds x weightings) runs under ``pytest -m slow`` and in ``nightly.yml``.
@@ -61,6 +64,8 @@ KERNELED = {
     "deterministic": (False,),
     "weighted": (False, True),
     "lw-deterministic": (False,),
+    "lw-randomized": (False,),
+    "unknown-degree": (False, True),
 }
 
 
@@ -211,31 +216,95 @@ def test_kernel_falls_back_for_unkerneled_algorithms():
         for engine in ("batched", "kernel")
     }
     assert result_bytes(results["kernel"]) == result_bytes(results["batched"])
+    # The fallback is recorded, never disguised as a kernel execution.
+    assert results["kernel"].engine_used == "batched"
+    assert results["batched"].engine_used == "batched"
 
 
-def test_kernel_rejects_fault_plans():
+def test_engine_used_records_the_executing_tier():
     graph = grid_graph(5, 5)
-    spec = RunSpec(
-        graph=graph, algorithm="deterministic", alpha=2,
-        engine="kernel", faults="lossy10",
-    )
-    with pytest.raises(EngineCapabilityError, match="kernel"):
-        Session().run(spec)
+    for engine in ENGINES:
+        result = Session().run(
+            RunSpec(graph=graph, algorithm="deterministic", alpha=2, engine=engine)
+        )
+        assert result.engine_used == engine
 
 
-def test_csr_rejects_non_kernel_engines_and_faults():
+def test_kernel_runs_fault_plans():
+    # The capability gap this file used to pin (kernel rejects faults) is
+    # closed: a faulted kernel run is byte-identical to the reference.
+    graph = grid_graph(5, 5)
+    for faults in ("lossy10", "crash15", "latency2", "churn", "chaos"):
+        results = {}
+        for engine in ENGINES:
+            spec = RunSpec(
+                graph=graph, algorithm="deterministic", alpha=2,
+                engine=engine, faults=faults, seed=3,
+            )
+            results[engine] = Session().run(spec)
+        _assert_byte_identical(results, f"faults={faults}")
+        assert results["kernel"].engine_used == "kernel"
+
+
+def test_every_kerneled_algorithm_runs_every_fault_model_on_kernel():
+    """The closed capability matrix: 6 kerneled algorithms x the full fault
+    catalogue execute on the kernel tier itself (no fallback), byte-identical
+    to the reference engine."""
+    from repro.faults import FAULT_MODELS
+
+    graph = preferential_attachment_graph(36, attachment=3, seed=4)
+    for algorithm in sorted(KERNELED):
+        for faults in sorted(FAULT_MODELS):
+            spec = dict(algorithm=algorithm, alpha=3, seed=7, faults=faults)
+            kernel = Session().run(RunSpec(graph=graph, engine="kernel", **spec))
+            reference = Session().run(RunSpec(graph=graph, engine="reference", **spec))
+            label = f"{algorithm}/{faults}"
+            assert kernel.engine_used == "kernel", label
+            assert result_bytes(kernel) == result_bytes(reference), label
+
+
+def test_csr_rejects_non_kernel_engines_and_unkerneled_algorithms():
     csr = large_scale.large_grid(4, 4)
     with pytest.raises(EngineCapabilityError, match="engine='kernel'"):
         Session().run(RunSpec(graph=csr, algorithm="deterministic", engine="batched"))
-    with pytest.raises(EngineCapabilityError, match="fault"):
+    with pytest.raises(EngineCapabilityError, match="no kernel"):
+        Session().run(RunSpec(graph=csr, algorithm="randomized", engine="kernel"))
+    # The remaining unsupported cell of the capability matrix: an unkerneled
+    # algorithm with faults on a CSR run names its exact coordinates.
+    with pytest.raises(
+        EngineCapabilityError,
+        match=r"algorithm 'randomized' on engine='kernel' with faults",
+    ):
         Session().run(
             RunSpec(
-                graph=csr, algorithm="deterministic", engine="kernel",
+                graph=csr, algorithm="randomized", engine="kernel",
                 faults="lossy10",
             )
         )
-    with pytest.raises(EngineCapabilityError, match="no kernel"):
-        Session().run(RunSpec(graph=csr, algorithm="randomized", engine="kernel"))
+
+
+def test_csr_runs_fault_plans_byte_identical():
+    """Kernel-on-CSRGraph under a fault model == reference-on-networkx under
+    the identical materialised plan (FaultSpec sampling sees the same
+    node/edge order on both representations)."""
+    csr = large_scale.large_preferential_attachment(50, attachment=3, seed=6)
+    for algorithm in ("deterministic", "forest", "lw-randomized"):
+        for faults in ("crash-recover", "lossy10", "chaos"):
+            kernel_result = Session().run(
+                RunSpec(
+                    graph=csr, algorithm=algorithm, alpha=csr.alpha,
+                    engine="kernel", faults=faults, seed=2,
+                )
+            )
+            reference_result = Session().run(
+                RunSpec(
+                    graph=csr.to_networkx(), algorithm=algorithm, alpha=csr.alpha,
+                    engine="reference", faults=faults, seed=2,
+                )
+            )
+            label = f"{algorithm}/{faults}"
+            assert kernel_result.engine_used == "kernel", label
+            assert result_bytes(kernel_result) == result_bytes(reference_result), label
 
 
 # --------------------------------------------------------------------------- #

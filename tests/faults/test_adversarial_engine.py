@@ -35,7 +35,7 @@ from repro.graphs.generators import (
 )
 from repro.graphs.weights import assign_random_weights
 
-ENGINES = ("reference", "batched")
+ENGINES = ("reference", "batched", "kernel")
 
 
 def _run(graph, plan, inner, algorithm=None, seed=0, **kwargs):
@@ -45,7 +45,12 @@ def _run(graph, plan, inner, algorithm=None, seed=0, **kwargs):
 
 
 def _trace(result):
-    return pickle.dumps((result.outputs, result.metrics))
+    """Everything observable about a faulted run, minus the engine name
+    (``engine_used`` differs across engines by design)."""
+    import dataclasses
+
+    metrics = dataclasses.replace(result.metrics, engine_used=None)
+    return pickle.dumps((result.outputs, metrics))
 
 
 # --------------------------------------------------------------------------- #
@@ -348,7 +353,8 @@ def _assert_cross_engine_parity(graph, plan, algorithm_factory, seed=0, **kwargs
         inner: _trace(_run(graph, plan, inner, algorithm_factory(), seed=seed, **kwargs))
         for inner in ENGINES
     }
-    assert traces["reference"] == traces["batched"]
+    for inner in ENGINES[1:]:
+        assert traces[inner] == traces["reference"], inner
 
 
 class TestCrossEngineFaultParity:

@@ -10,7 +10,10 @@ the full pickled metrics trace.
 The fast subset (every algorithm on two families) runs in tier-1; the full
 7-algorithm x 8-family differential grid mirrors
 ``tests/congest/test_engine_parity.py`` and runs under ``pytest -m slow``
-(wired into the nightly fault-model parity job).
+(wired into the nightly fault-model parity job).  The kernel tier is part
+of the engine list: its faulted driver replays the hooked round loop as
+array programs, and with an empty plan it must reproduce the plain kernel
+execution bit for bit, exactly like the per-node engines.
 """
 
 from __future__ import annotations
@@ -42,7 +45,7 @@ from repro.graphs.generators import (
 )
 from repro.graphs.weights import assign_random_weights
 
-ENGINES = ("reference", "batched")
+ENGINES = ("reference", "batched", "kernel")
 
 #: The same 8 seeded families as the engine-parity differential grid.
 FAMILIES = {

@@ -60,13 +60,16 @@ class TestList:
 
 
 class TestRun:
-    def test_fault_scenario_on_kernel_engine_is_usage_error(self, capsys, tmp_path):
-        code, _, err = run_cli(
+    def test_fault_scenario_runs_on_kernel_engine(self, capsys, tmp_path):
+        # Fault plans execute on the kernel tier (vectorized fault driver);
+        # this used to be an exit-2 capability error.
+        code, out, _ = run_cli(
             capsys, "run", "smoke/faults", "--engine", "kernel",
             "--cache-dir", str(tmp_path),
         )
-        assert code == 2
-        assert "kernel" in err and "fault" in err
+        assert code == 0
+        assert "smoke/faults" in out
+        assert "engine kernel" in out
 
     def test_run_prints_tables(self, capsys, tmp_path):
         code, out, _ = run_cli(
@@ -130,24 +133,59 @@ class TestSweep:
         assert code == 0
         assert "parity OK: smoke/forest seed=0 (batched, kernel, reference)" in out
 
-    def test_kernel_fault_cells_are_skipped_not_crashed(self, capsys, tmp_path):
+    def test_kernel_fault_cells_run_with_full_parity(self, capsys, tmp_path):
+        # Fault cells run on the kernel tier too: nothing is silently
+        # dropped from --engine all, and the three-way byte-parity check
+        # covers the fault scenario.
         code, out, _ = run_cli(
             capsys, "sweep", "smoke/faults", "--engine", "all",
             "--cache-dir", str(tmp_path),
         )
         assert code == 0
-        assert "skipping 1 kernel cells" in out
-        assert "parity OK: smoke/faults seed=0 (batched, reference)" in out
+        assert "skipping" not in out
+        assert "parity OK: smoke/faults seed=0 (batched, kernel, reference)" in out
 
-    def test_all_cells_skipped_is_a_clean_no_op(self, capsys, tmp_path):
-        # Only fault scenarios + kernel engine: every cell is skipped; the
-        # summary must not divide by zero (regression test).
-        code, out, _ = run_cli(
-            capsys, "sweep", "smoke/faults", "--engine", "kernel",
-            "--cache-dir", str(tmp_path),
-        )
-        assert code == 0
-        assert "no cells left to run" in out
+    def test_unsupported_cells_surface_as_skipped_records(self, capsys, tmp_path):
+        # A cell whose engine genuinely cannot run it must show up as an
+        # explicit skipped record -- reported per cell, counted in the
+        # summary, and never written to the cache.
+        from repro.congest.errors import EngineCapabilityError
+        from repro.orchestration.registry import register_scenario, unregister_scenario
+
+        class _UnsupportedScenario:
+            name = "stub/unsupported"
+            experiment = "STUB"
+            faults = None
+            tags = ()
+
+            def spec_hash(self):
+                return "0" * 16
+
+            def run(self, seed=0, engine=None):
+                raise EngineCapabilityError(
+                    f"algorithm 'stub' has no implementation on engine={engine!r}"
+                )
+
+        register_scenario(_UnsupportedScenario(), replace=True)
+        try:
+            code, out, _ = run_cli(
+                capsys, "sweep", "stub/unsupported", "--engine", "kernel",
+                "--cache-dir", str(tmp_path),
+            )
+            assert code == 0
+            assert "skipped: algorithm 'stub' has no implementation" in out
+            assert "1 skipped (unsupported cells)" in out
+            # Not cached: a second sweep skips it again instead of serving
+            # a bogus empty cache hit.
+            code, out, _ = run_cli(
+                capsys, "sweep", "stub/unsupported", "--engine", "kernel",
+                "--cache-dir", str(tmp_path),
+            )
+            assert code == 0
+            assert "0 from cache" in out
+            assert "skipped: algorithm 'stub' has no implementation" in out
+        finally:
+            unregister_scenario("stub/unsupported")
 
     def test_no_cache_flag(self, capsys, tmp_path):
         code, out, _ = run_cli(
