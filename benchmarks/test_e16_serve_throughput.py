@@ -1,0 +1,193 @@
+"""E16 -- service mode: cached-repeat vs fresh-run throughput over HTTP.
+
+The ``repro serve`` performance claim: a long-lived service answering
+repeated RunSpec requests from its content-addressed response cache is an
+order of magnitude faster than executing them, and the in-flight dedup path
+collapses a thundering herd of identical requests into one execution.  Both
+claims are only meaningful because every served response is byte-identical
+(:func:`repro.run.result.result_bytes`) to a direct in-process
+``Session.run`` of the same wire spec, which is asserted for every probed
+spec before any throughput number is recorded.
+
+Three phases are measured over a real HTTP connection (stdlib client, one
+keep-alive connection, requests issued serially so the numbers are
+per-request costs, not concurrency artifacts):
+
+* **fresh** -- N distinct specs against a cold cache: every request
+  normalises the payload, compiles/reuses the graph, executes, validates,
+  and writes the cache entry.
+* **cached** -- the same N specs replayed: every request is answered from
+  the response cache.  The gate is cached >= 5x fresh throughput.
+* **dedup** -- K threads racing one uncached spec: exactly one execution,
+  K-1 in-flight joins.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+from repro.analysis.tables import format_table
+from repro.orchestration.cache import ResultCache
+from repro.run import RunSpec, Session, result_bytes
+from repro.serve.http import HttpServer
+from repro.serve.loadgen import ServeClient, _percentile
+from repro.serve.service import RunService, decode_result_b64
+
+#: Distinct specs in the fresh/cached phases.
+SPECS = 24
+#: Threads racing the same spec in the dedup phase.
+HERD = 6
+#: The acceptance gate: cached-repeat throughput >= this multiple of fresh.
+CACHED_SPEEDUP_FLOOR = 5.0
+
+
+def _workload():
+    return [
+        {
+            "graph": {"kind": "family", "family": "random-tree", "params": {"n": 150}},
+            "algorithm": "deterministic",
+            "seed": seed,
+        }
+        for seed in range(SPECS)
+    ]
+
+
+def _start_server(cache_dir):
+    service = RunService(cache=ResultCache(cache_dir), graph_capacity=4)
+    server = HttpServer(service, host="127.0.0.1", port=0)
+    started = threading.Event()
+    loop_holder = {}
+
+    def run_loop():
+        loop = asyncio.new_event_loop()
+        loop_holder["loop"] = loop
+        asyncio.set_event_loop(loop)
+
+        async def main():
+            await server.start()
+            started.set()
+            await server.serve_until_stopped()
+
+        loop.run_until_complete(main())
+        loop.close()
+
+    thread = threading.Thread(target=run_loop, daemon=True)
+    thread.start()
+    assert started.wait(timeout=60)
+    return server, thread, loop_holder
+
+
+def _timed_phase(client, specs):
+    latencies = []
+    responses = []
+    start = time.perf_counter()
+    for spec in specs:
+        tick = time.perf_counter()
+        status, body = client.run(spec)
+        latencies.append((time.perf_counter() - tick) * 1000.0)
+        assert status == 200, body
+        responses.append(body)
+    wall = time.perf_counter() - start
+    return wall, latencies, responses
+
+
+def _phase_row(label, wall, latencies):
+    return {
+        "phase": label,
+        "requests": len(latencies),
+        "req/s": f"{len(latencies) / wall:.1f}",
+        "p50 ms": f"{_percentile(latencies, 0.50):.2f}",
+        "p99 ms": f"{_percentile(latencies, 0.99):.2f}",
+    }
+
+
+def test_e16_serve_throughput(tmp_path, record_experiment):
+    server, thread, loop_holder = _start_server(tmp_path / "cache")
+    specs = _workload()
+    try:
+        client = ServeClient(port=server.port, timeout=300.0)
+
+        fresh_wall, fresh_lat, fresh_responses = _timed_phase(client, specs)
+        assert all(r["metrics"]["cache"] == "miss" for r in fresh_responses)
+
+        cached_wall, cached_lat, cached_responses = _timed_phase(client, specs)
+        assert all(r["metrics"]["cache"] == "hit" for r in cached_responses)
+        # Byte parity first -- throughput numbers for wrong answers are noise.
+        session = Session()
+        for spec, response in zip(specs, cached_responses):
+            served = result_bytes(decode_result_b64(response["result_b64"]))
+            direct = result_bytes(session.run(RunSpec.from_dict(spec)))
+            assert served == direct, f"parity failure for seed {spec['seed']}"
+
+        # Dedup herd: one uncached spec, HERD racing clients.
+        herd_spec = {
+            "graph": {"kind": "family", "family": "gnp",
+                      "params": {"n": 400, "p": 0.01}},
+            "algorithm": "deterministic",
+            "seed": 0,
+        }
+        barrier = threading.Barrier(HERD)
+        herd_metrics = []
+        lock = threading.Lock()
+
+        def herd_worker():
+            worker_client = ServeClient(port=server.port, timeout=300.0)
+            try:
+                barrier.wait()
+                status, body = worker_client.run(herd_spec)
+                assert status == 200, body
+                with lock:
+                    herd_metrics.append(body["metrics"]["cache"])
+            finally:
+                worker_client.close()
+
+        herd_threads = [threading.Thread(target=herd_worker) for _ in range(HERD)]
+        for herd_thread in herd_threads:
+            herd_thread.start()
+        for herd_thread in herd_threads:
+            herd_thread.join()
+        executions = herd_metrics.count("miss")
+        joins = herd_metrics.count("inflight")
+
+        stats = server.service.stats
+        client.close()
+    finally:
+        loop_holder["loop"].call_soon_threadsafe(server.stop)
+        thread.join(timeout=60)
+
+    fresh_rps = len(fresh_lat) / fresh_wall
+    cached_rps = len(cached_lat) / cached_wall
+    speedup = cached_rps / fresh_rps
+
+    table = format_table(
+        [
+            _phase_row("fresh (execute)", fresh_wall, fresh_lat),
+            _phase_row("cached repeat", cached_wall, cached_lat),
+        ]
+    )
+    body = (
+        f"{table}\n\n"
+        f"cached-repeat speedup: {speedup:.1f}x fresh "
+        f"(gate: >= {CACHED_SPEEDUP_FLOOR:.0f}x)\n"
+        f"byte parity: {len(specs)}/{len(specs)} served results identical to "
+        "direct Session.run\n"
+        f"dedup herd: {HERD} identical requests -> {executions} execution, "
+        f"{joins} in-flight joins\n"
+        f"service stats: executions={stats.executions} "
+        f"cache_hits={stats.cache_hits} inflight_joins={stats.inflight_joins} "
+        f"graph_hits={stats.graph_hits}\n"
+    )
+    record_experiment(
+        "E16_serve",
+        "service mode -- cached-repeat vs fresh-run throughput (HTTP)",
+        body,
+    )
+
+    assert executions == 1, herd_metrics
+    assert joins == HERD - 1, herd_metrics
+    assert speedup >= CACHED_SPEEDUP_FLOOR, (
+        f"cached repeats only {speedup:.1f}x fresh throughput "
+        f"(fresh {fresh_rps:.1f} req/s, cached {cached_rps:.1f} req/s)"
+    )

@@ -55,7 +55,29 @@ class EngineCapabilityError(CongestError):
     Raised instead of silently degrading -- e.g. the kernel engine refuses
     fault-injection hooks rather than executing the plan-free schedule and
     reporting fault-free metrics under an adversary the caller configured.
+
+    ``algorithm`` / ``engine`` / ``fault_model`` (all optional) identify
+    the capability-matrix cell that was asked for, so sweep skip records
+    and service error responses can aggregate by structured cell key
+    instead of scraping the message (see :attr:`cell`).
     """
+
+    def __init__(
+        self,
+        message: str,
+        algorithm=None,
+        engine=None,
+        fault_model=None,
+    ):
+        super().__init__(message)
+        self.algorithm = algorithm
+        self.engine = engine
+        self.fault_model = fault_model
+
+    @property
+    def cell(self):
+        """The ``(algorithm, engine, fault_model)`` capability cell key."""
+        return (self.algorithm, self.engine, self.fault_model)
 
 
 class AlgorithmError(CongestError):

@@ -188,6 +188,55 @@ class ResultCache:
         self.stats.writes += 1
         return path
 
+    def get_payload(self, key: str) -> Optional[Dict[str, object]]:
+        """Return a generic JSON payload stored under ``key``, or ``None``.
+
+        The payload entries are what ``repro serve`` stores its response
+        bodies in -- same content-addressed root, same atomic-write and
+        corrupt-entry-as-miss semantics as the record entries, but holding
+        an opaque JSON object instead of an ``ExperimentRecord`` list.
+        The two entry shapes never collide: their keys hash different
+        coordinate tuples.
+        """
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())["payload"]
+            if not isinstance(payload, dict):
+                raise TypeError("payload entry is not an object")
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put_payload(
+        self,
+        key: str,
+        payload: Dict[str, object],
+        meta: Optional[Dict[str, object]] = None,
+    ) -> Path:
+        """Store a generic JSON payload under ``key`` atomically."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "meta": dict(meta or {}),
+            "payload": payload,
+        }
+        handle, temp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(entry, stream, sort_keys=True)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).is_file()
 

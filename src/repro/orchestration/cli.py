@@ -1,12 +1,17 @@
 """The ``python -m repro`` command line.
 
-Four subcommands replace the copy-pasted benchmark boilerplate:
+Five subcommands replace the copy-pasted benchmark boilerplate:
 
 ``list``
-    Show the scenario registry (name, experiment, sizes, tags, spec hash).
+    Show the scenario registry (name, experiment, sizes, tags, spec hash);
+    ``--json`` emits the same registry machine-readably.
 ``run``
     Run one scenario at one seed and print its paper-claim-vs-measured
-    table (through the cache unless ``--no-cache``).
+    table (through the cache unless ``--no-cache``).  ``--spec FILE.json``
+    instead runs one declarative :class:`repro.RunSpec` from a wire-format
+    file -- decoded by the *same* codec the ``serve`` endpoint uses
+    (:mod:`repro.run.wire`), so a spec file and a service request can never
+    drift apart.
 ``sweep``
     Run a grid of (scenario, seed, engine) cells through the parallel,
     cache-aware runner; ``--smoke`` is the CI entry point -- it runs the
@@ -14,6 +19,8 @@ Four subcommands replace the copy-pasted benchmark boilerplate:
     record streams.
 ``report``
     Render tables for already-cached cells without running anything.
+``serve``
+    Start the long-lived HTTP run service (see :mod:`repro.serve`).
 
 ``run`` and ``sweep`` accept ``--faults <model>`` (a name from
 :data:`repro.faults.FAULT_MODELS`), which overlays the named adversarial
@@ -38,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
 from typing import Dict, List, Optional, Sequence
 
@@ -52,7 +60,9 @@ from repro.orchestration.runner import (
     CellResult,
     SweepCell,
     SweepRunner,
+    aggregate_skips,
     expand_cells,
+    format_skip_cell,
 )
 from repro.orchestration.scenarios import register_builtin_scenarios
 
@@ -100,9 +110,26 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser.add_argument(
         "--verbose", action="store_true", help="include the one-line description"
     )
+    list_parser.add_argument(
+        "--json", action="store_true", help="emit the registry as machine-readable JSON"
+    )
 
-    run_parser = subparsers.add_parser("run", help="run one scenario and print its tables")
-    run_parser.add_argument("scenario", help="registered scenario name")
+    run_parser = subparsers.add_parser(
+        "run", help="run one scenario (or one --spec FILE.json) and print the results"
+    )
+    run_parser.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="registered scenario name (omit when using --spec)",
+    )
+    run_parser.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE.json",
+        help="run one RunSpec wire-format file instead of a scenario "
+        "(same codec as the serve endpoint; other run options are ignored)",
+    )
     run_parser.add_argument("--seed", type=int, default=0, help="sweep cell seed (default 0)")
     _add_cache_arguments(run_parser)
     run_parser.add_argument(
@@ -148,6 +175,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation engine the cells were run under",
     )
     report_parser.add_argument("--cache-dir", default=None, help="cache directory")
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="start the long-lived HTTP run service (see repro.serve)"
+    )
+    from repro.serve.http import add_serve_arguments
+
+    add_serve_arguments(serve_parser)
     return parser
 
 
@@ -205,6 +239,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _command_run,
         "sweep": _command_sweep,
         "report": _command_report,
+        "serve": _command_serve,
     }
     try:
         return handlers[arguments.command](arguments)
@@ -213,8 +248,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
 
+def _command_serve(arguments: argparse.Namespace) -> int:
+    from repro.serve.http import serve_command
+
+    return serve_command(arguments)
+
+
 def _command_list(arguments: argparse.Namespace) -> int:
     specs = list_scenarios(tag=arguments.tag)
+    if arguments.json:
+        payload = {
+            "code_version": code_version(),
+            "scenarios": [
+                {
+                    "name": spec.name,
+                    "experiment": spec.experiment,
+                    "description": spec.description,
+                    "graphs": len(spec.graphs),
+                    "solvers": len(spec.solvers),
+                    "tags": list(spec.tags),
+                    "faults": None if spec.faults is None else spec.faults.display_label,
+                    "spec_hash": spec.spec_hash(),
+                }
+                for spec in specs
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     if not specs:
         print("(no scenarios match)" if arguments.tag else "(registry is empty)")
         return 0
@@ -264,7 +324,38 @@ def _is_fault_scenario(name: str) -> bool:
     return get_scenario(name).faults is not None
 
 
+def _run_spec_file(path: str) -> int:
+    """Run one wire-format RunSpec file; prints the JSON result summary.
+
+    One parser for files and for the service: the file goes through
+    :meth:`repro.RunSpec.from_json` -- the exact codec behind ``POST /run``
+    -- so error messages (bad field, unknown key) match the server's 400s.
+    """
+    from repro.run import RunSpec, Session
+    from repro.run.wire import WireFormatError
+    from repro.serve.service import summarize_result
+
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            text = stream.read()
+    except OSError as error:
+        raise _UsageError(str(error)) from None
+    try:
+        spec = RunSpec.from_json(text)
+    except WireFormatError as error:
+        raise _UsageError(str(error)) from None
+    result = Session().run(spec)
+    print(json.dumps(summarize_result(result), indent=2, sort_keys=True))
+    return 1 if result.is_valid is False else 0
+
+
 def _command_run(arguments: argparse.Namespace) -> int:
+    if arguments.spec is not None:
+        if arguments.scenario is not None:
+            raise _UsageError("give a scenario name or --spec FILE.json, not both")
+        return _run_spec_file(arguments.spec)
+    if arguments.scenario is None:
+        raise _UsageError("a scenario name (or --spec FILE.json) is required")
     _resolve_scenario(arguments.scenario)  # fail fast on unknown names
     (name,) = _overlay_faults([arguments.scenario], arguments.faults)
     runner = SweepRunner(cache=_make_cache(arguments), workers=1)
@@ -365,6 +456,15 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
         f"{sum(len(result.records) for result in results)} records, "
         f"{total_violations} violations{degraded_note}{skipped_note}"
     )
+    if total_skipped:
+        # The structured (algorithm, engine, fault_model) skip aggregation:
+        # which capability-matrix cells this sweep actually asked for.
+        counts = aggregate_skips(results)
+        rendered = ", ".join(
+            f"{format_skip_cell(cell)} x{count}"
+            for cell, count in sorted(counts.items(), key=lambda item: format_skip_cell(item[0]))
+        )
+        print(f"skipped capability cells: {rendered}")
     if cache is not None:
         print(f"cache: {cache.root} ({cache.entry_count()} entries)")
     if arguments.report:

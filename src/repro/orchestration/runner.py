@@ -31,7 +31,15 @@ from repro.analysis.experiments import ExperimentRecord
 from repro.congest.engine import get_default_engine, set_default_engine
 from repro.orchestration.cache import ResultCache, cache_key, record_from_dict, record_to_dict
 
-__all__ = ["SweepCell", "CellResult", "SweepRunner", "expand_cells", "pool_map_ordered"]
+__all__ = [
+    "SweepCell",
+    "CellResult",
+    "SweepRunner",
+    "aggregate_skips",
+    "expand_cells",
+    "format_skip_cell",
+    "pool_map_ordered",
+]
 
 #: Engine used when the caller does not pick one: the vectorized fast path
 #: (observationally identical to the reference engine; see repro.congest.engine).
@@ -55,7 +63,10 @@ class CellResult:
     names a genuinely unsupported (scenario, engine) combination; such
     results have no records and are never written to the cache, so the cell
     re-runs (and surfaces again) on every sweep until the capability gap is
-    closed.
+    closed.  ``skipped_cell`` is the structured ``(algorithm, engine,
+    fault_model)`` capability-cell key behind the message (entries may be
+    ``None`` when the raising site could not attribute them), so reports
+    and the service can aggregate skips without scraping reason strings.
     """
 
     cell: SweepCell
@@ -65,6 +76,7 @@ class CellResult:
     key: str
     spec_hash: str = ""
     skipped: Optional[str] = None
+    skipped_cell: Optional[Tuple[Optional[str], Optional[str], Optional[str]]] = None
 
     @property
     def scenario(self) -> str:
@@ -77,6 +89,32 @@ class CellResult:
     @property
     def engine(self) -> str:
         return self.cell.engine
+
+
+def aggregate_skips(
+    results: Iterable[CellResult],
+) -> Dict[Tuple[Optional[str], Optional[str], Optional[str]], int]:
+    """Count skipped results by ``(algorithm, engine, fault_model)`` cell key.
+
+    The structured aggregation behind the sweep summary's skip lines (and
+    usable on any ``CellResult`` stream, e.g. by a report or a service
+    surfacing capability gaps); results without a structured key land
+    under ``(None, None, None)``.
+    """
+    counts: Dict[Tuple[Optional[str], Optional[str], Optional[str]], int] = {}
+    for result in results:
+        if result.skipped is None:
+            continue
+        key = result.skipped_cell if result.skipped_cell is not None else (None, None, None)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def format_skip_cell(cell: Tuple[Optional[str], Optional[str], Optional[str]]) -> str:
+    """Render a capability-cell key as ``algorithm@engine+fault_model``."""
+    algorithm, engine, fault_model = cell
+    label = f"{algorithm or '?'}@{engine or '?'}"
+    return label if fault_model is None else f"{label}+{fault_model}"
 
 
 def expand_cells(
@@ -171,7 +209,7 @@ def _execute_cell(
             finally:
                 set_default_engine(previous)
     except EngineCapabilityError as error:
-        return {"skipped": str(error)}
+        return {"skipped": str(error), "cell": list(error.cell)}
     return [record_to_dict(record) for record in records]
 
 
@@ -252,6 +290,7 @@ class SweepRunner:
                 payload, duration = next(miss_stream)
                 if isinstance(payload, dict):
                     # Capability-skip marker: surface it, never cache it.
+                    cell_key = payload.get("cell")
                     yield CellResult(
                         cell=cell,
                         records=[],
@@ -260,6 +299,7 @@ class SweepRunner:
                         key=key,
                         spec_hash=spec_hash,
                         skipped=payload["skipped"],
+                        skipped_cell=None if cell_key is None else tuple(cell_key),
                     )
                     continue
                 records = [record_from_dict(entry) for entry in payload]

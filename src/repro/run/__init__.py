@@ -50,6 +50,7 @@ from repro.run.algorithms import (
 from repro.run.result import DominatingSetResult, package_result, result_bytes
 from repro.run.session import CompiledGraph, Session, execute
 from repro.run.spec import RunSpec
+from repro.run.wire import WireFormatError
 
 __all__ = [
     "ALGORITHMS",
@@ -59,6 +60,7 @@ __all__ = [
     "ResolvedRun",
     "RunSpec",
     "Session",
+    "WireFormatError",
     "available_algorithms",
     "execute",
     "package_result",

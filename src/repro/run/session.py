@@ -43,7 +43,19 @@ from repro.run.algorithms import resolve_algorithm, ResolvedRun
 from repro.run.result import DominatingSetResult, package_result, package_result_csr
 from repro.run.spec import RunSpec
 
-__all__ = ["CompiledGraph", "Session", "execute"]
+__all__ = ["CompiledGraph", "Session", "execute", "fault_model_label"]
+
+
+def fault_model_label(faults: Any) -> Optional[str]:
+    """A short display label for a spec's fault source (cell-key reporting)."""
+    if faults is None:
+        return None
+    if isinstance(faults, str):
+        return faults
+    label = getattr(faults, "display_label", None)
+    if label is not None:
+        return str(label)
+    return type(faults).__name__
 
 
 def _as_csr(graph: Any):
@@ -360,10 +372,14 @@ class Session:
         # the kernel tier -- the only engine that can execute it -- instead
         # of tripping over the process-wide default.
         engine = get_engine("kernel" if engine_spec is None else engine_spec)
+        fault_label = fault_model_label(spec.faults)
         if not isinstance(engine, KernelEngine):
             raise EngineCapabilityError(
                 f"CSRGraph inputs run on engine='kernel' only (got {engine.name!r}); "
-                "use CSRGraph.to_networkx() for the reference/batched engines"
+                "use CSRGraph.to_networkx() for the reference/batched engines",
+                algorithm=spec.algorithm_label,
+                engine=engine.name,
+                fault_model=fault_label,
             )
         algorithm = resolved.algorithm
         plan = compiled.fault_plan(spec)
@@ -375,12 +391,17 @@ class Session:
                     f"{spec.algorithm_label!r} on engine='kernel' with faults -- "
                     "the algorithm has no kernel, and CSRGraph runs cannot fall "
                     "back to the per-node engines; use CSRGraph.to_networkx() "
-                    "with engine='batched'"
+                    "with engine='batched'",
+                    algorithm=spec.algorithm_label,
+                    engine="kernel",
+                    fault_model=fault_label,
                 )
             raise EngineCapabilityError(
                 f"algorithm {spec.algorithm_label!r} has no kernel implementation; "
                 "CSRGraph runs cannot fall back to the per-node engines -- use "
-                "CSRGraph.to_networkx() instead"
+                "CSRGraph.to_networkx() instead",
+                algorithm=spec.algorithm_label,
+                engine="kernel",
             )
         hooks = None
         if plan is not None:

@@ -150,3 +150,44 @@ class RunSpec:
         if isinstance(self.algorithm, str):
             return self.algorithm
         return getattr(self.algorithm, "name", type(self.algorithm).__name__)
+
+    # -- the canonical wire format (see repro.run.wire) --------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Encode as the canonical wire dict (stable field order).
+
+        This is the single codec shared by the ``repro serve`` service, the
+        CLI (``--spec FILE.json``) and the service cache keys; specs holding
+        objects without a wire form (algorithm/engine instances,
+        materialised fault plans) raise
+        :class:`~repro.run.wire.WireFormatError`.
+        """
+        from repro.run.wire import spec_to_dict
+
+        return spec_to_dict(self)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The wire dict as JSON, keys in declaration order."""
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunSpec":
+        """Decode and validate a wire dict; errors name the bad field."""
+        from repro.run.wire import spec_from_dict
+
+        return spec_from_dict(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        """Decode a JSON wire payload (see :meth:`from_dict`)."""
+        import json
+
+        from repro.run.wire import WireFormatError
+
+        try:
+            payload = json.loads(text)
+        except ValueError as error:
+            raise WireFormatError(None, f"not valid JSON: {error}") from None
+        return cls.from_dict(payload)

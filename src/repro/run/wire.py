@@ -1,0 +1,633 @@
+"""The canonical JSON wire format for :class:`~repro.run.spec.RunSpec`.
+
+One codec, three consumers: the ``repro serve`` service decodes request
+bodies with it, the CLI (``repro run --spec FILE.json``) decodes spec files
+with it, and the service's run/graph cache keys hash the canonical encoding
+it produces.  Because every path goes through this module there is exactly
+one parser and no drift between what a script writes, what the server
+accepts, and what the cache addresses.
+
+Encoding rules
+--------------
+* Field order is stable: :func:`spec_to_dict` emits the ``runspec`` schema
+  marker first, then every :class:`RunSpec` field in declaration order.
+  :func:`canonical_json` (sorted keys, compact separators) is the hashing
+  form; :meth:`RunSpec.to_json` keeps the readable declaration order.
+* The codec is *total* over wire-expressible specs and fails loudly
+  otherwise: an ad-hoc ``SynchronousAlgorithm`` instance, an engine
+  instance, or a materialised :class:`~repro.faults.plan.FaultPlan` has no
+  wire form and raises :class:`WireFormatError` naming the field.
+* Unknown keys are rejected with the shared listing ``KeyError`` helper
+  (:func:`repro.run.algorithms.registry_lookup`), so a typo'd field reads
+  exactly like a typo'd algorithm name.
+* Decoding is validating: every error -- codec-level or construction-time
+  inside ``RunSpec.__post_init__`` -- surfaces as a
+  :class:`WireFormatError` carrying the offending ``field``, which is what
+  the service turns into structured 400 responses.
+
+Graph forms (the ``graph`` field is a tagged object)
+----------------------------------------------------
+``{"kind": "family", "family": ..., "params": {...}, ...}``
+    A registry :class:`~repro.orchestration.registry.GraphSpec`,
+    materialised with ``graph_seed``.
+``{"kind": "edges", "nodes": [...], "edges": [[u, v], ...], "weights": ...}``
+    An inline :class:`networkx.Graph` (int/str node labels only).
+``{"kind": "csr", "n": ..., "edges": [[u, v], ...], ...}``
+    An inline :class:`~repro.graphs.large_scale.CSRGraph` (kernel tier).
+``{"kind": "file", "path": ...}``
+    A real edge-list file streamed into CSR form by
+    :func:`repro.graphs.ingest.load_edge_list` (SNAP-style text, ``.gz``
+    transparently decompressed); loads are memoized per path.
+``{"kind": "named", "name": ...}``
+    A graph registered via :func:`repro.graphs.ingest.register_graph`.
+
+Weight forms: ``null``, ``{"kind": "mapping", "entries": [[node, w], ...]}``
+or ``{"kind": "scheme", "scheme": ..., "params": {...}, "seed": ...}`` (a
+registry ``WeightSpec``).  Fault forms: ``null``, a model name string, or
+``{"kind": "spec", ...}`` (a graph-agnostic ``FaultSpec``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Callable, Dict, Mapping, Optional
+
+import networkx as nx
+
+from repro.graphs.generators import GraphInstance
+from repro.run.algorithms import registry_lookup
+from repro.run.spec import RunSpec
+
+__all__ = [
+    "WIRE_VERSION",
+    "WireFormatError",
+    "canonical_json",
+    "spec_from_dict",
+    "spec_to_dict",
+    "spec_wire_hash",
+]
+
+#: Bumped when the wire layout changes incompatibly; part of every payload.
+WIRE_VERSION = 1
+
+
+class WireFormatError(ValueError):
+    """A spec payload (or a spec) that cannot cross the wire.
+
+    ``field`` names the offending :class:`RunSpec` field (``None`` when the
+    problem is the payload envelope itself, e.g. a non-object body).  The
+    service maps this 1:1 onto its structured 400 responses.
+    """
+
+    def __init__(self, field: Optional[str], message: str):
+        self.field = field
+        prefix = "RunSpec payload" if field is None else f"RunSpec field {field!r}"
+        super().__init__(f"{prefix}: {message}")
+        self.reason = message
+
+
+def canonical_json(payload: Any) -> str:
+    """The canonical (sorted-key, compact) JSON form used for hashing."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def spec_wire_hash(wire: Mapping[str, Any]) -> str:
+    """Content hash of a wire payload (the service's run/graph cache basis)."""
+    import hashlib
+
+    return hashlib.sha256(canonical_json(wire).encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# JSON-ability checks
+# ---------------------------------------------------------------------------
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _require_jsonable(field: str, value: Any) -> Any:
+    """Validate (and shallow-copy) a JSON-expressible value."""
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, Mapping):
+        out = {}
+        for key, entry in value.items():
+            if not isinstance(key, str):
+                raise WireFormatError(field, f"mapping keys must be strings, got {key!r}")
+            out[key] = _require_jsonable(field, entry)
+        return out
+    if isinstance(value, (list, tuple)):
+        return [_require_jsonable(field, entry) for entry in value]
+    raise WireFormatError(
+        field, f"value {value!r} of type {type(value).__name__} is not JSON-expressible"
+    )
+
+
+def _node_label(field: str, node: Any) -> Any:
+    if isinstance(node, bool) or not isinstance(node, (int, str)):
+        raise WireFormatError(
+            field,
+            f"node label {node!r} is not wire-expressible; inline graphs need "
+            "int or str node labels (relabel with networkx.convert_node_labels_to_integers)",
+        )
+    return node
+
+
+# ---------------------------------------------------------------------------
+# Graph encoding
+# ---------------------------------------------------------------------------
+
+
+def _ingest_module():
+    """The graph registry module, *only* if something was ever registered.
+
+    Looked up through ``sys.modules`` so encoding a spec never drags in the
+    NumPy-backed ingestion machinery: if a graph object is registered (or
+    was ingested from a file), its module is necessarily already loaded.
+    """
+    return sys.modules.get("repro.graphs.ingest")
+
+
+def _registry_module():
+    return sys.modules.get("repro.orchestration.registry")
+
+
+def _as_csr(graph: Any):
+    module = sys.modules.get("repro.graphs.large_scale")
+    if module is None:
+        return None
+    return graph if isinstance(graph, module.CSRGraph) else None
+
+
+def _encode_graph(graph: Any) -> Dict[str, Any]:
+    ingest = _ingest_module()
+    if ingest is not None:
+        name = ingest.registered_name(graph)
+        if name is not None:
+            return {"kind": "named", "name": name}
+    registry = _registry_module()
+    if registry is not None and isinstance(graph, registry.GraphSpec):
+        entry = {"kind": "family"}
+        entry.update(graph.as_dict())
+        entry["params"] = _require_jsonable("graph", entry["params"])
+        return entry
+    csr = _as_csr(graph)
+    if csr is not None:
+        source = csr.params.get("source_path")
+        if isinstance(source, str):
+            return {"kind": "file", "path": source}
+        u, v = csr.edge_arrays()
+        return {
+            "kind": "csr",
+            "n": csr.n,
+            "edges": [list(edge) for edge in zip(u.tolist(), v.tolist())],
+            "weights": None if csr.weights is None else csr.weights.tolist(),
+            "name": csr.name,
+            "alpha": csr.alpha,
+        }
+    if isinstance(graph, GraphInstance):
+        graph = graph.graph
+    if isinstance(graph, nx.Graph):
+        nodes = [_node_label("graph", node) for node in graph.nodes()]
+        edges = [
+            [_node_label("graph", u), _node_label("graph", v)] for u, v in graph.edges()
+        ]
+        weights = None
+        if any("weight" in graph.nodes[node] for node in graph.nodes()):
+            weights = [graph.nodes[node].get("weight", 1) for node in graph.nodes()]
+        return {"kind": "edges", "nodes": nodes, "edges": edges, "weights": weights}
+    raise WireFormatError(
+        "graph",
+        f"object of type {type(graph).__name__} has no wire form; use a registry "
+        "GraphSpec, an inline networkx/CSR graph, an ingested edge-list file, or "
+        "register it under a name (repro.graphs.ingest.register_graph)",
+    )
+
+
+def _entry_fields(
+    entry: Mapping[str, Any], kind: str, required, optional, field: str = "graph"
+) -> Dict[str, Any]:
+    """Extract a tagged object's fields, rejecting unknown keys with a listing."""
+    known = {"kind": None}
+    known.update({name: None for name in required})
+    known.update(optional)
+    for key in entry:
+        try:
+            registry_lookup(known, key, f"{kind!r} form key")
+        except KeyError as error:
+            raise WireFormatError(field, error.args[0]) from None
+    out = {}
+    for name in required:
+        if name not in entry:
+            raise WireFormatError(field, f"{kind!r} form requires a {name!r} entry")
+        out[name] = entry[name]
+    for name, default in optional.items():
+        out[name] = entry.get(name, default)
+    return out
+
+
+def _decode_graph_family(entry: Mapping[str, Any]) -> Any:
+    from repro.orchestration.registry import FAMILY_BUILDERS, GraphSpec
+
+    fields = _entry_fields(
+        entry,
+        "family",
+        ["family"],
+        {"params": {}, "name": None, "alpha": None, "weights": None,
+         "seed": None, "seed_offset": 0},
+    )
+    try:
+        registry_lookup(FAMILY_BUILDERS, fields["family"], "graph family")
+    except KeyError as error:
+        raise WireFormatError("graph", error.args[0]) from None
+    weights = fields["weights"]
+    if weights is not None:
+        weights = _decode_weight_scheme("graph", weights)
+    return GraphSpec(
+        family=fields["family"],
+        params=dict(fields["params"]),
+        name=fields["name"],
+        alpha=fields["alpha"],
+        weights=weights,
+        seed=fields["seed"],
+        seed_offset=fields["seed_offset"],
+    )
+
+
+def _decode_graph_edges(entry: Mapping[str, Any]) -> nx.Graph:
+    fields = _entry_fields(entry, "edges", ["nodes", "edges"], {"weights": None})
+    graph = nx.Graph()
+    graph.add_nodes_from(_node_label("graph", node) for node in fields["nodes"])
+    for pair in fields["edges"]:
+        if len(pair) != 2:
+            raise WireFormatError("graph", f"edge entry {pair!r} is not a [u, v] pair")
+        graph.add_edge(_node_label("graph", pair[0]), _node_label("graph", pair[1]))
+    weights = fields["weights"]
+    if weights is not None:
+        if len(weights) != len(fields["nodes"]):
+            raise WireFormatError(
+                "graph",
+                f"weights has {len(weights)} entries for {len(fields['nodes'])} nodes",
+            )
+        for node, weight in zip(fields["nodes"], weights):
+            graph.nodes[node]["weight"] = weight
+    return graph
+
+
+def _decode_graph_csr(entry: Mapping[str, Any]):
+    import numpy as np
+
+    from repro.graphs.large_scale import csr_from_edges
+
+    fields = _entry_fields(
+        entry, "csr", ["n", "edges"],
+        {"weights": None, "name": "csr-graph", "alpha": None},
+    )
+    edges = fields["edges"]
+    u = np.asarray([pair[0] for pair in edges], dtype=np.int64)
+    v = np.asarray([pair[1] for pair in edges], dtype=np.int64)
+    weights = fields["weights"]
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.int64)
+    try:
+        return csr_from_edges(
+            fields["n"], u, v, weights=weights,
+            name=fields["name"], alpha=fields["alpha"],
+        )
+    except ValueError as error:
+        raise WireFormatError("graph", str(error)) from None
+
+
+def _decode_graph_file(entry: Mapping[str, Any]):
+    from repro.graphs.ingest import load_edge_list
+
+    fields = _entry_fields(entry, "file", ["path"], {})
+    try:
+        return load_edge_list(fields["path"])
+    except (OSError, ValueError) as error:
+        raise WireFormatError("graph", str(error)) from None
+
+
+def _decode_graph_named(entry: Mapping[str, Any]):
+    from repro.graphs.ingest import get_graph
+
+    fields = _entry_fields(entry, "named", ["name"], {})
+    try:
+        return get_graph(fields["name"])
+    except KeyError as error:
+        raise WireFormatError("graph", error.args[0]) from None
+
+
+_GRAPH_KINDS: Dict[str, Callable[[Mapping[str, Any]], Any]] = {
+    "family": _decode_graph_family,
+    "edges": _decode_graph_edges,
+    "csr": _decode_graph_csr,
+    "file": _decode_graph_file,
+    "named": _decode_graph_named,
+}
+
+
+def _decode_graph(entry: Any) -> Any:
+    if not isinstance(entry, Mapping):
+        raise WireFormatError(
+            "graph", f"must be a tagged object with a 'kind' entry, got {entry!r}"
+        )
+    kind = entry.get("kind")
+    try:
+        decoder = registry_lookup(_GRAPH_KINDS, kind, "graph form")
+    except KeyError as error:
+        raise WireFormatError("graph", error.args[0]) from None
+    return decoder(entry)
+
+
+# ---------------------------------------------------------------------------
+# Weights
+# ---------------------------------------------------------------------------
+
+
+def _decode_weight_scheme(field: str, entry: Mapping[str, Any]):
+    from repro.orchestration.registry import WEIGHT_SCHEMES, WeightSpec
+
+    fields = _entry_fields(
+        entry, "scheme", ["scheme"], {"params": {}, "seed": None}, field=field
+    )
+    try:
+        registry_lookup(WEIGHT_SCHEMES, fields["scheme"], "weight scheme")
+    except KeyError as error:
+        raise WireFormatError(field, error.args[0]) from None
+    return WeightSpec(
+        scheme=fields["scheme"], params=dict(fields["params"]), seed=fields["seed"]
+    )
+
+
+def _encode_weights(weights: Any) -> Optional[Dict[str, Any]]:
+    if weights is None:
+        return None
+    registry = _registry_module()
+    if registry is not None and isinstance(weights, registry.WeightSpec):
+        entry = {"kind": "scheme"}
+        entry.update(weights.as_dict())
+        entry["params"] = _require_jsonable("weights", entry["params"])
+        return entry
+    if isinstance(weights, Mapping):
+        entries = [
+            [_node_label("weights", node), _require_jsonable("weights", weight)]
+            for node, weight in weights.items()
+        ]
+        return {"kind": "mapping", "entries": entries}
+    raise WireFormatError(
+        "weights",
+        f"object of type {type(weights).__name__} has no wire form; use a "
+        "node->weight mapping or a registry WeightSpec",
+    )
+
+
+def _decode_weights(entry: Any) -> Any:
+    if entry is None:
+        return None
+    if not isinstance(entry, Mapping):
+        raise WireFormatError(
+            "weights", f"must be null or a tagged object, got {entry!r}"
+        )
+    kind = entry.get("kind")
+    if kind == "scheme":
+        return _decode_weight_scheme("weights", entry)
+    if kind == "mapping":
+        fields = _entry_fields(entry, "mapping", ["entries"], {}, field="weights")
+        mapping = {}
+        for pair in fields["entries"]:
+            if len(pair) != 2:
+                raise WireFormatError(
+                    "weights", f"entry {pair!r} is not a [node, weight] pair"
+                )
+            mapping[_node_label("weights", pair[0])] = pair[1]
+        return mapping
+    try:
+        registry_lookup({"scheme": None, "mapping": None}, kind, "weights form")
+    except KeyError as error:
+        raise WireFormatError("weights", error.args[0]) from None
+
+
+# ---------------------------------------------------------------------------
+# Faults
+# ---------------------------------------------------------------------------
+
+
+def _encode_faults(faults: Any) -> Any:
+    if faults is None or isinstance(faults, str):
+        return faults
+    from repro.faults import FaultPlan, FaultSpec
+
+    if isinstance(faults, FaultSpec):
+        entry: Dict[str, Any] = {"kind": "spec"}
+        entry.update(faults.as_dict())
+        entry["label"] = faults.label
+        return entry
+    if isinstance(faults, FaultPlan):
+        raise WireFormatError(
+            "faults",
+            "a materialised FaultPlan names concrete nodes/edges and has no "
+            "wire form; send a graph-agnostic FaultSpec or a model name and "
+            "let the server materialise it (fault_seed pins the draw)",
+        )
+    raise WireFormatError(
+        "faults",
+        f"object of type {type(faults).__name__} has no wire form; use a model "
+        "name, a FaultSpec object, or null",
+    )
+
+
+def _decode_faults(entry: Any) -> Any:
+    if entry is None or isinstance(entry, str):
+        return entry  # model names are validated by RunSpec itself
+    if not isinstance(entry, Mapping):
+        raise WireFormatError(
+            "faults", f"must be null, a model name, or a tagged object, got {entry!r}"
+        )
+    kind = entry.get("kind")
+    if kind != "spec":
+        try:
+            registry_lookup({"spec": None}, kind, "faults form")
+        except KeyError as error:
+            raise WireFormatError("faults", error.args[0]) from None
+    from repro.faults import FaultSpec
+
+    known = {name: None for name in FaultSpec().as_dict()}
+    known["label"] = None
+    fields = _entry_fields(entry, "spec", [], known, field="faults")
+    kwargs = {name: value for name, value in fields.items() if value is not None}
+    try:
+        return FaultSpec(**kwargs)
+    except (TypeError, ValueError) as error:
+        raise WireFormatError("faults", str(error)) from None
+
+
+# ---------------------------------------------------------------------------
+# Scalar field checks
+# ---------------------------------------------------------------------------
+
+
+def _check_int(field: str, value: Any, optional: bool = False) -> Any:
+    if value is None and optional:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise WireFormatError(field, f"must be an integer, got {value!r}")
+    return value
+
+
+def _check_bool(field: str, value: Any, optional: bool = False) -> Any:
+    if value is None and optional:
+        return None
+    if not isinstance(value, bool):
+        raise WireFormatError(field, f"must be a boolean, got {value!r}")
+    return value
+
+
+def _check_str(field: str, value: Any, optional: bool = False) -> Any:
+    if value is None and optional:
+        return None
+    if not isinstance(value, str):
+        raise WireFormatError(field, f"must be a string, got {value!r}")
+    return value
+
+
+def _check_number(field: str, value: Any, optional: bool = False) -> Any:
+    if value is None and optional:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise WireFormatError(field, f"must be a number, got {value!r}")
+    return value
+
+
+def _check_params(field: str, value: Any, optional: bool = False) -> Any:
+    if value is None and optional:
+        return None
+    if not isinstance(value, Mapping):
+        raise WireFormatError(field, f"must be an object, got {value!r}")
+    return _require_jsonable(field, value)
+
+
+# ---------------------------------------------------------------------------
+# The codec proper
+# ---------------------------------------------------------------------------
+
+#: Decoders keyed by RunSpec field name -- doubling as the known-key registry
+#: that :func:`spec_from_dict` rejects unknown keys against.
+_FIELD_DECODERS: Dict[str, Callable[[Any], Any]] = {
+    "graph": _decode_graph,
+    "algorithm": lambda value: _check_str("algorithm", value),
+    "params": lambda value: _check_params("params", value),
+    "alpha": lambda value: _check_int("alpha", value, optional=True),
+    "weights": _decode_weights,
+    "engine": lambda value: _check_str("engine", value, optional=True),
+    "faults": _decode_faults,
+    "fault_seed": lambda value: _check_int("fault_seed", value, optional=True),
+    "seed": lambda value: _check_int("seed", value),
+    "graph_seed": lambda value: _check_int("graph_seed", value),
+    "validate": lambda value: _check_str("validate", value),
+    "max_rounds": lambda value: _check_int("max_rounds", value),
+    "bandwidth_words": lambda value: _check_int("bandwidth_words", value),
+    "strict": lambda value: _check_bool("strict", value),
+    "knows_max_degree": lambda value: _check_bool("knows_max_degree", value, optional=True),
+    "guarantee": lambda value: _check_number("guarantee", value, optional=True),
+    "config": lambda value: _check_params("config", value, optional=True),
+}
+
+
+def spec_to_dict(spec: RunSpec) -> Dict[str, Any]:
+    """Encode ``spec`` as its canonical wire dict (stable field order).
+
+    Raises :class:`WireFormatError` for specs that hold objects without a
+    wire form (algorithm/engine instances, materialised fault plans,
+    unregistered opaque graph sources).
+    """
+    if not isinstance(spec.algorithm, str):
+        raise WireFormatError(
+            "algorithm",
+            f"instance algorithm {type(spec.algorithm).__name__} has no wire "
+            "form; register a recipe (repro.run.register_algorithm) and send "
+            "its name",
+        )
+    if spec.engine is not None and not isinstance(spec.engine, str):
+        raise WireFormatError(
+            "engine",
+            f"engine instance {type(spec.engine).__name__} has no wire form; "
+            "send an engine name",
+        )
+    return {
+        "runspec": WIRE_VERSION,
+        "graph": _encode_graph(spec.graph),
+        "algorithm": spec.algorithm,
+        "params": _require_jsonable("params", spec.params),
+        "alpha": spec.alpha,
+        "weights": _encode_weights(spec.weights),
+        "engine": spec.engine,
+        "faults": _encode_faults(spec.faults),
+        "fault_seed": spec.fault_seed,
+        "seed": spec.seed,
+        "graph_seed": spec.graph_seed,
+        "validate": spec.validate,
+        "max_rounds": spec.max_rounds,
+        "bandwidth_words": spec.bandwidth_words,
+        "strict": spec.strict,
+        "knows_max_degree": spec.knows_max_degree,
+        "guarantee": spec.guarantee,
+        "config": None if spec.config is None else _require_jsonable("config", spec.config),
+    }
+
+
+#: Substrings that identify the offending field in RunSpec construction
+#: errors (whose messages predate the wire format and name things their own
+#: way).  Checked in order; first hit wins.
+_CONSTRUCTION_HINTS = (
+    ("unknown algorithm", "algorithm"),
+    ("unknown fault model", "faults"),
+    ("unknown engine", "engine"),
+    ("validate must be", "validate"),
+    ("alpha must be", "alpha"),
+    ("max_rounds must be", "max_rounds"),
+    ("bandwidth_words must be", "bandwidth_words"),
+)
+
+
+def spec_from_dict(payload: Any) -> RunSpec:
+    """Decode a wire dict into a validated :class:`RunSpec`.
+
+    Unknown keys are rejected with a listing error; every validation
+    failure -- including ``RunSpec``'s own construction-time checks --
+    surfaces as :class:`WireFormatError` naming the bad field.
+    """
+    if not isinstance(payload, Mapping):
+        raise WireFormatError(None, f"must be a JSON object, got {type(payload).__name__}")
+    data = dict(payload)
+    version = data.pop("runspec", WIRE_VERSION)
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            "runspec", f"unsupported wire version {version!r} (this build speaks {WIRE_VERSION})"
+        )
+    for key in data:
+        try:
+            registry_lookup(_FIELD_DECODERS, key, "RunSpec field")
+        except KeyError as error:
+            raise WireFormatError(key, error.args[0]) from None
+    if "graph" not in data:
+        raise WireFormatError("graph", "is required")
+    kwargs = {key: _FIELD_DECODERS[key](value) for key, value in data.items()}
+    try:
+        return RunSpec(**kwargs)
+    except WireFormatError:
+        raise
+    except (KeyError, ValueError, TypeError) as error:
+        message = error.args[0] if error.args else str(error)
+        field = None
+        for hint, name in _CONSTRUCTION_HINTS:
+            if hint in message:
+                field = name
+                break
+        if field is None:
+            for name in _FIELD_DECODERS:
+                if name in message:
+                    field = name
+                    break
+        raise WireFormatError(field, message) from error

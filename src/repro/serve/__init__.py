@@ -1,0 +1,35 @@
+"""Service mode: a long-lived :class:`~repro.run.session.Session` over HTTP.
+
+``python -m repro serve`` starts the server; the pieces are importable on
+their own:
+
+* :mod:`repro.serve.service` -- the transport-free core
+  (:class:`~repro.serve.service.RunService`): wire-validated requests,
+  compiled-graph sharing, in-flight dedup, content-addressed response cache,
+  per-request metrics.
+* :mod:`repro.serve.http` -- the stdlib asyncio HTTP/1.1 shell and the
+  ``repro serve`` entry point.
+* :mod:`repro.serve.loadgen` -- the smoke/throughput client
+  (``python -m repro.serve.loadgen``).
+
+Everything here is standard library only (the simulation stack underneath
+uses whatever it always uses).
+"""
+
+from repro.serve.service import (
+    RequestError,
+    RunService,
+    ServiceStats,
+    decode_result_b64,
+    encode_result_b64,
+    summarize_result,
+)
+
+__all__ = [
+    "RequestError",
+    "RunService",
+    "ServiceStats",
+    "decode_result_b64",
+    "encode_result_b64",
+    "summarize_result",
+]

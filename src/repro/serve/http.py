@@ -1,0 +1,246 @@
+"""The asyncio HTTP shell around :class:`~repro.serve.service.RunService`.
+
+``python -m repro serve`` binds a tiny stdlib-only HTTP/1.1 server (no
+third-party web framework -- the wire format is plain JSON and the routes
+are few) on top of one long-lived service instance:
+
+===========================  ==============================================
+``GET /healthz``             liveness + package version
+``GET /capabilities``        registered algorithms/engines/fault models/
+                             graph families/named graphs (wire vocabulary)
+``GET /stats``               service counters, cache stats, resident graphs
+``POST /run``                a RunSpec wire payload; responds with the
+                             result summary, the base64-pickled result, and
+                             the per-request metrics envelope
+``POST /shutdown``           graceful stop (responds, then closes)
+===========================  ==============================================
+
+Requests are handled on one event loop; simulation work runs on the
+service's single executor thread, so slow runs never block health checks,
+stats, or the cache/in-flight fast paths of concurrent ``/run`` requests.
+Connections are keep-alive until the client says ``Connection: close``.
+
+Errors are structured JSON all the way down: a bad payload is a 400 naming
+the offending RunSpec field, a capability-matrix miss is a 422 carrying the
+structured ``(algorithm, engine, fault_model)`` cell, an unknown route is a
+404 listing the routes that exist.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+import repro
+from repro.serve.service import RequestError, RunService
+
+__all__ = ["HttpServer", "add_serve_arguments", "serve_command"]
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024  # inline CSR payloads can be large
+
+
+class HttpServer:
+    """One :class:`RunService` behind an asyncio stream server."""
+
+    def __init__(self, service: RunService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopping = asyncio.Event()
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_stopped(self) -> None:
+        """Block until ``/shutdown`` (or :meth:`stop`) is requested."""
+        if self._server is None:
+            await self.start()
+        await self._stopping.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        self.service.close()
+
+    def stop(self) -> None:
+        self._stopping.set()
+
+    # -- request plumbing --------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self._stopping.is_set():
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                status, payload = await self._dispatch(method, path, body)
+                client_close = headers.get("connection", "").lower() == "close"
+                close = client_close or self._stopping.is_set()
+                self._write_response(writer, status, payload, close)
+                await writer.drain()
+                if close:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        request_line = await reader.readline()
+        if not request_line or request_line in (b"\r\n", b"\n"):
+            return None
+        try:
+            method, target, _version = request_line.decode("latin-1").split(None, 2)
+        except ValueError:
+            return None
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"", b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        if length > _MAX_BODY_BYTES:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        path = target.split("?", 1)[0]
+        return method.upper(), path, headers, body
+
+    def _write_response(
+        self, writer: asyncio.StreamWriter, status: int, payload: Any, close: bool
+    ) -> None:
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+                  422: "Unprocessable Entity", 500: "Internal Server Error"}.get(status, "Status")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(blob)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + blob)
+
+    # -- routes ------------------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, Any]:
+        if path == "/healthz" and method == "GET":
+            return 200, {"ok": True, "service": "repro-serve", "version": repro.__version__}
+        if path == "/capabilities" and method == "GET":
+            return 200, {"ok": True, "capabilities": self.service.capabilities()}
+        if path == "/stats" and method == "GET":
+            return 200, self.service.stats_payload()
+        if path == "/run" and method == "POST":
+            return await self._run(body)
+        if path == "/shutdown" and method == "POST":
+            self.stop()
+            return 200, {"ok": True, "stopping": True}
+        known = ("GET /healthz", "GET /capabilities", "GET /stats",
+                 "POST /run", "POST /shutdown")
+        return 404, {
+            "ok": False,
+            "error": {
+                "kind": "route",
+                "message": f"no route {method} {path}; known: {', '.join(known)}",
+            },
+        }
+
+    async def _run(self, body: bytes) -> Tuple[int, Any]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            return 400, {
+                "ok": False,
+                "error": {"kind": "json", "message": f"request body is not valid JSON: {error}"},
+            }
+        try:
+            return 200, await self.service.run(payload)
+        except RequestError as error:
+            return error.status, error.body
+        except Exception as error:  # never tear the connection down
+            return 500, {
+                "ok": False,
+                "error": {
+                    "kind": "internal",
+                    "error_type": type(error).__name__,
+                    "message": str(error),
+                },
+            }
+
+
+# ---------------------------------------------------------------------------
+# CLI entry point (`repro serve`)
+# ---------------------------------------------------------------------------
+
+
+def add_serve_arguments(parser) -> None:
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8585,
+        help="bind port (0 picks a free port; the chosen one is printed)",
+    )
+    parser.add_argument(
+        "--engine", default=None,
+        help="default engine for specs that leave 'engine' null",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="response-cache directory (default: REPRO_CACHE_DIR or .repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-addressed response cache",
+    )
+    parser.add_argument(
+        "--graph-capacity", type=int, default=8,
+        help="how many distinct graph sources stay compiled (LRU)",
+    )
+    parser.add_argument(
+        "--ingest", action="append", default=[], metavar="NAME=PATH",
+        help="pre-register an edge-list file under NAME (repeatable)",
+    )
+
+
+async def _serve(server: HttpServer) -> None:
+    await server.start()
+    # Parsed by the CI smoke job and the load generator: keep this line's
+    # shape stable.
+    print(f"repro-serve listening on http://{server.host}:{server.port}", flush=True)
+    await server.serve_until_stopped()
+
+
+def serve_command(args) -> int:
+    """Entry point behind ``repro serve`` (and ``python -m repro serve``)."""
+    from repro.graphs.ingest import load_edge_list, register_graph
+    from repro.orchestration.cache import ResultCache
+
+    for item in args.ingest:
+        name, separator, path = item.partition("=")
+        if not separator or not name or not path:
+            raise SystemExit(f"--ingest expects NAME=PATH, got {item!r}")
+        # load_edge_list shares the memo the {"kind": "file"} wire form
+        # decodes through, so named and file-path requests for the same
+        # path resolve to one graph object -- one compile, one cache line.
+        graph = load_edge_list(path)
+        register_graph(name, graph, replace=True)
+        print(f"ingested {path} as {name!r}: n={graph.n} m={graph.m}", flush=True)
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    service = RunService(
+        cache=cache, graph_capacity=args.graph_capacity, engine=args.engine
+    )
+    server = HttpServer(service, host=args.host, port=args.port)
+    try:
+        asyncio.run(_serve(server))
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -1,0 +1,312 @@
+"""Load generator / smoke client for a running ``repro serve`` instance.
+
+``python -m repro.serve.loadgen --port 8585 --json`` drives a mixed batch
+against a live server and reports throughput and latency percentiles:
+
+1. a **dedup probe** -- N threads fire the *same uncached* spec through a
+   barrier, so all but one land while the first is executing and must join
+   its in-flight future (the response metrics say which path each took);
+2. a **mixed workload** -- a spread of specs, each repeated, so first
+   arrivals execute and repeats come back as content-addressed cache hits.
+
+The ``--require-dedup`` / ``--require-cache-hit`` flags turn the observed
+counters into exit-code assertions (the CI smoke job runs with both), and
+``--check-parity`` re-runs every distinct probed spec in-process through
+:class:`~repro.run.session.Session` and insists the server's pickled result
+is byte-identical (:func:`~repro.run.result.result_bytes`) to the direct
+run -- the service is a cache and a transport, never a different answer.
+
+Stdlib-only by design (:mod:`http.client` + :mod:`threading`): the client
+side of the wire format should not need anything the server does not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["ServeClient", "LoadReport", "default_workload", "dedup_spec", "run_load", "main"]
+
+
+class ServeClient:
+    """A minimal keep-alive JSON client for one server connection."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8585, timeout: float = 60.0):
+        self.connection = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def request(self, method: str, path: str, payload: Any = None) -> Tuple[int, Dict[str, Any]]:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if body is not None else {}
+        self.connection.request(method, path, body=body, headers=headers)
+        response = self.connection.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+    def run(self, spec: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        return self.request("POST", "/run", spec)
+
+    def get(self, path: str) -> Tuple[int, Dict[str, Any]]:
+        return self.request("GET", path)
+
+    def close(self) -> None:
+        self.connection.close()
+
+
+def dedup_spec(n: int = 700) -> Dict[str, Any]:
+    """A deliberately non-trivial spec: slow enough that a thundering herd
+    of identical requests overlaps its execution window."""
+    return {
+        "graph": {"kind": "family", "family": "gnp", "params": {"n": n, "p": 4.0 / n}},
+        "algorithm": "deterministic",
+        "seed": 0,
+    }
+
+
+def default_workload(seeds: int = 3) -> List[Dict[str, Any]]:
+    """A small spread of distinct, fast specs for the mixed phase."""
+    specs: List[Dict[str, Any]] = []
+    for seed in range(seeds):
+        specs.append(
+            {
+                "graph": {"kind": "family", "family": "random-tree", "params": {"n": 80}},
+                "algorithm": "deterministic",
+                "seed": seed,
+            }
+        )
+        specs.append(
+            {
+                "graph": {
+                    "kind": "family",
+                    "family": "bounded-arboricity",
+                    "params": {"n": 90, "alpha": 2},
+                },
+                "algorithm": "randomized",
+                "params": {"t": 1},
+                "seed": seed,
+            }
+        )
+    return specs
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+@dataclass
+class LoadReport:
+    """What a load run observed (counters come from response metrics)."""
+
+    requests: int = 0
+    ok: int = 0
+    errors: int = 0
+    executions: int = 0
+    cache_hits: int = 0
+    inflight_joins: int = 0
+    wall_s: float = 0.0
+    latencies_ms: List[float] = field(default_factory=list, repr=False)
+    parity_checked: int = 0
+    parity_failures: List[str] = field(default_factory=list)
+    error_samples: List[str] = field(default_factory=list)
+
+    @property
+    def rps(self) -> float:
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def p50_ms(self) -> float:
+        return _percentile(self.latencies_ms, 0.50)
+
+    @property
+    def p99_ms(self) -> float:
+        return _percentile(self.latencies_ms, 0.99)
+
+    def record(self, status: int, body: Dict[str, Any], elapsed_s: float) -> None:
+        self.requests += 1
+        self.latencies_ms.append(elapsed_s * 1000.0)
+        if status == 200 and body.get("ok"):
+            self.ok += 1
+            origin = body.get("metrics", {}).get("cache")
+            if origin == "hit":
+                self.cache_hits += 1
+            elif origin == "inflight":
+                self.inflight_joins += 1
+            else:
+                self.executions += 1
+        else:
+            self.errors += 1
+            if len(self.error_samples) < 5:
+                self.error_samples.append(json.dumps(body.get("error", body)))
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "errors": self.errors,
+            "executions": self.executions,
+            "cache_hits": self.cache_hits,
+            "inflight_joins": self.inflight_joins,
+            "wall_s": round(self.wall_s, 4),
+            "rps": round(self.rps, 2),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "parity_checked": self.parity_checked,
+            "parity_failures": self.parity_failures,
+            "error_samples": self.error_samples,
+        }
+
+
+def _dedup_probe(
+    host: str, port: int, spec: Dict[str, Any], clients: int, report: LoadReport
+) -> None:
+    barrier = threading.Barrier(clients)
+    lock = threading.Lock()
+
+    def worker() -> None:
+        client = ServeClient(host, port)
+        try:
+            barrier.wait()
+            start = time.perf_counter()
+            status, body = client.run(spec)
+            elapsed = time.perf_counter() - start
+            with lock:
+                report.record(status, body, elapsed)
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=worker) for _ in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def run_load(
+    host: str = "127.0.0.1",
+    port: int = 8585,
+    seeds: int = 3,
+    repeats: int = 3,
+    dedup_clients: int = 4,
+    check_parity: bool = False,
+) -> LoadReport:
+    """Drive the dedup probe plus the repeated mixed workload; see module doc."""
+    report = LoadReport()
+    started = time.perf_counter()
+
+    probe = dedup_spec()
+    if dedup_clients > 1:
+        _dedup_probe(host, port, probe, dedup_clients, report)
+
+    client = ServeClient(host, port)
+    workload = default_workload(seeds)
+    try:
+        for _ in range(max(1, repeats)):
+            for spec in workload:
+                start = time.perf_counter()
+                status, body = client.run(spec)
+                report.record(status, body, time.perf_counter() - start)
+    finally:
+        client.close()
+    report.wall_s = time.perf_counter() - started
+
+    if check_parity:
+        _check_parity(host, port, [probe] + workload, report)
+    return report
+
+
+def _check_parity(
+    host: str, port: int, specs: List[Dict[str, Any]], report: LoadReport
+) -> None:
+    """Server answer vs a direct in-process run, byte for byte."""
+    from repro.run import RunSpec, Session
+    from repro.run.result import result_bytes
+    from repro.serve.service import decode_result_b64
+
+    session = Session()
+    client = ServeClient(host, port)
+    seen = set()
+    try:
+        for spec in specs:
+            marker = json.dumps(spec, sort_keys=True)
+            if marker in seen:
+                continue
+            seen.add(marker)
+            status, body = client.run(spec)
+            report.parity_checked += 1
+            if status != 200 or not body.get("ok"):
+                report.parity_failures.append(f"{marker}: server error {status}")
+                continue
+            served = result_bytes(decode_result_b64(body["result_b64"]))
+            direct = result_bytes(session.run(RunSpec.from_dict(spec)))
+            if served != direct:
+                report.parity_failures.append(f"{marker}: result bytes differ")
+    finally:
+        client.close()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.loadgen", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8585)
+    parser.add_argument("--seeds", type=int, default=3, help="distinct seeds per workload spec")
+    parser.add_argument("--repeats", type=int, default=3, help="times the workload is replayed")
+    parser.add_argument("--dedup-clients", type=int, default=4,
+                        help="threads racing the dedup probe (0/1 disables)")
+    parser.add_argument("--check-parity", action="store_true",
+                        help="compare served results byte-for-byte with direct Session runs")
+    parser.add_argument("--require-cache-hit", action="store_true",
+                        help="exit nonzero unless at least one cache hit was observed")
+    parser.add_argument("--require-dedup", action="store_true",
+                        help="exit nonzero unless at least one in-flight join was observed")
+    parser.add_argument("--json", action="store_true", help="emit the report as JSON")
+    args = parser.parse_args(argv)
+
+    report = run_load(
+        host=args.host,
+        port=args.port,
+        seeds=args.seeds,
+        repeats=args.repeats,
+        dedup_clients=args.dedup_clients,
+        check_parity=args.check_parity,
+    )
+
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"{report.requests} requests in {report.wall_s:.2f}s "
+            f"({report.rps:.1f} req/s, p50 {report.p50_ms:.1f} ms, "
+            f"p99 {report.p99_ms:.1f} ms)"
+        )
+        print(
+            f"executions={report.executions} cache_hits={report.cache_hits} "
+            f"inflight_joins={report.inflight_joins} errors={report.errors}"
+        )
+        if args.check_parity:
+            verdict = "ok" if not report.parity_failures else "FAILED"
+            print(f"parity: {report.parity_checked} specs checked, {verdict}")
+
+    failures: List[str] = list(report.parity_failures)
+    if report.errors:
+        failures.append(f"{report.errors} request errors: {report.error_samples}")
+    if args.require_cache_hit and report.cache_hits < 1:
+        failures.append("no cache hit observed")
+    if args.require_dedup and report.inflight_joins < 1:
+        failures.append("no in-flight dedup observed")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,159 @@
+"""CLI wire-format surfaces: ``list --json``, ``run --spec``, skip summary."""
+
+from __future__ import annotations
+
+import json
+
+from repro.orchestration.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestListJson:
+    def test_emits_machine_readable_registry(self, capsys):
+        code, out, _ = run_cli(capsys, "list", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["code_version"]
+        names = [entry["name"] for entry in payload["scenarios"]]
+        assert "smoke/forest" in names
+        entry = next(e for e in payload["scenarios"] if e["name"] == "smoke/forest")
+        assert set(entry) == {
+            "name",
+            "experiment",
+            "description",
+            "graphs",
+            "solvers",
+            "tags",
+            "faults",
+            "spec_hash",
+        }
+
+    def test_tag_filter_applies(self, capsys):
+        code, out, _ = run_cli(capsys, "list", "--json", "--tag", "smoke")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["scenarios"]
+        assert all("smoke" in entry["tags"] for entry in payload["scenarios"])
+
+
+class TestRunSpecFile:
+    def spec_file(self, tmp_path, payload) -> str:
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_runs_a_wire_spec_file(self, capsys, tmp_path):
+        path = self.spec_file(
+            tmp_path,
+            {
+                "graph": {"kind": "family", "family": "random-tree", "params": {"n": 25}},
+                "algorithm": "deterministic",
+                "seed": 2,
+            },
+        )
+        code, out, _ = run_cli(capsys, "run", "--spec", path)
+        assert code == 0
+        summary = json.loads(out)
+        assert summary["algorithm"]
+        assert summary["is_valid"] is True
+        assert summary["size"] == len(summary["dominating_set"])
+
+    def test_spec_file_matches_direct_session(self, capsys, tmp_path):
+        from repro.run import RunSpec, Session
+        from repro.serve.service import summarize_result
+
+        payload = {
+            "graph": {"kind": "family", "family": "random-tree", "params": {"n": 25}},
+            "algorithm": "deterministic",
+            "seed": 2,
+        }
+        path = self.spec_file(tmp_path, payload)
+        code, out, _ = run_cli(capsys, "run", "--spec", path)
+        assert code == 0
+        direct = Session().run(RunSpec.from_dict(payload))
+        assert json.loads(out) == summarize_result(direct)
+
+    def test_bad_spec_is_a_usage_error_naming_the_field(self, capsys, tmp_path):
+        path = self.spec_file(tmp_path, {"graph": {"kind": "family", "family": "nope"}})
+        code, _, err = run_cli(capsys, "run", "--spec", path)
+        assert code == 2
+        assert "graph" in err and "known graph famil" in err
+
+    def test_missing_file_is_a_usage_error(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "run", "--spec", str(tmp_path / "nope.json"))
+        assert code == 2
+
+    def test_scenario_and_spec_are_mutually_exclusive(self, capsys, tmp_path):
+        path = self.spec_file(tmp_path, {"graph": {"kind": "edges", "nodes": [], "edges": []}})
+        code, _, err = run_cli(capsys, "run", "smoke/forest", "--spec", path)
+        assert code == 2
+        assert "not both" in err
+
+    def test_no_scenario_and_no_spec_is_a_usage_error(self, capsys):
+        code, _, err = run_cli(capsys, "run")
+        assert code == 2
+        assert "--spec" in err
+
+
+class TestSweepSkipSummary:
+    def test_structured_skip_aggregation_line(self, capsys, tmp_path):
+        from repro.congest.errors import EngineCapabilityError
+        from repro.orchestration.registry import register_scenario, unregister_scenario
+
+        class _Stub:
+            name = "stub/skip-summary"
+            experiment = "STUB"
+            faults = None
+            tags = ()
+
+            def spec_hash(self):
+                return "2" * 16
+
+            def run(self, seed=0, engine=None):
+                raise EngineCapabilityError(
+                    "nope", algorithm="stub-algo", engine="kernel", fault_model=None
+                )
+
+        register_scenario(_Stub(), replace=True)
+        try:
+            code, out, _ = run_cli(
+                capsys,
+                "sweep",
+                "stub/skip-summary",
+                "--seeds",
+                "2",
+                "--engine",
+                "kernel",
+                "--cache-dir",
+                str(tmp_path),
+            )
+        finally:
+            unregister_scenario("stub/skip-summary")
+        assert code == 0
+        assert "skipped capability cells: stub-algo@kernel x2" in out
+
+
+class TestServeParser:
+    def test_serve_arguments_parse(self):
+        from repro.orchestration.cli import build_parser
+
+        arguments = build_parser().parse_args(
+            ["serve", "--port", "0", "--engine", "batched", "--no-cache"]
+        )
+        assert arguments.command == "serve"
+        assert arguments.port == 0
+        assert arguments.no_cache is True
+        assert arguments.graph_capacity == 8
+
+    def test_ingest_argument_shape(self):
+        from repro.orchestration.cli import build_parser
+
+        arguments = build_parser().parse_args(
+            ["serve", "--ingest", "web=/tmp/a.txt", "--ingest", "road=/tmp/b.txt.gz"]
+        )
+        assert arguments.ingest == ["web=/tmp/a.txt", "road=/tmp/b.txt.gz"]

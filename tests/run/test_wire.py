@@ -1,0 +1,260 @@
+"""The canonical RunSpec wire format: round-trips, rejection, equivalence."""
+
+from __future__ import annotations
+
+import json
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FAULT_MODELS, FaultSpec
+from repro.graphs.large_scale import csr_from_networkx
+from repro.orchestration.registry import GraphSpec, WeightSpec
+from repro.run import RunSpec, Session, WireFormatError, result_bytes
+from repro.run.wire import canonical_json, spec_wire_hash
+
+
+def family_spec(**overrides) -> RunSpec:
+    fields = {
+        "graph": GraphSpec(family="random-tree", params={"n": 24}),
+        "algorithm": "deterministic",
+        "seed": 3,
+    }
+    fields.update(overrides)
+    return RunSpec(**fields)
+
+
+class TestRoundTrip:
+    def test_family_form(self):
+        spec = family_spec(params={"epsilon": 0.25}, alpha=2, graph_seed=5)
+        wire = spec.to_dict()
+        assert wire["graph"]["kind"] == "family"
+        again = RunSpec.from_dict(wire)
+        assert again.to_dict() == wire
+        assert isinstance(again.graph, GraphSpec)
+        assert again.graph.family == "random-tree"
+
+    def test_edges_form_with_weights(self):
+        graph = nx.cycle_graph(6)
+        for node in graph.nodes():
+            graph.nodes[node]["weight"] = node + 1
+        spec = RunSpec(graph=graph, algorithm="weighted", seed=1)
+        wire = spec.to_dict()
+        assert wire["graph"]["kind"] == "edges"
+        assert wire["graph"]["weights"] == [1, 2, 3, 4, 5, 6]
+        again = RunSpec.from_dict(wire)
+        assert again.to_dict() == wire
+        assert sorted(again.graph.edges()) == sorted(graph.edges())
+
+    def test_csr_form(self):
+        graph = csr_from_networkx(nx.path_graph(5))
+        wire = RunSpec(graph=graph).to_dict()
+        assert wire["graph"]["kind"] == "csr"
+        again = RunSpec.from_dict(wire)
+        assert again.graph.n == 5
+        assert again.to_dict() == wire
+
+    def test_weight_mapping_form(self):
+        spec = family_spec(weights={0: 3, 1: 7})
+        wire = spec.to_dict()
+        assert wire["weights"] == {"kind": "mapping", "entries": [[0, 3], [1, 7]]}
+        assert RunSpec.from_dict(wire).to_dict() == wire
+
+    def test_weight_scheme_form(self):
+        spec = family_spec(weights=WeightSpec(scheme="random", params={"high": 9}))
+        wire = spec.to_dict()
+        assert wire["weights"]["kind"] == "scheme"
+        again = RunSpec.from_dict(wire)
+        assert isinstance(again.weights, WeightSpec)
+        assert again.to_dict() == wire
+
+    def test_fault_name_and_spec_forms(self):
+        named = family_spec(faults="crash15")
+        assert RunSpec.from_dict(named.to_dict()).faults == "crash15"
+        spec = family_spec(faults=FaultSpec(drop_probability=0.1, label="drops"))
+        wire = spec.to_dict()
+        assert wire["faults"]["kind"] == "spec"
+        again = RunSpec.from_dict(wire)
+        assert isinstance(again.faults, FaultSpec)
+        assert again.faults.drop_probability == 0.1
+        assert again.faults.label == "drops"
+        assert again.to_dict() == wire
+
+    def test_json_round_trip_and_field_order(self):
+        spec = family_spec()
+        text = spec.to_json()
+        again = RunSpec.from_json(text)
+        assert again.to_dict() == spec.to_dict()
+        # Declaration order is the wire order, schema marker first.
+        assert list(spec.to_dict())[:4] == ["runspec", "graph", "algorithm", "params"]
+
+    def test_wire_hash_is_canonical(self):
+        wire = family_spec().to_dict()
+        shuffled = dict(reversed(list(wire.items())))
+        assert spec_wire_hash(wire) == spec_wire_hash(shuffled)
+        assert canonical_json(wire) == canonical_json(shuffled)
+
+
+class TestExecutionEquivalence:
+    def test_decoded_spec_runs_byte_identical(self, small_tree):
+        spec = RunSpec(graph=small_tree, algorithm="deterministic", seed=2)
+        wire = json.loads(json.dumps(spec.to_dict()))
+        direct = Session().run(spec)
+        decoded = Session().run(RunSpec.from_dict(wire))
+        assert result_bytes(direct) == result_bytes(decoded)
+
+    def test_family_decoded_spec_runs_byte_identical(self):
+        spec = family_spec(graph_seed=4)
+        direct = Session().run(spec)
+        decoded = Session().run(RunSpec.from_dict(spec.to_dict()))
+        assert result_bytes(direct) == result_bytes(decoded)
+
+
+class TestRejection:
+    def test_unknown_top_level_key_lists_fields(self):
+        wire = family_spec().to_dict()
+        wire["sedd"] = 1
+        with pytest.raises(WireFormatError) as caught:
+            RunSpec.from_dict(wire)
+        assert caught.value.field == "sedd"
+        assert "known RunSpec fields" in str(caught.value)
+        assert "seed" in str(caught.value)
+
+    def test_unknown_graph_form_key_lists_keys(self):
+        wire = family_spec().to_dict()
+        wire["graph"]["famly"] = "x"
+        with pytest.raises(WireFormatError) as caught:
+            RunSpec.from_dict(wire)
+        assert caught.value.field == "graph"
+        assert "famly" in str(caught.value)
+
+    def test_unknown_graph_kind_lists_kinds(self):
+        with pytest.raises(WireFormatError) as caught:
+            RunSpec.from_dict({"graph": {"kind": "blob"}})
+        assert caught.value.field == "graph"
+        assert "csr" in str(caught.value) and "family" in str(caught.value)
+
+    def test_missing_graph(self):
+        with pytest.raises(WireFormatError) as caught:
+            RunSpec.from_dict({"algorithm": "deterministic"})
+        assert caught.value.field == "graph"
+
+    def test_non_object_payload(self):
+        with pytest.raises(WireFormatError) as caught:
+            RunSpec.from_dict([1, 2, 3])
+        assert caught.value.field is None
+
+    def test_bad_json_text(self):
+        with pytest.raises(WireFormatError):
+            RunSpec.from_json("{not json")
+
+    @pytest.mark.parametrize(
+        "payload, field",
+        [
+            ({"algorithm": "nope"}, "algorithm"),
+            ({"faults": "martian-rays"}, "faults"),
+            ({"engine": "warp-drive"}, "engine"),
+            ({"validate": "maybe"}, "validate"),
+            ({"seed": "zero"}, "seed"),
+            ({"alpha": 0}, "alpha"),
+            ({"max_rounds": 0}, "max_rounds"),
+            ({"strict": "yes"}, "strict"),
+        ],
+    )
+    def test_construction_errors_name_the_field(self, payload, field):
+        wire = {"graph": {"kind": "edges", "nodes": [0, 1], "edges": [[0, 1]]}}
+        wire.update(payload)
+        with pytest.raises(WireFormatError) as caught:
+            RunSpec.from_dict(wire)
+        assert caught.value.field == field
+
+    def test_csr_duplicate_edges_rejected(self):
+        wire = {"graph": {"kind": "csr", "n": 2, "edges": [[0, 1], [0, 1]]}}
+        with pytest.raises(WireFormatError) as caught:
+            RunSpec.from_dict(wire)
+        assert caught.value.field == "graph"
+
+    def test_instance_algorithm_has_no_wire_form(self, small_tree):
+        from repro.core.trees import ForestMDSAlgorithm
+
+        spec = RunSpec(graph=small_tree, algorithm=ForestMDSAlgorithm())
+        with pytest.raises(WireFormatError) as caught:
+            spec.to_dict()
+        assert caught.value.field == "algorithm"
+
+    def test_fault_plan_has_no_wire_form(self, small_tree):
+        plan = FaultSpec(crash_fraction=0.2).materialize(small_tree, cell_seed=0)
+        spec = RunSpec(graph=small_tree, faults=plan)
+        with pytest.raises(WireFormatError) as caught:
+            spec.to_dict()
+        assert caught.value.field == "faults"
+
+    def test_non_wire_node_labels_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge((0, 1), (2, 3))  # tuple labels cannot cross the wire
+        with pytest.raises(WireFormatError) as caught:
+            RunSpec(graph=graph).to_dict()
+        assert caught.value.field == "graph"
+
+    def test_wrong_wire_version(self):
+        wire = family_spec().to_dict()
+        wire["runspec"] = 99
+        with pytest.raises(WireFormatError) as caught:
+            RunSpec.from_dict(wire)
+        assert caught.value.field == "runspec"
+
+
+# -- hypothesis: to_dict(from_dict(wire)) == wire over generated specs ------
+
+_families = st.sampled_from(["random-tree", "gnp", "bounded-arboricity"])
+
+
+@st.composite
+def wire_specs(draw) -> RunSpec:
+    family = draw(_families)
+    params = {"n": draw(st.integers(min_value=4, max_value=40))}
+    if family == "gnp":
+        params["p"] = 0.1
+    if family == "bounded-arboricity":
+        params["alpha"] = draw(st.integers(min_value=1, max_value=3))
+    weights = draw(
+        st.one_of(
+            st.none(),
+            st.just(WeightSpec(scheme="random", params={"high": 5})),
+            st.dictionaries(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=1, max_value=9),
+                max_size=4,
+            ),
+        )
+    )
+    faults = draw(st.one_of(st.none(), st.sampled_from(sorted(FAULT_MODELS))))
+    return RunSpec(
+        graph=GraphSpec(family=family, params=params),
+        algorithm=draw(st.sampled_from(["deterministic", "randomized", "forest"])),
+        params=draw(st.one_of(st.just({}), st.just({"epsilon": 0.5}))),
+        alpha=draw(st.one_of(st.none(), st.integers(min_value=1, max_value=4))),
+        weights=weights,
+        engine=draw(st.one_of(st.none(), st.sampled_from(["batched", "reference"]))),
+        faults=faults,
+        fault_seed=draw(st.one_of(st.none(), st.integers(min_value=0, max_value=9))),
+        seed=draw(st.integers(min_value=0, max_value=99)),
+        graph_seed=draw(st.integers(min_value=0, max_value=99)),
+        validate=draw(st.sampled_from(["full", "skip"])),
+        strict=draw(st.booleans()),
+        knows_max_degree=draw(st.one_of(st.none(), st.booleans())),
+        guarantee=draw(st.one_of(st.none(), st.just(3.5))),
+        config=draw(st.one_of(st.none(), st.just({"note": "x"}))),
+    )
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(spec=wire_specs())
+def test_wire_round_trip_property(spec: RunSpec):
+    """to_dict -> JSON -> from_dict -> to_dict is the identity on wire dicts."""
+    wire = spec.to_dict()
+    rebuilt = RunSpec.from_dict(json.loads(json.dumps(wire)))
+    assert rebuilt.to_dict() == wire
+    assert spec_wire_hash(rebuilt.to_dict()) == spec_wire_hash(wire)

@@ -1,0 +1,183 @@
+"""The HTTP shell: routes, status codes, keep-alive, shutdown, loadgen client."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.orchestration.cache import ResultCache
+from repro.run import RunSpec, Session, result_bytes
+from repro.serve.http import HttpServer
+from repro.serve.loadgen import LoadReport, ServeClient, dedup_spec, run_load
+from repro.serve.service import RunService, decode_result_b64
+
+
+@pytest.fixture
+def server(tmp_path):
+    """A live server on a free port, driven from a background event loop."""
+    service = RunService(cache=ResultCache(tmp_path / "cache"))
+    instance = HttpServer(service, host="127.0.0.1", port=0)
+    started = threading.Event()
+    loop_holder = {}
+
+    def run_loop():
+        loop = asyncio.new_event_loop()
+        loop_holder["loop"] = loop
+        asyncio.set_event_loop(loop)
+
+        async def main():
+            await instance.start()
+            started.set()
+            await instance.serve_until_stopped()
+
+        loop.run_until_complete(main())
+        loop.close()
+
+    thread = threading.Thread(target=run_loop, daemon=True)
+    thread.start()
+    assert started.wait(timeout=30)
+    yield instance
+    loop_holder["loop"].call_soon_threadsafe(instance.stop)
+    thread.join(timeout=30)
+
+
+def tree_payload(seed: int = 0) -> dict:
+    return {
+        "graph": {"kind": "family", "family": "random-tree", "params": {"n": 30}},
+        "algorithm": "deterministic",
+        "seed": seed,
+    }
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        client = ServeClient(port=server.port)
+        status, body = client.get("/healthz")
+        client.close()
+        assert status == 200
+        assert body["ok"] and body["service"] == "repro-serve"
+
+    def test_capabilities(self, server):
+        client = ServeClient(port=server.port)
+        status, body = client.get("/capabilities")
+        client.close()
+        assert status == 200
+        assert "deterministic" in body["capabilities"]["algorithms"]
+
+    def test_unknown_route_is_404_listing_routes(self, server):
+        client = ServeClient(port=server.port)
+        status, body = client.get("/nope")
+        client.close()
+        assert status == 404
+        assert "POST /run" in body["error"]["message"]
+
+    def test_run_and_stats_over_one_keepalive_connection(self, server):
+        client = ServeClient(port=server.port)
+        status, first = client.run(tree_payload())
+        assert status == 200 and first["metrics"]["cache"] == "miss"
+        status, second = client.run(tree_payload())
+        assert status == 200 and second["metrics"]["cache"] == "hit"
+        status, stats = client.get("/stats")
+        client.close()
+        assert status == 200
+        assert stats["stats"]["executions"] == 1
+        assert stats["stats"]["cache_hits"] == 1
+
+    def test_served_result_is_byte_identical_to_direct(self, server):
+        payload = tree_payload(seed=4)
+        client = ServeClient(port=server.port)
+        _, body = client.run(payload)
+        client.close()
+        direct = Session().run(RunSpec.from_dict(payload))
+        assert result_bytes(decode_result_b64(body["result_b64"])) == result_bytes(direct)
+
+    def test_bad_json_body_is_400(self, server):
+        import http.client
+
+        connection = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        connection.request("POST", "/run", body=b"{nope",
+                           headers={"Content-Type": "application/json"})
+        response = connection.getresponse()
+        import json as json_module
+
+        body = json_module.loads(response.read())
+        connection.close()
+        assert response.status == 400
+        assert body["error"]["kind"] == "json"
+
+    def test_wire_error_is_400_naming_field(self, server):
+        client = ServeClient(port=server.port)
+        status, body = client.run({"graph": {"kind": "family", "family": "nope"}})
+        client.close()
+        assert status == 400
+        assert body["error"]["kind"] == "wire"
+        assert body["error"]["field"] == "graph"
+
+    def test_capability_error_is_422_with_cell(self, server):
+        client = ServeClient(port=server.port)
+        status, body = client.run(
+            {
+                "graph": {"kind": "csr", "n": 3, "edges": [[0, 1], [1, 2]]},
+                "algorithm": "deterministic",
+                "engine": "batched",
+            }
+        )
+        client.close()
+        assert status == 422
+        assert body["error"]["cell"]["engine"] == "batched"
+
+
+class TestLoadGenerator:
+    def test_mixed_load_observes_hits_dedup_and_parity(self, server):
+        report = run_load(
+            port=server.port, seeds=2, repeats=2, dedup_clients=3, check_parity=True
+        )
+        assert report.errors == 0
+        assert report.cache_hits >= 1
+        assert report.inflight_joins + report.cache_hits >= 2
+        assert report.parity_checked >= 5
+        assert report.parity_failures == []
+        assert report.rps > 0
+        assert report.p99_ms >= report.p50_ms
+
+    def test_report_counters_accumulate(self):
+        report = LoadReport()
+        report.record(200, {"ok": True, "metrics": {"cache": "hit"}}, 0.01)
+        report.record(200, {"ok": True, "metrics": {"cache": "inflight"}}, 0.02)
+        report.record(400, {"ok": False, "error": {"kind": "wire"}}, 0.005)
+        assert report.cache_hits == 1
+        assert report.inflight_joins == 1
+        assert report.errors == 1
+        assert len(report.latencies_ms) == 3
+
+    def test_dedup_spec_is_wire_valid(self):
+        RunSpec.from_dict(dedup_spec(n=50))
+
+
+class TestShutdown:
+    def test_shutdown_route_stops_the_server(self, tmp_path):
+        service = RunService(cache=None)
+        instance = HttpServer(service, host="127.0.0.1", port=0)
+        finished = threading.Event()
+
+        def run_loop():
+            asyncio.run(_serve_once(instance))
+            finished.set()
+
+        async def _serve_once(target):
+            await target.start()
+            started.set()
+            await target.serve_until_stopped()
+
+        started = threading.Event()
+        thread = threading.Thread(target=run_loop, daemon=True)
+        thread.start()
+        assert started.wait(timeout=30)
+        client = ServeClient(port=instance.port)
+        status, body = client.request("POST", "/shutdown")
+        client.close()
+        assert status == 200 and body["stopping"]
+        assert finished.wait(timeout=30)
+        thread.join(timeout=30)

@@ -1,0 +1,220 @@
+"""RunService: normalisation, caches, in-flight dedup, structured errors."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.orchestration.cache import ResultCache
+from repro.run import RunSpec, Session, result_bytes
+from repro.serve.service import (
+    RequestError,
+    RunService,
+    decode_result_b64,
+    summarize_result,
+)
+
+
+def tree_payload(seed: int = 0, n: int = 30) -> dict:
+    return {
+        "graph": {"kind": "family", "family": "random-tree", "params": {"n": n}},
+        "algorithm": "deterministic",
+        "seed": seed,
+    }
+
+
+def run_sync(service: RunService, payload: dict) -> dict:
+    return asyncio.run(service.run(payload))
+
+
+@pytest.fixture
+def service(tmp_path):
+    instance = RunService(cache=ResultCache(tmp_path / "cache"), graph_capacity=2)
+    yield instance
+    instance.close()
+
+
+class TestResponses:
+    def test_envelope_shape(self, service):
+        response = run_sync(service, tree_payload())
+        assert response["ok"] is True
+        assert response["result"]["size"] == len(response["result"]["dominating_set"])
+        metrics = response["metrics"]
+        assert metrics["cache"] == "miss"
+        assert metrics["graph_cache"] == "miss"
+        assert metrics["engine_used"] == response["result"]["engine_used"]
+        assert metrics["rounds"] == response["result"]["rounds"]
+        assert metrics["wall_time_s"] >= 0
+        assert len(metrics["run_key"]) == 64
+
+    def test_result_bytes_parity_with_direct_session(self, service):
+        payload = tree_payload(seed=5)
+        response = run_sync(service, payload)
+        served = decode_result_b64(response["result_b64"])
+        direct = Session().run(RunSpec.from_dict(payload))
+        assert result_bytes(served) == result_bytes(direct)
+        assert summarize_result(served) == summarize_result(direct)
+
+    def test_sparse_and_explicit_payloads_share_one_run_key(self, service):
+        sparse = tree_payload()
+        explicit = RunSpec.from_dict(tree_payload()).to_dict()
+        first = run_sync(service, sparse)
+        second = run_sync(service, explicit)
+        assert first["metrics"]["run_key"] == second["metrics"]["run_key"]
+        assert second["metrics"]["cache"] == "hit"
+
+
+class TestCaching:
+    def test_repeat_is_a_cache_hit_with_identical_bytes(self, service):
+        first = run_sync(service, tree_payload())
+        second = run_sync(service, tree_payload())
+        assert second["metrics"]["cache"] == "hit"
+        assert second["result_b64"] == first["result_b64"]
+        assert service.stats.executions == 1
+
+    def test_cache_survives_service_restart(self, tmp_path):
+        root = tmp_path / "cache"
+        with RunService(cache=ResultCache(root)) as first:
+            original = run_sync(first, tree_payload())
+        with RunService(cache=ResultCache(root)) as second:
+            revived = run_sync(second, tree_payload())
+        assert revived["metrics"]["cache"] == "hit"
+        assert revived["result_b64"] == original["result_b64"]
+        assert second.stats.executions == 0
+
+    def test_no_cache_service_recomputes(self):
+        with RunService(cache=None) as service:
+            run_sync(service, tree_payload())
+            again = run_sync(service, tree_payload())
+        assert again["metrics"]["cache"] == "miss"
+        assert service.stats.executions == 2
+
+    def test_different_seeds_are_different_entries(self, service):
+        run_sync(service, tree_payload(seed=0))
+        other = run_sync(service, tree_payload(seed=1))
+        assert other["metrics"]["cache"] == "miss"
+
+
+class TestGraphSharing:
+    def test_same_graph_compiles_once(self, service):
+        run_sync(service, tree_payload(seed=0))
+        response = run_sync(service, tree_payload(seed=1))
+        assert response["metrics"]["graph_cache"] == "hit"
+        assert service.session.compiled_count == 1
+        assert service.stats.graph_hits == 1
+
+    def test_lru_eviction_invalidates_session(self, service):
+        # Capacity is 2; a third distinct graph evicts the first.
+        run_sync(service, tree_payload(seed=0, n=20))
+        run_sync(service, tree_payload(seed=0, n=21))
+        run_sync(service, tree_payload(seed=0, n=22))
+        assert service.stats.graph_evictions == 1
+        assert len(service._graphs) == 2
+        assert service.session.compiled_count == 2
+
+
+class TestInFlightDedup:
+    def test_concurrent_identical_requests_execute_once(self, service):
+        """Satellite 4: two concurrent clients, one execution, identical bytes."""
+        payload = tree_payload(seed=9, n=60)
+
+        async def race():
+            return await asyncio.gather(
+                service.run(dict(payload)), service.run(dict(payload))
+            )
+
+        first, second = asyncio.run(race())
+        assert service.stats.executions == 1
+        assert service.stats.inflight_joins == 1
+        assert {first["metrics"]["cache"], second["metrics"]["cache"]} == {
+            "miss",
+            "inflight",
+        }
+        assert first["result_b64"] == second["result_b64"]
+        direct = Session().run(RunSpec.from_dict(payload))
+        assert result_bytes(decode_result_b64(first["result_b64"])) == result_bytes(direct)
+
+    def test_joiners_see_the_executors_error(self):
+        with RunService(cache=None) as service:
+            payload = {
+                "graph": {"kind": "csr", "n": 3, "edges": [[0, 1], [1, 2]]},
+                "algorithm": "deterministic",
+                "engine": "batched",  # CSR inputs are kernel-only -> capability error
+            }
+
+            async def race():
+                results = await asyncio.gather(
+                    service.run(dict(payload)),
+                    service.run(dict(payload)),
+                    return_exceptions=True,
+                )
+                return results
+
+            outcomes = asyncio.run(race())
+        assert all(isinstance(outcome, RequestError) for outcome in outcomes)
+        assert service.stats.executions == 1
+        assert all(outcome.status == 422 for outcome in outcomes)
+
+
+class TestStructuredErrors:
+    def test_bad_field_is_a_400_naming_it(self, service):
+        with pytest.raises(RequestError) as caught:
+            run_sync(service, {"graph": {"kind": "family", "family": "nope"}})
+        assert caught.value.status == 400
+        error = caught.value.body["error"]
+        assert error["kind"] == "wire"
+        assert error["field"] == "graph"
+        assert "known graph famil" in error["message"]
+
+    def test_unknown_key_is_a_400(self, service):
+        payload = tree_payload()
+        payload["sedd"] = 3
+        with pytest.raises(RequestError) as caught:
+            run_sync(service, payload)
+        assert caught.value.status == 400
+        assert caught.value.body["error"]["field"] == "sedd"
+
+    def test_capability_cell_is_a_422_with_the_cell(self, service):
+        payload = {
+            "graph": {"kind": "csr", "n": 3, "edges": [[0, 1], [1, 2]]},
+            "algorithm": "deterministic",
+            "engine": "batched",
+        }
+        with pytest.raises(RequestError) as caught:
+            run_sync(service, payload)
+        assert caught.value.status == 422
+        error = caught.value.body["error"]
+        assert error["kind"] == "capability"
+        assert error["cell"] == {
+            "algorithm": "deterministic",
+            "engine": "batched",
+            "fault_model": None,
+        }
+
+    def test_errors_are_not_cached(self, service):
+        payload = {
+            "graph": {"kind": "csr", "n": 3, "edges": [[0, 1], [1, 2]]},
+            "algorithm": "deterministic",
+            "engine": "batched",
+        }
+        for _ in range(2):
+            with pytest.raises(RequestError):
+                run_sync(service, dict(payload))
+        assert service.stats.executions == 2  # re-executed, never served from cache
+
+    def test_stats_payload_shape(self, service):
+        run_sync(service, tree_payload())
+        payload = service.stats_payload()
+        assert payload["ok"] is True
+        assert payload["stats"]["executions"] == 1
+        assert payload["compiled_graphs"] == 1
+        assert "cache" in payload
+
+    def test_capabilities_lists_wire_vocabulary(self, service):
+        capabilities = service.capabilities()
+        assert "deterministic" in capabilities["algorithms"]
+        assert "kernel" in capabilities["engines"]
+        assert "random-tree" in capabilities["graph_families"]
+        assert "crash15" in capabilities["fault_models"]
+        assert capabilities["wire_version"] == 1
