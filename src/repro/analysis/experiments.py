@@ -51,6 +51,12 @@ class ExperimentRecord:
     within_guarantee: Optional[bool]
     is_dominating: bool
     params: Dict[str, object] = field(default_factory=dict)
+    # Message-complexity telemetry from RunMetrics (0 when the solver's
+    # result carries no metrics, e.g. centralized baselines).  Deliberately
+    # not in as_row(): tables keep their fixed columns, the scaling plots
+    # read these directly.
+    messages: int = 0
+    total_bits: int = 0
 
     def as_row(self) -> Dict[str, object]:
         """Flatten into a plain dict for table rendering."""
@@ -86,6 +92,7 @@ def run_algorithm_on_instance(
     if opt is None:
         opt = estimate_opt(instance.graph)
     report: VerificationReport = verify_run(instance.graph, result, opt=opt)
+    metrics = getattr(result, "metrics", None)
     return ExperimentRecord(
         experiment=experiment,
         algorithm=result.algorithm,
@@ -103,6 +110,8 @@ def run_algorithm_on_instance(
         within_guarantee=report.within_guarantee,
         is_dominating=report.is_dominating,
         params=dict(params or {}),
+        messages=0 if metrics is None else int(metrics.total_messages),
+        total_bits=0 if metrics is None else int(metrics.total_bits),
     )
 
 

@@ -10,7 +10,7 @@ byte-identical to plain engine runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 __all__ = ["RoundMetrics", "RunMetrics"]
 
@@ -36,6 +36,26 @@ class RoundMetrics:
     delayed_messages: int = 0
     crashed_nodes: int = 0
     live_edges: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """The canonical JSON-ready form of one round's statistics.
+
+        This is the per-round shape shared by traces
+        (:mod:`repro.obs.trace`) and :meth:`RunMetrics.to_dict`; every field
+        is a plain int (or ``None``), so the dict round-trips through JSON
+        exactly and is byte-comparable across engines.
+        """
+        return {
+            "round_index": self.round_index,
+            "messages": self.messages,
+            "bits": self.bits,
+            "max_message_bits": self.max_message_bits,
+            "active_nodes": self.active_nodes,
+            "dropped_messages": self.dropped_messages,
+            "delayed_messages": self.delayed_messages,
+            "crashed_nodes": self.crashed_nodes,
+            "live_edges": self.live_edges,
+        }
 
 
 @dataclass
@@ -99,6 +119,34 @@ class RunMetrics:
     @property
     def average_messages_per_round(self) -> float:
         return self.total_messages / self.rounds if self.rounds else 0.0
+
+    def to_dict(self, include_rounds: bool = False) -> Dict[str, object]:
+        """The canonical JSON-ready serialization of a run's metrics.
+
+        One shape shared by every consumer that ships metrics off-process:
+        the trace emitter (:mod:`repro.obs.trace`), the serve response
+        summary (:func:`repro.serve.service.summarize_result`), and any
+        report that wants machine-readable metrics -- so the three can never
+        drift into ad-hoc variants.  ``faulty_nodes`` is rendered as a
+        sorted-``repr`` list (node ids are arbitrary hashables);
+        ``include_rounds=True`` appends the per-round records under
+        ``"per_round"`` (:meth:`RoundMetrics.to_dict`).
+        """
+        payload: Dict[str, object] = {
+            "rounds": self.rounds,
+            "total_messages": self.total_messages,
+            "total_bits": self.total_bits,
+            "max_message_bits": self.max_message_bits,
+            "bandwidth_budget_bits": self.bandwidth_budget_bits,
+            "total_dropped_messages": self.total_dropped_messages,
+            "total_delayed_messages": self.total_delayed_messages,
+            "stalled_nodes": self.stalled_nodes,
+            "faulty_nodes": sorted(map(repr, self.faulty_nodes)),
+            "engine_used": self.engine_used,
+        }
+        if include_rounds:
+            payload["per_round"] = [entry.to_dict() for entry in self.per_round]
+        return payload
 
     def summary(self) -> str:
         """Return a one-line human-readable summary."""

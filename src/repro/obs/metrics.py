@@ -1,0 +1,247 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+No third-party metrics client: instruments are tiny mutable objects, the
+registry is an insertion-ordered dict of metric families, and
+:meth:`MetricsRegistry.render` produces the Prometheus text exposition
+format (the ``GET /metrics`` body of ``repro serve``).
+
+Histogram quantiles are deliberately conservative: :meth:`Histogram.quantile`
+returns the upper bound of the bucket containing the requested rank, so for
+any sample stream the reported pXX is **an upper bound on the true pXX**,
+tight to one bucket width -- precisely: it equals the smallest bucket bound
+``>=`` the true quantile (computed with the same ``rank = max(1,
+ceil(q * count))`` convention).  ``tests/obs/test_obs_metrics.py`` holds this
+property under hypothesis-generated sample streams.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_SECONDS_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Log-spaced latency buckets (seconds) from 0.1 ms to one minute -- wide
+#: enough that a cache hit and a 10^5-node kernel run land in interior
+#: buckets, fine enough that "within one bucket" is a meaningful agreement
+#: gate (the E17 histogram-vs-loadgen check).
+DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got increment {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (set to the current level)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative counts and a sum.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets, in
+    strictly increasing order; observations above the last bound land in
+    the implicit ``+Inf`` bucket.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "sum")
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None):
+        chosen = tuple(bounds) if bounds is not None else DEFAULT_SECONDS_BUCKETS
+        if not chosen or list(chosen) != sorted(set(chosen)):
+            raise ValueError(f"bucket bounds must be strictly increasing, got {chosen}")
+        self.bounds: Tuple[float, ...] = chosen
+        self.bucket_counts: List[int] = [0] * (len(chosen) + 1)
+        self.sum: float = 0.0
+
+    @property
+    def count(self) -> int:
+        return sum(self.bucket_counts)
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def cumulative(self) -> List[int]:
+        """Cumulative counts per finite bucket, Prometheus ``le`` style."""
+        total = 0
+        cumulative: List[int] = []
+        for count in self.bucket_counts[:-1]:
+            total += count
+            cumulative.append(total)
+        return cumulative
+
+    def quantile(self, q: float) -> float:
+        """An upper bound on the true ``q``-quantile, tight to one bucket.
+
+        Returns the upper edge of the bucket holding rank
+        ``max(1, ceil(q * count))``; observations in the overflow bucket
+        report ``inf``.  Zero observations report ``0.0``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        total = self.count
+        if total == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * total))
+        seen = 0
+        for index, count in enumerate(self.bucket_counts[:-1]):
+            seen += count
+            if seen >= rank:
+                return self.bounds[index]
+        return math.inf
+
+    def quantile_bucket(self, q: float) -> int:
+        """The index of the bucket :meth:`quantile` reports (``len(bounds)``
+        means the overflow bucket)."""
+        total = self.count
+        if total == 0:
+            return 0
+        rank = max(1, math.ceil(q * total))
+        seen = 0
+        for index, count in enumerate(self.bucket_counts[:-1]):
+            seen += count
+            if seen >= rank:
+                return index
+        return len(self.bounds)
+
+
+_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Named metric families with optional labels, rendered as Prometheus text.
+
+    Instruments are created on first access and returned on every later
+    access with the same ``(name, labels)`` -- the usual
+    ``registry.counter("requests_total", outcome="hit").inc()`` idiom.
+    A name is bound to one instrument type for the registry's lifetime.
+    """
+
+    def __init__(self) -> None:
+        self._families: "Dict[str, Dict[str, object]]" = {}
+
+    def _series(
+        self, kind: str, name: str, help_text: str, labels: Dict[str, str],
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        family = self._families.get(name)
+        if family is None:
+            family = {"type": kind, "help": help_text, "series": {}, "buckets": buckets}
+            self._families[name] = family
+        elif family["type"] != kind:
+            raise ValueError(
+                f"metric {name!r} is a {family['type']}, requested as {kind}"
+            )
+        key = tuple(sorted(labels.items()))
+        series = family["series"]
+        instrument = series.get(key)
+        if instrument is None:
+            if kind == "histogram":
+                instrument = Histogram(family["buckets"])
+            else:
+                instrument = _TYPES[kind]()
+            series[key] = instrument
+        return instrument
+
+    def counter(self, name: str, help_text: str = "", **labels: str) -> Counter:
+        return self._series("counter", name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "", **labels: str) -> Gauge:
+        return self._series("gauge", name, help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Optional[Sequence[float]] = None,
+        **labels: str,
+    ) -> Histogram:
+        return self._series("histogram", name, help_text, labels, buckets=buckets)
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for name, family in self._families.items():
+            if family["help"]:
+                lines.append(f"# HELP {name} {family['help']}")
+            lines.append(f"# TYPE {name} {family['type']}")
+            for key, instrument in family["series"].items():
+                labels = dict(key)
+                if family["type"] == "histogram":
+                    lines.extend(_render_histogram(name, labels, instrument))
+                else:
+                    lines.append(
+                        f"{name}{_render_labels(labels)} {_format_value(instrument.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    rendered = ",".join(
+        f'{key}="{_escape_label(str(value))}"' for key, value in sorted(labels.items())
+    )
+    return "{" + rendered + "}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_bound(bound: float) -> str:
+    return _format_value(float(bound))
+
+
+def _render_histogram(name: str, labels: Dict[str, str], histogram: Histogram) -> List[str]:
+    lines: List[str] = []
+    for bound, cumulative in zip(histogram.bounds, histogram.cumulative()):
+        bucket_labels = dict(labels)
+        bucket_labels["le"] = _format_bound(bound)
+        lines.append(f"{name}_bucket{_render_labels(bucket_labels)} {cumulative}")
+    inf_labels = dict(labels)
+    inf_labels["le"] = "+Inf"
+    lines.append(f"{name}_bucket{_render_labels(inf_labels)} {histogram.count}")
+    lines.append(f"{name}_sum{_render_labels(labels)} {_format_value(histogram.sum)}")
+    lines.append(f"{name}_count{_render_labels(labels)} {histogram.count}")
+    return lines

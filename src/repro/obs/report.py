@@ -1,0 +1,208 @@
+"""The ``repro report --plots`` artifact pipeline.
+
+Renders publication-style figures from cached sweep records
+(:class:`~repro.analysis.experiments.ExperimentRecord` streams) into a
+plots directory:
+
+* ``rounds_vs_n.png`` -- round-complexity scaling curves, one series per
+  solver label (the paper's headline O(log n log Delta / eps)-style claims
+  as measured curves);
+* ``messages_vs_n.png`` -- message-volume scaling (from the record's
+  ``messages`` field, populated from ``RunMetrics.total_messages``);
+* ``quality_vs_faults.png`` -- the quality-vs-fault frontier: approximation
+  ratio per fault model, one series per solver, fault-free runs anchored
+  at ``none``.
+
+matplotlib is an **optional** dependency: :func:`matplotlib_available`
+gates everything, the CLI prints an actionable message instead of crashing,
+and the smoke test skips itself when the library is absent.  Rendering
+forces the ``Agg`` backend so the pipeline works headless (CI artifact
+jobs, containers without a display).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.experiments import ExperimentRecord
+
+__all__ = [
+    "matplotlib_available",
+    "render_plots",
+    "DEFAULT_PLOTS_DIR",
+]
+
+#: Where ``repro report --plots`` writes unless ``--plots-dir`` says otherwise.
+DEFAULT_PLOTS_DIR = "results/plots"
+
+
+def matplotlib_available() -> bool:
+    """Whether the optional plotting dependency is importable."""
+    try:
+        import matplotlib  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _pyplot():
+    """Import pyplot on the headless ``Agg`` backend, or ``None`` without
+    matplotlib installed."""
+    try:
+        import matplotlib
+    except ImportError:
+        return None
+    matplotlib.use("Agg", force=True)
+    import matplotlib.pyplot as plt
+
+    return plt
+
+
+def _solver_label(record: ExperimentRecord) -> str:
+    label = record.params.get("solver_label")
+    return str(label) if label is not None else record.algorithm
+
+
+def _fault_label(record: ExperimentRecord) -> str:
+    label = record.params.get("faults")
+    return str(label) if label is not None else "none"
+
+
+def _series_by_label(
+    records: Sequence[ExperimentRecord], value_of
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Group ``(n, mean value)`` points per solver label, sorted by n."""
+    grouped: Dict[str, Dict[int, List[float]]] = {}
+    for record in records:
+        grouped.setdefault(_solver_label(record), {}).setdefault(record.n, []).append(
+            float(value_of(record))
+        )
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for label, by_n in grouped.items():
+        series[label] = [
+            (n, sum(values) / len(values)) for n, values in sorted(by_n.items())
+        ]
+    return series
+
+
+def _plot_scaling(
+    plt,
+    records: Sequence[ExperimentRecord],
+    value_of,
+    *,
+    path: Path,
+    ylabel: str,
+    title: str,
+) -> Optional[Path]:
+    series = {
+        label: points
+        for label, points in _series_by_label(records, value_of).items()
+        if any(value > 0 for _, value in points)
+    }
+    if not series:
+        return None
+    figure, axes = plt.subplots(figsize=(7, 4.5))
+    for label, points in sorted(series.items()):
+        xs = [n for n, _ in points]
+        ys = [value for _, value in points]
+        axes.plot(xs, ys, marker="o", label=label)
+    axes.set_xscale("log")
+    axes.set_yscale("log")
+    axes.set_xlabel("n (nodes)")
+    axes.set_ylabel(ylabel)
+    axes.set_title(title)
+    axes.grid(True, which="both", alpha=0.3)
+    axes.legend(fontsize=8)
+    figure.tight_layout()
+    figure.savefig(path, dpi=150)
+    plt.close(figure)
+    return path
+
+
+def _plot_fault_frontier(
+    plt, records: Sequence[ExperimentRecord], *, path: Path
+) -> Optional[Path]:
+    """Approximation ratio per fault model; requires at least one faulted record."""
+    fault_labels = sorted({_fault_label(record) for record in records})
+    if fault_labels == ["none"]:
+        return None
+    # "none" anchors the frontier on the left, then fault models by name.
+    ordered = (["none"] if "none" in fault_labels else []) + [
+        label for label in fault_labels if label != "none"
+    ]
+    positions = {label: index for index, label in enumerate(ordered)}
+    by_solver: Dict[str, Dict[str, List[float]]] = {}
+    for record in records:
+        by_solver.setdefault(_solver_label(record), {}).setdefault(
+            _fault_label(record), []
+        ).append(float(record.ratio))
+    figure, axes = plt.subplots(figsize=(7, 4.5))
+    for solver, by_fault in sorted(by_solver.items()):
+        xs = [positions[label] for label in ordered if label in by_fault]
+        ys = [
+            sum(by_fault[label]) / len(by_fault[label])
+            for label in ordered
+            if label in by_fault
+        ]
+        axes.plot(xs, ys, marker="s", label=solver)
+    axes.set_xticks(range(len(ordered)))
+    axes.set_xticklabels(ordered, rotation=30, ha="right", fontsize=8)
+    axes.set_xlabel("fault model")
+    axes.set_ylabel("approximation ratio (vs OPT estimate)")
+    axes.set_title("Quality vs fault model")
+    axes.grid(True, alpha=0.3)
+    axes.legend(fontsize=8)
+    figure.tight_layout()
+    figure.savefig(path, dpi=150)
+    plt.close(figure)
+    return path
+
+
+def render_plots(
+    records: Iterable[ExperimentRecord],
+    out_dir: Union[str, Path] = DEFAULT_PLOTS_DIR,
+) -> List[Path]:
+    """Render every applicable figure from ``records`` into ``out_dir``.
+
+    Returns the paths written (figures whose data is absent -- e.g. no
+    faulted records for the frontier -- are skipped, not emitted empty).
+    Raises :class:`RuntimeError` when matplotlib is not installed; CLI
+    callers check :func:`matplotlib_available` first for a soft landing.
+    """
+    plt = _pyplot()
+    if plt is None:
+        raise RuntimeError(
+            "matplotlib is not installed; `pip install matplotlib` to enable "
+            "`repro report --plots`"
+        )
+    record_list = list(records)
+    out_path = Path(out_dir)
+    out_path.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    rounds_plot = _plot_scaling(
+        plt,
+        record_list,
+        lambda record: record.rounds,
+        path=out_path / "rounds_vs_n.png",
+        ylabel="rounds",
+        title="Round complexity scaling",
+    )
+    if rounds_plot is not None:
+        written.append(rounds_plot)
+    messages_plot = _plot_scaling(
+        plt,
+        record_list,
+        lambda record: record.messages,
+        path=out_path / "messages_vs_n.png",
+        ylabel="messages",
+        title="Message volume scaling",
+    )
+    if messages_plot is not None:
+        written.append(messages_plot)
+    frontier = _plot_fault_frontier(
+        plt, record_list, path=out_path / "quality_vs_faults.png"
+    )
+    if frontier is not None:
+        written.append(frontier)
+    return written

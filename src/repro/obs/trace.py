@@ -1,0 +1,416 @@
+"""Round-level execution tracing: span records, JSONL sink, schema tools.
+
+A trace is a flat stream of JSON records (one per line in a
+:class:`FileTracer` file) describing a tree of spans:
+
+``run`` span
+    One per :meth:`repro.run.Session.run` execution: algorithm, graph size,
+    seed, engine, rounds, total wall time, and the process peak RSS
+    (``resource.getrusage``).  Carries the canonical metrics serialization
+    (:meth:`repro.congest.metrics.RunMetrics.to_dict`).
+``phase`` spans
+    ``compile`` (graph canonicalisation + algorithm resolution),
+    ``execute`` (the engine's round loop) and ``package`` (validation +
+    result assembly), each with its wall time, keyed to the run by
+    ``run_id``.
+``round`` records
+    One per communication round, emitted from the run's
+    :class:`~repro.congest.metrics.RoundMetrics` -- messages delivered,
+    dropped and delayed, payload bits, active/crashed nodes.  Because the
+    per-round metrics are byte-identical across the reference, batched and
+    kernel engines (the parity discipline of the congest test-suite), the
+    emitted span tree is identical whichever engine executed the run; only
+    the timing fields differ.  When the run executed through the hooked
+    round loop, each record also carries ``t_start_s`` -- the round's start
+    time relative to the run span -- captured live by :class:`TracingHooks`.
+
+Live round timestamps ride the existing ``hooks=`` round-loop protocol:
+every engine's hooked loop (``Engine._execute_hooked`` and the kernel fault
+driver's :class:`~repro.congest.kernels.faults.FaultedRun`) calls
+``hooks.begin_round(r)`` exactly once per round, so :class:`TracingHooks`
+-- a delegating proxy around any real hooks object -- timestamps rounds on
+all three engines without either engine knowing tracing exists.  A traced
+fault-free run wraps the engine in an *empty*
+:class:`~repro.faults.FaultPlan`, which the fault test-suite holds
+byte-identical to the plain path; with no tracer attached, nothing is
+wrapped and the plain hot paths run unchanged.
+
+``python -m repro.obs.trace FILE.jsonl`` validates a trace against the
+schema (the CI smoke job runs it after ``repro run --trace``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, IO, List, Optional, Tuple, Union
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "NullTracer",
+    "FileTracer",
+    "RoundTimer",
+    "TracingHooks",
+    "emit_run_trace",
+    "load_trace",
+    "validate_trace",
+    "span_tree",
+    "main",
+]
+
+#: Bumped when the record layout changes; stamped on every ``run`` span.
+TRACE_SCHEMA_VERSION = 1
+
+#: The record types a valid trace may contain.
+_RECORD_TYPES = ("run", "phase", "round", "event")
+
+#: The phase names a ``run`` span decomposes into.
+_PHASES = ("compile", "execute", "package")
+
+
+class Tracer:
+    """Span/event sink protocol.
+
+    Implementations override :meth:`emit`; ``enabled`` is the zero-overhead
+    switch -- every integration point checks it (or checks ``tracer is
+    None``) *once per run*, never per round, so a disabled tracer costs
+    nothing on the hot paths.
+    """
+
+    enabled: bool = True
+
+    #: Process-wide run-id source: distinct tracers appending to one file
+    #: never collide *within a process*.  Across processes ids restart at 0,
+    #: so whoever owns the file must start it fresh (the sweep runner
+    #: truncates every trace target before executing).
+    _run_ids = itertools.count()
+
+    def next_run_id(self) -> int:
+        """A process-unique monotonic id tying one run's records together."""
+        return next(Tracer._run_ids)
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Emit a point-in-time annotation record."""
+        self.emit({"type": "event", "name": name, **fields})
+
+
+class NullTracer(Tracer):
+    """The no-op default: ``enabled`` is false, :meth:`emit` discards."""
+
+    enabled = False
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        pass
+
+
+class FileTracer(Tracer):
+    """JSONL tracer: one sorted-key JSON object per line, appended.
+
+    Usable as a context manager; :meth:`close` is idempotent.  Records are
+    flushed per emit so a trace survives a crashed (or killed) run up to
+    the last complete span.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        super().__init__()
+        self.path = Path(path)
+        if self.path.parent != Path(""):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._stream: Optional[IO[str]] = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        if self._stream is None:
+            raise ValueError(f"FileTracer({self.path}) is closed")
+        self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+        self._stream.flush()
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "FileTracer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class RoundTimer:
+    """Collects live per-round start timestamps during one traced run."""
+
+    def __init__(self) -> None:
+        self.starts: List[Tuple[int, float]] = []
+
+    def mark(self, round_index: int) -> None:
+        self.starts.append((round_index, time.perf_counter()))
+
+    def wrap(self, hooks: Any) -> "TracingHooks":
+        return TracingHooks(hooks, self)
+
+    def relative_starts(self, origin: float) -> Dict[int, float]:
+        """Map round index -> seconds since ``origin`` (first mark wins)."""
+        relative: Dict[int, float] = {}
+        for round_index, stamp in self.starts:
+            relative.setdefault(round_index, stamp - origin)
+        return relative
+
+
+class TracingHooks:
+    """A delegating proxy over any round-hooks object that timestamps rounds.
+
+    Every attribute and method of the wrapped hooks object (the fault
+    session's full protocol: ``runnable``/``acting``/``collect``/``route``/
+    ``broadcast``/``edge_fates``/``stop_at_limit``/...) passes straight
+    through, so the engines see exactly the behavior they would without
+    tracing; only ``begin_round`` -- the one call each hooked loop makes
+    exactly once per round -- is intercepted to record a timestamp before
+    delegating.
+    """
+
+    __slots__ = ("_inner", "_timer")
+
+    def __init__(self, inner: Any, timer: RoundTimer):
+        object.__setattr__(self, "_inner", inner)
+        object.__setattr__(self, "_timer", timer)
+
+    def begin_round(self, round_index: int) -> None:
+        self._timer.mark(round_index)
+        return self._inner.begin_round(round_index)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+
+def emit_run_trace(
+    tracer: Tracer,
+    *,
+    algorithm: str,
+    n: int,
+    seed: int,
+    result: Any,
+    phase_seconds: Dict[str, float],
+    wall_s: float,
+    round_starts: Optional[Dict[int, float]] = None,
+    fault_model: Optional[str] = None,
+) -> int:
+    """Emit one run's complete span tree; returns the assigned ``run_id``.
+
+    The round records are derived from ``result.metrics.per_round`` *after*
+    the run, which is what guarantees identical trees across engines: the
+    engines' metrics are byte-identical by the parity discipline, so the
+    only per-engine differences in a trace are ``engine_used`` and the
+    timing fields.
+    """
+    metrics = result.metrics
+    run_id = tracer.next_run_id()
+    tracer.emit(
+        {
+            "type": "run",
+            "trace_schema": TRACE_SCHEMA_VERSION,
+            "run_id": run_id,
+            "algorithm": algorithm,
+            "n": n,
+            "seed": seed,
+            "fault_model": fault_model,
+            "engine_used": metrics.engine_used,
+            "rounds": metrics.rounds,
+            "wall_s": round(wall_s, 6),
+            "ru_maxrss_kb": _peak_rss_kb(),
+            "metrics": metrics.to_dict(),
+        }
+    )
+    for phase in _PHASES:
+        tracer.emit(
+            {
+                "type": "phase",
+                "run_id": run_id,
+                "phase": phase,
+                "wall_s": round(phase_seconds.get(phase, 0.0), 6),
+            }
+        )
+    starts = round_starts or {}
+    for round_metrics in metrics.per_round:
+        record: Dict[str, Any] = {"type": "round", "run_id": run_id}
+        record.update(round_metrics.to_dict())
+        start = starts.get(round_metrics.round_index)
+        record["t_start_s"] = None if start is None else round(start, 6)
+        tracer.emit(record)
+    return run_id
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """The process memory high-water in KiB, or ``None`` where unavailable.
+
+    ``resource`` is POSIX-only; Linux reports ``ru_maxrss`` in KiB and
+    macOS in bytes (normalised here).
+    """
+    try:
+        import resource
+        import sys
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS units
+        peak //= 1024
+    return int(peak)
+
+
+# ---------------------------------------------------------------------------
+# Reading and validating traces
+# ---------------------------------------------------------------------------
+
+
+def load_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace file into its record list."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line_number, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as error:
+                raise ValueError(f"{path}:{line_number}: not valid JSON: {error}") from None
+            if not isinstance(record, dict):
+                raise ValueError(f"{path}:{line_number}: record is not an object")
+            records.append(record)
+    return records
+
+
+_RUN_REQUIRED = ("run_id", "algorithm", "n", "seed", "rounds", "wall_s", "metrics")
+_ROUND_REQUIRED = (
+    "run_id",
+    "round_index",
+    "messages",
+    "bits",
+    "max_message_bits",
+    "active_nodes",
+    "dropped_messages",
+    "delayed_messages",
+    "crashed_nodes",
+)
+
+
+def validate_trace(records: List[Dict[str, Any]]) -> List[str]:
+    """Check a record stream against the trace schema; returns problems.
+
+    An empty list means the trace is valid.  Checks are structural: record
+    types, required fields, the schema version stamp, phase names, and that
+    every ``phase``/``round`` record points at an emitted ``run`` span with
+    a consistent round count.
+    """
+    problems: List[str] = []
+    runs: Dict[int, Dict[str, Any]] = {}
+    rounds_seen: Dict[int, int] = {}
+    for index, record in enumerate(records):
+        kind = record.get("type")
+        where = f"record {index}"
+        if kind not in _RECORD_TYPES:
+            problems.append(f"{where}: unknown type {kind!r}")
+            continue
+        if kind == "run":
+            if record.get("trace_schema") != TRACE_SCHEMA_VERSION:
+                problems.append(
+                    f"{where}: trace_schema is {record.get('trace_schema')!r}, "
+                    f"expected {TRACE_SCHEMA_VERSION}"
+                )
+            missing = [field for field in _RUN_REQUIRED if field not in record]
+            if missing:
+                problems.append(f"{where}: run span missing fields {missing}")
+                continue
+            if record["run_id"] in runs:
+                problems.append(
+                    f"{where}: duplicate run_id {record['run_id']!r} "
+                    "(rounds of colliding runs would pool)"
+                )
+                continue
+            runs[record["run_id"]] = record
+        elif kind == "phase":
+            if record.get("phase") not in _PHASES:
+                problems.append(f"{where}: unknown phase {record.get('phase')!r}")
+            if record.get("run_id") not in runs:
+                problems.append(f"{where}: phase for unknown run_id {record.get('run_id')!r}")
+        elif kind == "round":
+            missing = [field for field in _ROUND_REQUIRED if field not in record]
+            if missing:
+                problems.append(f"{where}: round record missing fields {missing}")
+                continue
+            run_id = record["run_id"]
+            if run_id not in runs:
+                problems.append(f"{where}: round for unknown run_id {run_id!r}")
+                continue
+            rounds_seen[run_id] = rounds_seen.get(run_id, 0) + 1
+    for run_id, run in runs.items():
+        expected = run["rounds"]
+        seen = rounds_seen.get(run_id, 0)
+        if seen != expected:
+            problems.append(
+                f"run {run_id}: {seen} round records for a {expected}-round run"
+            )
+    return problems
+
+
+def span_tree(records: List[Dict[str, Any]]) -> Dict[int, Dict[str, Any]]:
+    """Group a flat record stream into per-run trees.
+
+    Returns ``{run_id: {"run": <run span>, "phases": [...], "rounds":
+    [...]}}`` with phases and rounds in emission order.
+    """
+    tree: Dict[int, Dict[str, Any]] = {}
+    for record in records:
+        run_id = record.get("run_id")
+        if run_id is None:
+            continue
+        entry = tree.setdefault(run_id, {"run": None, "phases": [], "rounds": []})
+        kind = record.get("type")
+        if kind == "run":
+            entry["run"] = record
+        elif kind == "phase":
+            entry["phases"].append(record)
+        elif kind == "round":
+            entry["rounds"].append(record)
+    return tree
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.obs.trace FILE...`` -- validate trace files."""
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.trace",
+        description="Validate JSONL trace files against the span schema.",
+    )
+    parser.add_argument("paths", nargs="+", metavar="FILE.jsonl")
+    arguments = parser.parse_args(argv)
+    status = 0
+    for path in arguments.paths:
+        try:
+            records = load_trace(path)
+        except (OSError, ValueError) as error:
+            print(f"{path}: UNREADABLE: {error}", file=sys.stderr)
+            status = 1
+            continue
+        problems = validate_trace(records)
+        if problems:
+            status = 1
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+        else:
+            runs = sum(1 for record in records if record.get("type") == "run")
+            print(f"{path}: ok ({len(records)} records, {runs} runs)")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI smoke
+    import sys
+
+    sys.exit(main())

@@ -28,7 +28,7 @@ import os
 import tempfile
 from dataclasses import dataclass, fields
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import repro
 from repro.analysis.experiments import ExperimentRecord
@@ -150,15 +150,31 @@ class ResultCache:
 
     def get(self, key: str) -> Optional[List[ExperimentRecord]]:
         """Return the cached records for ``key``, or ``None`` on a miss."""
+        entry = self.get_entry(key)
+        return None if entry is None else entry[0]
+
+    def get_entry(
+        self, key: str
+    ) -> Optional[Tuple[List[ExperimentRecord], Dict[str, object]]]:
+        """Return ``(records, meta)`` for ``key``, or ``None`` on a miss.
+
+        ``meta`` is the sidecar dict :meth:`put` stored alongside the
+        records -- the sweep runner keeps per-cell execution telemetry
+        there (``elapsed_s``, ``maxrss_kb``) so cache hits can still
+        report how long the cell originally took to compute.
+        """
         path = self.path_for(key)
         try:
             payload = json.loads(path.read_text())
             records = [record_from_dict(entry) for entry in payload["records"]]
+            meta = payload.get("meta") or {}
+            if not isinstance(meta, dict):
+                raise TypeError("meta entry is not an object")
         except (OSError, ValueError, KeyError, TypeError):
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        return records
+        return records, meta
 
     def put(
         self,

@@ -136,6 +136,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=_ALL_ENGINES, default=DEFAULT_SWEEP_ENGINE,
         help="simulation engine (default: batched)",
     )
+    run_parser.add_argument(
+        "--trace", default=None, metavar="FILE.jsonl",
+        help="write a JSONL span trace of the cell's runs (forces execution: "
+             "cache reads are skipped, results are still written back)",
+    )
     _add_faults_argument(run_parser)
 
     sweep_parser = subparsers.add_parser(
@@ -162,6 +167,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--report", action="store_true", help="print the full record tables, not just totals"
     )
+    sweep_parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="write one JSONL span trace per executed cell into DIR "
+             "(cache hits have nothing to trace)",
+    )
     _add_faults_argument(sweep_parser)
     _add_cache_arguments(sweep_parser)
 
@@ -175,6 +185,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation engine the cells were run under",
     )
     report_parser.add_argument("--cache-dir", default=None, help="cache directory")
+    report_parser.add_argument(
+        "--plots", action="store_true",
+        help="also render scaling/fault-frontier figures from the cached "
+             "records (requires matplotlib)",
+    )
+    report_parser.add_argument(
+        "--plots-dir", default=None, metavar="DIR",
+        help="where --plots writes figures (default: results/plots)",
+    )
 
     serve_parser = subparsers.add_parser(
         "serve", help="start the long-lived HTTP run service (see repro.serve)"
@@ -301,7 +320,13 @@ def _make_cache(arguments: argparse.Namespace) -> Optional[ResultCache]:
 
 def _print_cell_tables(result: CellResult) -> None:
     spec = get_scenario(result.scenario)
-    origin = "cache" if result.from_cache else f"{result.duration_s:.2f}s"
+    if result.from_cache:
+        # Cached cells still report what the computation originally cost
+        # (persisted in the entry meta); pre-telemetry entries show plain
+        # "cache".
+        origin = "cache" if not result.elapsed_s else f"cache, ran in {result.elapsed_s:.2f}s"
+    else:
+        origin = f"{result.duration_s:.2f}s"
     faults = "" if spec.faults is None else f", faults {spec.faults.display_label}"
     print(
         f"\n== {result.scenario} (experiment {spec.experiment}, seed {result.seed}, "
@@ -359,6 +384,12 @@ def _command_run(arguments: argparse.Namespace) -> int:
     _resolve_scenario(arguments.scenario)  # fail fast on unknown names
     (name,) = _overlay_faults([arguments.scenario], arguments.faults)
     runner = SweepRunner(cache=_make_cache(arguments), workers=1)
+    if arguments.trace is not None:
+        # A trace of a cache hit would be empty: force execution (results
+        # are still written back so later runs hit the cache again).
+        runner.refresh = True
+        cell = SweepCell(scenario=name, seed=arguments.seed, engine=arguments.engine)
+        runner.trace_paths[cell] = arguments.trace
     try:
         (result,) = runner.sweep([name], seeds=[arguments.seed],
                                  engines=[arguments.engine])
@@ -411,7 +442,11 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
     seeds = list(range(max(1, arguments.seeds)))
     cells = expand_cells(names, seeds, engines)
     cache = _make_cache(arguments)
-    runner = SweepRunner(cache=cache, workers=max(1, arguments.workers))
+    runner = SweepRunner(
+        cache=cache,
+        workers=max(1, arguments.workers),
+        trace_dir=arguments.trace_dir,
+    )
 
     results: List[CellResult] = []
     total_violations = 0
@@ -500,13 +535,16 @@ def _check_engine_parity(results: Sequence[CellResult]) -> int:
 def _command_report(arguments: argparse.Namespace) -> int:
     cache = ResultCache(arguments.cache_dir)
     missing = []
+    all_records: List[ExperimentRecord] = []
     for name in arguments.scenarios:
         spec = _resolve_scenario(name)
         key = cache_key(spec.spec_hash(), arguments.seed, arguments.engine)
-        records = cache.get(key)
-        if records is None:
+        entry = cache.get_entry(key)
+        if entry is None:
             missing.append(name)
             continue
+        records, meta = entry
+        all_records.extend(records)
         result = CellResult(
             cell=SweepCell(scenario=name, seed=arguments.seed, engine=arguments.engine),
             records=records,
@@ -514,6 +552,8 @@ def _command_report(arguments: argparse.Namespace) -> int:
             duration_s=0.0,
             key=key,
             spec_hash=spec.spec_hash(),
+            elapsed_s=float(meta.get("elapsed_s", 0.0)),
+            maxrss_kb=int(meta.get("maxrss_kb", 0)),
         )
         _print_cell_tables(result)
     if missing:
@@ -524,4 +564,26 @@ def _command_report(arguments: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if arguments.plots:
+        return _render_report_plots(all_records, arguments.plots_dir)
+    return 0
+
+
+def _render_report_plots(
+    records: List[ExperimentRecord], plots_dir: Optional[str]
+) -> int:
+    from repro.obs.report import DEFAULT_PLOTS_DIR, matplotlib_available, render_plots
+
+    if not matplotlib_available():
+        print(
+            "error: --plots needs matplotlib, which is not installed "
+            "(pip install matplotlib); tables above are unaffected",
+            file=sys.stderr,
+        )
+        return 2
+    written = render_plots(records, plots_dir or DEFAULT_PLOTS_DIR)
+    for path in written:
+        print(f"plot: {path}")
+    if not written:
+        print("no plots rendered (no applicable data in the cached records)")
     return 0

@@ -465,7 +465,12 @@ class ScenarioSpec:
             return estimate_opt(graph, force_lp=True)
         return estimate_opt(graph)
 
-    def run(self, seed: int = 0, engine: Optional[str] = None) -> List[ExperimentRecord]:
+    def run(
+        self,
+        seed: int = 0,
+        engine: Optional[str] = None,
+        tracer: Optional[object] = None,
+    ) -> List[ExperimentRecord]:
         """Run every solver on every instance and return verified records.
 
         The record stream is deterministic in ``(self, seed)``: instance
@@ -473,12 +478,14 @@ class ScenarioSpec:
         derived from the cell seed.  ``engine`` picks the simulator backend
         and never changes the records (cross-engine parity is enforced by the
         congest test-suite and re-checked by ``python -m repro sweep --smoke``).
+        ``tracer`` (a :class:`repro.obs.trace.Tracer`) makes every run in
+        the cell emit its span tree; records are byte-identical either way.
         """
         instances = self.build_instances(seed)
         # One compiled session for the whole cell: every solver running on
         # the same instance shares its compiled network, adjacency layout
         # and canonicalisation (byte-identical to one-shot runs).
-        session = Session()
+        session = Session(tracer=tracer)
         solvers = {
             spec.display_label: spec.make_solver(
                 seed, engine, faults=self.faults, session=session

@@ -25,7 +25,8 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.experiments import ExperimentRecord
 from repro.congest.engine import get_default_engine, set_default_engine
@@ -67,6 +68,12 @@ class CellResult:
     fault_model)`` capability-cell key behind the message (entries may be
     ``None`` when the raising site could not attribute them), so reports
     and the service can aggregate skips without scraping reason strings.
+
+    ``duration_s`` is time-to-availability at the consumer (0 for cache
+    hits); ``elapsed_s``/``maxrss_kb`` are the *execution* telemetry --
+    in-worker wall time and the worker's memory high-water -- measured when
+    the cell actually ran and persisted in the cache entry's meta, so a hit
+    still reports what the computation originally cost.
     """
 
     cell: SweepCell
@@ -77,6 +84,8 @@ class CellResult:
     spec_hash: str = ""
     skipped: Optional[str] = None
     skipped_cell: Optional[Tuple[Optional[str], Optional[str], Optional[str]]] = None
+    elapsed_s: float = 0.0
+    maxrss_kb: int = 0
 
     @property
     def scenario(self) -> str:
@@ -169,18 +178,42 @@ def pool_map_ordered(fn, jobs: Sequence, workers: int) -> Iterator[Tuple[object,
             pool.shutdown(wait=exhausted, cancel_futures=not exhausted)
 
 
+def _worker_maxrss_kb() -> int:
+    """The executing process's memory high-water in KiB (0 where unknown)."""
+    try:
+        import resource
+        import sys
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS units
+        peak //= 1024
+    return int(peak)
+
+
 def _execute_cell(
-    spec, seed: int, engine: str, default_engine: Optional[str] = None
-) -> List[Dict[str, object]]:
+    spec,
+    seed: int,
+    engine: str,
+    default_engine: Optional[str] = None,
+    trace_path: Optional[str] = None,
+) -> Dict[str, object]:
     """Worker entry point: run one cell of an already-resolved scenario.
 
     Runs in a worker process (or inline for serial sweeps).  The
     :class:`~repro.orchestration.registry.ScenarioSpec` itself is shipped to
     the worker -- specs are plain picklable dataclasses -- so workers never
     consult the registry and user-registered scenarios work under every
-    multiprocessing start method (fork *and* spawn).  Returns records in
-    canonical dict form: cheap to pickle, and identical whichever side of
-    the process boundary produced them.
+    multiprocessing start method (fork *and* spawn).  Returns an envelope::
+
+        {"records": [...], "elapsed_s": float, "maxrss_kb": int}
+
+    with records in canonical dict form: cheap to pickle, and identical
+    whichever side of the process boundary produced them.  ``elapsed_s`` is
+    the *in-worker* wall time of the run itself (distinct from the
+    consumer-side time-to-availability ``CellResult.duration_s``) and
+    ``maxrss_kb`` the executing process's memory high-water -- the
+    telemetry the cache persists so hits can still report original cost.
 
     ``default_engine`` is the submitting process's process-wide default
     engine, applied (and restored) around the cell.  The default is module
@@ -191,6 +224,13 @@ def _execute_cell(
     inside a solver) resolve identically inline, under fork, and under
     spawn.
 
+    ``trace_path`` attaches a :class:`~repro.obs.trace.FileTracer` to the
+    cell's runs when the spec supports it (``ScenarioSpec.run`` accepts a
+    ``tracer``; duck-typed user specs without the parameter are run
+    untraced rather than broken).  The tracer is created *in the worker*
+    -- tracers hold open file handles and must not cross the process
+    boundary.
+
     A cell naming a genuinely unsupported (scenario, engine) combination
     raises :class:`~repro.congest.errors.EngineCapabilityError` inside the
     run; that is a property of the capability matrix, not a bug, so it is
@@ -199,24 +239,58 @@ def _execute_cell(
     """
     from repro.congest.errors import EngineCapabilityError
 
+    run_kwargs: Dict[str, object] = {"seed": seed, "engine": engine}
+    tracer = None
+    if trace_path is not None and _accepts_tracer(spec):
+        from repro.obs.trace import FileTracer
+
+        tracer = FileTracer(trace_path)
+        run_kwargs["tracer"] = tracer
+    started = time.perf_counter()
     try:
         if default_engine is None:
-            records = spec.run(seed=seed, engine=engine)
+            records = spec.run(**run_kwargs)
         else:
             previous = set_default_engine(default_engine)
             try:
-                records = spec.run(seed=seed, engine=engine)
+                records = spec.run(**run_kwargs)
             finally:
                 set_default_engine(previous)
     except EngineCapabilityError as error:
         return {"skipped": str(error), "cell": list(error.cell)}
-    return [record_to_dict(record) for record in records]
+    finally:
+        if tracer is not None:
+            tracer.close()
+    elapsed = time.perf_counter() - started
+    return {
+        "records": [record_to_dict(record) for record in records],
+        "elapsed_s": elapsed,
+        "maxrss_kb": _worker_maxrss_kb(),
+    }
 
 
-def _execute_cell_job(job) -> List[Dict[str, object]]:
+def _accepts_tracer(spec) -> bool:
+    """Whether ``spec.run`` can take a ``tracer`` keyword.
+
+    Duck-typed user specs predate the observability layer; those run
+    untraced rather than crash the cell.
+    """
+    import inspect
+
+    try:
+        parameters = inspect.signature(spec.run).parameters
+    except (TypeError, ValueError):  # builtins / C callables
+        return False
+    return "tracer" in parameters or any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+
+
+def _execute_cell_job(job) -> Dict[str, object]:
     """Picklable single-argument adapter over :func:`_execute_cell`."""
-    spec, seed, engine, default_engine = job
-    return _execute_cell(spec, seed, engine, default_engine)
+    spec, seed, engine, default_engine, trace_path = job
+    return _execute_cell(spec, seed, engine, default_engine, trace_path)
 
 
 @dataclass
@@ -230,10 +304,23 @@ class SweepRunner:
         recomputed, nothing is written).
     workers:
         Worker process count.  ``1`` executes inline in this process.
+    trace_dir:
+        When set, every *executed* cell (cache hits have nothing to trace)
+        writes a JSONL trace to
+        ``{trace_dir}/{scenario}__seed{seed}__{engine}.jsonl`` -- scenario
+        names are sanitised for the filesystem.  The tracer is created in
+        the worker process.
+    refresh:
+        Skip cache *reads* (every cell executes) while still writing fresh
+        results back.  ``repro run --trace`` uses this so a traced run
+        actually runs.
     """
 
     cache: Optional[ResultCache] = None
     workers: int = 1
+    trace_dir: Optional[Union[str, Path]] = None
+    trace_paths: Dict[SweepCell, str] = field(default_factory=dict, repr=False)
+    refresh: bool = False
     _keys: Dict[SweepCell, Tuple[str, str]] = field(default_factory=dict, repr=False)
     _specs: Dict[str, object] = field(default_factory=dict, repr=False)
 
@@ -257,10 +344,14 @@ class SweepRunner:
         submitted to the pool upfront so they compute concurrently while
         earlier cells stream out.
         """
-        lookups: Dict[SweepCell, Optional[List[ExperimentRecord]]] = {}
+        lookups: Dict[SweepCell, Optional[Tuple[List[ExperimentRecord], Dict[str, object]]]] = {}
         for cell in cells:
             key, _ = self._cell_key(cell)
-            lookups[cell] = self.cache.get(key) if self.cache is not None else None
+            lookups[cell] = (
+                self.cache.get_entry(key)
+                if self.cache is not None and not self.refresh
+                else None
+            )
 
         # Captured once at submission time and shipped to every worker:
         # workers must not rely on spawn-time (or fork-time) module state for
@@ -268,8 +359,23 @@ class SweepRunner:
         default_engine = get_default_engine()
 
         misses = [cell for cell in cells if lookups[cell] is None]
+        # Each invocation owns its trace files: start every target fresh
+        # before anything executes.  Run ids are only unique per process, so
+        # appending a re-run (new process, ids restart at 0) into a stale
+        # file would collide; cells sharing one explicit --trace file still
+        # accumulate, because truncation happens once, up front.
+        for path in {self._trace_path(cell) for cell in misses} - {None}:
+            target = Path(path)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text("")
         jobs = [
-            (self._spec(cell), cell.seed, cell.engine, default_engine)
+            (
+                self._spec(cell),
+                cell.seed,
+                cell.engine,
+                default_engine,
+                self._trace_path(cell),
+            )
             for cell in misses
         ]
         miss_stream = pool_map_ordered(_execute_cell_job, jobs, self.workers)
@@ -278,17 +384,20 @@ class SweepRunner:
                 key, spec_hash = self._cell_key(cell)
                 cached = lookups[cell]
                 if cached is not None:
+                    records, meta = cached
                     yield CellResult(
                         cell=cell,
-                        records=cached,
+                        records=records,
                         from_cache=True,
                         duration_s=0.0,
                         key=key,
                         spec_hash=spec_hash,
+                        elapsed_s=float(meta.get("elapsed_s", 0.0)),
+                        maxrss_kb=int(meta.get("maxrss_kb", 0)),
                     )
                     continue
                 payload, duration = next(miss_stream)
-                if isinstance(payload, dict):
+                if "skipped" in payload:
                     # Capability-skip marker: surface it, never cache it.
                     cell_key = payload.get("cell")
                     yield CellResult(
@@ -302,7 +411,9 @@ class SweepRunner:
                         skipped_cell=None if cell_key is None else tuple(cell_key),
                     )
                     continue
-                records = [record_from_dict(entry) for entry in payload]
+                records = [record_from_dict(entry) for entry in payload["records"]]
+                elapsed_s = float(payload.get("elapsed_s", duration))
+                maxrss_kb = int(payload.get("maxrss_kb", 0))
                 if self.cache is not None:
                     self.cache.put(
                         key,
@@ -312,6 +423,8 @@ class SweepRunner:
                             "seed": cell.seed,
                             "engine": cell.engine,
                             "spec_hash": spec_hash,
+                            "elapsed_s": elapsed_s,
+                            "maxrss_kb": maxrss_kb,
                         },
                     )
                 yield CellResult(
@@ -321,9 +434,26 @@ class SweepRunner:
                     duration_s=duration,
                     key=key,
                     spec_hash=spec_hash,
+                    elapsed_s=elapsed_s,
+                    maxrss_kb=maxrss_kb,
                 )
         finally:
             miss_stream.close()
+
+    def _trace_path(self, cell: SweepCell) -> Optional[str]:
+        """The per-cell trace file: an explicit ``trace_paths`` entry wins
+        (``repro run --trace FILE`` names the exact file), else a
+        sanitised name under ``trace_dir``, else ``None``."""
+        explicit = self.trace_paths.get(cell)
+        if explicit is not None:
+            return explicit
+        if self.trace_dir is None:
+            return None
+        safe = "".join(
+            ch if ch.isalnum() or ch in "-_." else "-" for ch in cell.scenario
+        )
+        name = f"{safe}__seed{cell.seed}__{cell.engine}.jsonl"
+        return str(Path(self.trace_dir) / name)
 
     def sweep(
         self,

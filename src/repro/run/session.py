@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 import sys
+import time
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import networkx as nx
@@ -219,14 +220,24 @@ class Session:
         Default engine for specs that leave ``engine=None``; ``None`` (the
         default) falls through to the process-wide default, exactly like
         the legacy helpers.
+    tracer:
+        Optional :class:`repro.obs.trace.Tracer` attached to every run of
+        this session (overridable per call via ``run(spec, tracer=...)``).
+        With no tracer (or a disabled one) every execution takes the exact
+        untraced code path -- the zero-overhead-when-off contract gated by
+        the E17 benchmark; with a tracer, runs are routed through the
+        hooked round loop under an empty fault plan (byte-identical by the
+        zero-fault parity guarantee) so round timestamps can be captured on
+        all three engines.
 
     Usable as a context manager (``with Session() as session: ...``); exit
     drops the compiled-state cache.
     """
 
-    def __init__(self, engine: EngineSpec = None):
+    def __init__(self, engine: EngineSpec = None, tracer: Optional[Any] = None):
         get_engine(engine)  # fail fast on unknown engine names
         self.engine = engine
+        self.tracer = tracer
         self._compiled: Dict[Tuple, CompiledGraph] = {}
 
     # -- compilation -------------------------------------------------------
@@ -312,13 +323,87 @@ class Session:
         knows = True if spec.knows_max_degree is None else spec.knows_max_degree
         return ResolvedRun(spec.algorithm, spec.alpha, knows, spec.guarantee)
 
-    def run(self, spec: RunSpec) -> DominatingSetResult:
-        """Execute one spec, reusing every piece of compiled state it allows."""
+    def run(self, spec: RunSpec, *, tracer: Optional[Any] = None) -> DominatingSetResult:
+        """Execute one spec, reusing every piece of compiled state it allows.
+
+        ``tracer`` overrides the session-level tracer for this run only.
+        With no (enabled) tracer, execution is exactly the untraced path.
+        """
+        active = tracer if tracer is not None else self.tracer
+        if active is not None and not getattr(active, "enabled", True):
+            active = None
+        if active is not None:
+            return self._run_traced(spec, active)
         compiled = self.compile(spec)
         resolved = self._resolve(compiled, spec)
         csr = _as_csr(compiled.graph)
         if csr is not None:
-            return self._run_csr(compiled, csr, resolved, spec)
+            raw = self._simulate_csr(compiled, csr, resolved, spec)
+            return self._package_csr(csr, raw, resolved, spec)
+        raw = self._simulate_network(compiled, resolved, spec)
+        return self._package_network(compiled, raw, resolved, spec)
+
+    def _run_traced(self, spec: RunSpec, tracer: Any) -> DominatingSetResult:
+        """The traced twin of :meth:`run`: same simulate/package calls, with
+        phase timing, live round timestamps, and a post-run span emission.
+
+        Fault-free network runs are wrapped in an *empty*
+        :class:`~repro.faults.FaultPlan` (``AdversarialEngine(None, ...)``)
+        so the hooked round loop -- whose ``begin_round`` the
+        :class:`~repro.obs.trace.TracingHooks` proxy timestamps -- executes
+        on every engine; the fault test-suite holds that wrapping
+        byte-identical to the plain path.  Fault-free CSR runs keep the
+        closed-form kernel path untouched (no per-round hooks at 10^5-node
+        scale); their round records are emitted from the run's metrics with
+        ``t_start_s`` null.
+        """
+        from repro.obs.trace import RoundTimer, emit_run_trace
+
+        run_started = time.perf_counter()
+        compiled = self.compile(spec)
+        resolved = self._resolve(compiled, spec)
+        compile_done = time.perf_counter()
+        timer = RoundTimer()
+        csr = _as_csr(compiled.graph)
+        if csr is not None:
+            raw = self._simulate_csr(
+                compiled, csr, resolved, spec, hook_wrapper=timer.wrap
+            )
+        else:
+            raw = self._simulate_network(
+                compiled, resolved, spec, hook_wrapper=timer.wrap
+            )
+        execute_done = time.perf_counter()
+        if csr is not None:
+            result = self._package_csr(csr, raw, resolved, spec)
+        else:
+            result = self._package_network(compiled, raw, resolved, spec)
+        package_done = time.perf_counter()
+        n = csr.n if csr is not None else compiled.graph.number_of_nodes()
+        emit_run_trace(
+            tracer,
+            algorithm=spec.algorithm_label,
+            n=n,
+            seed=spec.seed,
+            result=result,
+            phase_seconds={
+                "compile": compile_done - run_started,
+                "execute": execute_done - compile_done,
+                "package": package_done - execute_done,
+            },
+            wall_s=package_done - run_started,
+            round_starts=timer.relative_starts(run_started),
+            fault_model=fault_model_label(spec.faults),
+        )
+        return result
+
+    def _simulate_network(
+        self,
+        compiled: CompiledGraph,
+        resolved: ResolvedRun,
+        spec: RunSpec,
+        hook_wrapper: Optional[Any] = None,
+    ):
         network = compiled.network(
             alpha=resolved.alpha,
             config=spec.config,
@@ -327,27 +412,38 @@ class Session:
         )
         engine_spec = spec.engine if spec.engine is not None else self.engine
         plan = compiled.fault_plan(spec)
-        if plan is not None:
+        if plan is not None or hook_wrapper is not None:
             from repro.faults import AdversarialEngine
 
-            engine_spec = AdversarialEngine(plan, inner=engine_spec)
+            engine_spec = AdversarialEngine(
+                plan, inner=engine_spec, hook_wrapper=hook_wrapper
+            )
         simulator = Simulator(
             bandwidth_words=spec.bandwidth_words,
             max_rounds=spec.max_rounds,
             strict=spec.strict,
             engine=engine_spec,
         )
-        result = simulator.run(network, resolved.algorithm)
+        return simulator.run(network, resolved.algorithm)
+
+    def _package_network(
+        self, compiled: CompiledGraph, raw, resolved: ResolvedRun, spec: RunSpec
+    ) -> DominatingSetResult:
         return package_result(
             compiled.graph,
-            result,
+            raw,
             guarantee=resolved.guarantee,
             validate=spec.validate == "full",
         )
 
-    def _run_csr(
-        self, compiled: CompiledGraph, csr, resolved: ResolvedRun, spec: RunSpec
-    ) -> DominatingSetResult:
+    def _simulate_csr(
+        self,
+        compiled: CompiledGraph,
+        csr,
+        resolved: ResolvedRun,
+        spec: RunSpec,
+        hook_wrapper: Optional[Any] = None,
+    ):
         """Execute a spec on a streamed CSR graph through the kernel tier.
 
         No :class:`Network` (and no per-node context objects) is ever
@@ -408,6 +504,12 @@ class Session:
             from repro.faults.session import FaultSession
 
             hooks = FaultSession.for_csr(plan, csr)
+            if hook_wrapper is not None:
+                # Faulted CSR runs already pay the hooked driver; wrapping
+                # the session adds round timestamps to the trace.  Unfaulted
+                # CSR runs keep hooks=None -- the closed-form kernel path --
+                # so tracing never distorts the 10^5-node scale target.
+                hooks = hook_wrapper(hooks)
         config = shared_config(
             csr.n, csr.max_degree, resolved.alpha, spec.config,
             resolved.knows_max_degree,
@@ -421,11 +523,15 @@ class Session:
             seed=spec.seed, hooks=hooks,
         )
         metrics.engine_used = engine.name
-        result = RunResult(
+        return RunResult(
             algorithm_name=algorithm.name, outputs=outputs, metrics=metrics
         )
+
+    def _package_csr(
+        self, csr, raw, resolved: ResolvedRun, spec: RunSpec
+    ) -> DominatingSetResult:
         return package_result_csr(
-            csr, result,
+            csr, raw,
             guarantee=resolved.guarantee,
             validate=spec.validate == "full",
         )

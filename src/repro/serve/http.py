@@ -9,11 +9,19 @@ are few) on top of one long-lived service instance:
 ``GET /capabilities``        registered algorithms/engines/fault models/
                              graph families/named graphs (wire vocabulary)
 ``GET /stats``               service counters, cache stats, resident graphs
+``GET /metrics``             Prometheus text exposition: request counts by
+                             outcome, request-latency histogram, graph-LRU
+                             / in-flight / result-cache gauges
 ``POST /run``                a RunSpec wire payload; responds with the
                              result summary, the base64-pickled result, and
                              the per-request metrics envelope
 ``POST /shutdown``           graceful stop (responds, then closes)
 ===========================  ==============================================
+
+``--log-json`` emits one structured JSON access-log line per request to
+stdout (method, path, status, wall time, and for ``/run`` the same metrics
+envelope the response carries), so a log pipeline sees exactly what the
+client saw.
 
 Requests are handled on one event loop; simulation work runs on the
 service's single executor thread, so slow runs never block health checks,
@@ -30,6 +38,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from typing import Any, Dict, Optional, Tuple
 
 import repro
@@ -43,10 +52,17 @@ _MAX_BODY_BYTES = 64 * 1024 * 1024  # inline CSR payloads can be large
 class HttpServer:
     """One :class:`RunService` behind an asyncio stream server."""
 
-    def __init__(self, service: RunService, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        service: RunService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        log_json: bool = False,
+    ):
         self.service = service
         self.host = host
         self.port = port
+        self.log_json = log_json
         self._server: Optional[asyncio.AbstractServer] = None
         self._stopping = asyncio.Event()
 
@@ -77,7 +93,12 @@ class HttpServer:
                 if request is None:
                     break
                 method, path, headers, body = request
+                started = time.perf_counter()
                 status, payload = await self._dispatch(method, path, body)
+                if self.log_json:
+                    self._access_log(
+                        method, path, status, time.perf_counter() - started, payload
+                    )
                 client_close = headers.get("connection", "").lower() == "close"
                 close = client_close or self._stopping.is_set()
                 self._write_response(writer, status, payload, close)
@@ -115,15 +136,45 @@ class HttpServer:
         path = target.split("?", 1)[0]
         return method.upper(), path, headers, body
 
+    def _access_log(
+        self, method: str, path: str, status: int, wall_s: float, payload: Any
+    ) -> None:
+        """One structured JSON access-log line per request (``--log-json``).
+
+        ``/run`` responses re-use the response's own metrics envelope, so
+        the log line and the client see the same numbers.
+        """
+        line: Dict[str, Any] = {
+            "log": "access",
+            "method": method,
+            "path": path,
+            "status": status,
+            "wall_time_s": round(wall_s, 6),
+        }
+        if isinstance(payload, dict):
+            metrics = payload.get("metrics")
+            if isinstance(metrics, dict):
+                line["metrics"] = metrics
+            error = payload.get("error")
+            if isinstance(error, dict) and "kind" in error:
+                line["error_kind"] = error["kind"]
+        print(json.dumps(line, sort_keys=True), flush=True)
+
     def _write_response(
         self, writer: asyncio.StreamWriter, status: int, payload: Any, close: bool
     ) -> None:
-        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        if isinstance(payload, str):
+            # Text routes (the Prometheus /metrics exposition).
+            blob = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+            content_type = "application/json"
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
                   422: "Unprocessable Entity", 500: "Internal Server Error"}.get(status, "Status")
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(blob)}\r\n"
             f"Connection: {'close' if close else 'keep-alive'}\r\n"
             "\r\n"
@@ -139,13 +190,15 @@ class HttpServer:
             return 200, {"ok": True, "capabilities": self.service.capabilities()}
         if path == "/stats" and method == "GET":
             return 200, self.service.stats_payload()
+        if path == "/metrics" and method == "GET":
+            return 200, self.service.metrics_text()
         if path == "/run" and method == "POST":
             return await self._run(body)
         if path == "/shutdown" and method == "POST":
             self.stop()
             return 200, {"ok": True, "stopping": True}
         known = ("GET /healthz", "GET /capabilities", "GET /stats",
-                 "POST /run", "POST /shutdown")
+                 "GET /metrics", "POST /run", "POST /shutdown")
         return 404, {
             "ok": False,
             "error": {
@@ -208,6 +261,10 @@ def add_serve_arguments(parser) -> None:
         "--ingest", action="append", default=[], metavar="NAME=PATH",
         help="pre-register an edge-list file under NAME (repeatable)",
     )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit one structured JSON access-log line per request to stdout",
+    )
 
 
 async def _serve(server: HttpServer) -> None:
@@ -238,7 +295,9 @@ def serve_command(args) -> int:
     service = RunService(
         cache=cache, graph_capacity=args.graph_capacity, engine=args.engine
     )
-    server = HttpServer(service, host=args.host, port=args.port)
+    server = HttpServer(
+        service, host=args.host, port=args.port, log_json=args.log_json
+    )
     try:
         asyncio.run(_serve(server))
     except KeyboardInterrupt:

@@ -53,6 +53,12 @@ class ServeClient:
     def get(self, path: str) -> Tuple[int, Dict[str, Any]]:
         return self.request("GET", path)
 
+    def get_text(self, path: str) -> Tuple[int, str]:
+        """GET a text route (the Prometheus ``/metrics`` exposition)."""
+        self.connection.request("GET", path)
+        response = self.connection.getresponse()
+        return response.status, response.read().decode("utf-8")
+
     def close(self) -> None:
         self.connection.close()
 

@@ -48,6 +48,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.congest.errors import CongestError, EngineCapabilityError
+from repro.obs.metrics import MetricsRegistry
 from repro.orchestration.cache import ResultCache, cache_key
 from repro.run import RunSpec, Session
 from repro.run.result import DominatingSetResult
@@ -149,6 +150,7 @@ class RunService:
         self.cache = cache
         self.graph_capacity = graph_capacity
         self.stats = ServiceStats()
+        self.metrics = MetricsRegistry()
         self._graphs: "OrderedDict[str, Tuple[Any, Any]]" = OrderedDict()
         self._inflight: Dict[str, "asyncio.Future[Tuple[str, Any]]"] = {}
         self._executor = ThreadPoolExecutor(
@@ -275,8 +277,32 @@ class RunService:
         Raises :class:`RequestError` for anything the caller did wrong
         (undecodable payload, capability-matrix miss, failed execution);
         the HTTP layer maps it onto the status and body verbatim.
+
+        Every request lands in the Prometheus registry twice: a count under
+        its outcome label (``hit``/``inflight``/``executed``/``error``) and
+        an observation in the request-latency histogram -- the ``/metrics``
+        counterpart of the per-response metrics envelope.
         """
         started = time.perf_counter()
+        outcome = "error"
+        try:
+            envelope = await self._run_request(payload, started)
+            outcome = {"hit": "hit", "inflight": "inflight"}.get(
+                envelope["metrics"]["cache"], "executed"
+            )
+            return envelope
+        finally:
+            self.metrics.counter(
+                "repro_serve_requests_total",
+                "Requests served, by outcome.",
+                outcome=outcome,
+            ).inc()
+            self.metrics.histogram(
+                "repro_serve_request_seconds",
+                "Request wall time, seconds.",
+            ).observe(time.perf_counter() - started)
+
+    async def _run_request(self, payload: Any, started: float) -> Dict[str, Any]:
         self.stats.requests += 1
         try:
             spec, wire = self._normalize(payload)
@@ -365,6 +391,44 @@ class RunService:
                 "writes": self.cache.stats.writes,
             }
         return payload
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` body: Prometheus text exposition.
+
+        Request counters and the latency histogram accumulate in
+        :meth:`run`; the point-in-time gauges (graph LRU, in-flight dedup,
+        compiled session state, result-cache traffic) are refreshed here at
+        scrape time.
+        """
+        gauge = self.metrics.gauge
+        gauge(
+            "repro_serve_graphs_resident",
+            "Distinct graph sources interned in the LRU.",
+        ).set(len(self._graphs))
+        gauge(
+            "repro_serve_inflight",
+            "Requests currently executing or awaited by joiners.",
+        ).set(len(self._inflight))
+        gauge(
+            "repro_serve_compiled_graphs",
+            "Graphs compiled in the resident session.",
+        ).set(self.session.compiled_count)
+        gauge(
+            "repro_serve_inflight_joins",
+            "Requests that joined an identical in-flight execution.",
+        ).set(self.stats.inflight_joins)
+        if self.cache is not None:
+            for op, value in (
+                ("hits", self.cache.stats.hits),
+                ("misses", self.cache.stats.misses),
+                ("writes", self.cache.stats.writes),
+            ):
+                gauge(
+                    "repro_serve_result_cache",
+                    "Result-cache traffic, by operation.",
+                    op=op,
+                ).set(value)
+        return self.metrics.render()
 
     def close(self) -> None:
         self._executor.shutdown(wait=True)

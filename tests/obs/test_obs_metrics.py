@@ -1,0 +1,150 @@
+"""Counters, gauges, fixed-bucket histograms, and the Prometheus exposition.
+
+The central property (held under hypothesis): the histogram's reported
+quantile is the smallest bucket bound ``>=`` the true sample quantile
+computed with the same rank convention -- an upper bound, tight to one
+bucket.  That is exactly what makes E17's "histogram p99 agrees with
+loadgen p99 within one bucket" gate sound.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+BOUNDS = (1.0, 2.0, 5.0, 10.0)
+
+
+def true_quantile(samples, q):
+    """The sample quantile under the histogram's own rank convention."""
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+class TestInstruments:
+    def test_counter_only_goes_up(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_goes_both_ways(self):
+        gauge = Gauge()
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value == 2.0
+
+    def test_histogram_buckets_and_overflow(self):
+        histogram = Histogram(BOUNDS)
+        for value in (0.5, 1.0, 3.0, 100.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.bucket_counts == [2, 0, 1, 0, 1]
+        assert histogram.cumulative() == [2, 2, 3, 3]
+        assert histogram.sum == pytest.approx(104.5)
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(())
+
+    def test_quantile_edges(self):
+        histogram = Histogram(BOUNDS)
+        assert histogram.quantile(0.5) == 0.0  # empty
+        histogram.observe(100.0)
+        assert histogram.quantile(0.5) == math.inf  # overflow bucket
+        assert histogram.quantile_bucket(0.5) == len(BOUNDS)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+
+class TestQuantileUpperBoundProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(min_value=0.0, max_value=20.0, allow_nan=False), min_size=1
+        ),
+        q=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_reported_quantile_bounds_the_true_quantile(self, samples, q):
+        histogram = Histogram(BOUNDS)
+        for value in samples:
+            histogram.observe(value)
+        reported = histogram.quantile(q)
+        truth = true_quantile(samples, q)
+        # Upper bound...
+        assert reported >= truth
+        # ...tight to one bucket: it is the *smallest* bound >= truth.
+        finite_covers = [bound for bound in BOUNDS if bound >= truth]
+        expected = finite_covers[0] if finite_covers else math.inf
+        assert reported == expected
+
+
+class TestRegistryAndExposition:
+    def test_same_name_and_labels_return_the_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("requests_total", outcome="hit")
+        first.inc()
+        second = registry.counter("requests_total", outcome="hit")
+        assert second.value == 1.0
+        other = registry.counter("requests_total", outcome="miss")
+        assert other.value == 0.0
+
+    def test_a_name_is_bound_to_one_type(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.gauge("x")
+
+    def test_render_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs_total", "Requests.", outcome="hit").inc(3)
+        registry.gauge("resident", "Resident graphs.").set(2)
+        text = registry.render()
+        assert "# HELP reqs_total Requests.\n" in text
+        assert "# TYPE reqs_total counter\n" in text
+        assert 'reqs_total{outcome="hit"} 3\n' in text
+        assert "# TYPE resident gauge\n" in text
+        assert "resident 2\n" in text
+        assert text.endswith("\n")
+
+    def test_render_histogram_exposition(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat_seconds", "Latency.", buckets=BOUNDS)
+        for value in (0.5, 3.0, 100.0):
+            histogram.observe(value)
+        lines = registry.render().splitlines()
+        assert 'lat_seconds_bucket{le="1"} 1' in lines
+        assert 'lat_seconds_bucket{le="2"} 1' in lines
+        assert 'lat_seconds_bucket{le="5"} 2' in lines
+        assert 'lat_seconds_bucket{le="10"} 2' in lines
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in lines
+        assert "lat_seconds_sum 103.5" in lines
+        assert "lat_seconds_count 3" in lines
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c", label='say "hi"\n').inc()
+        assert 'c{label="say \\"hi\\"\\n"} 1' in registry.render()
+
+    def test_default_buckets_are_strictly_increasing(self):
+        assert list(DEFAULT_SECONDS_BUCKETS) == sorted(set(DEFAULT_SECONDS_BUCKETS))
+        Histogram()  # defaults construct cleanly
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""

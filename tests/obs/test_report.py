@@ -1,0 +1,92 @@
+"""The --plots artifact pipeline: headless rendering smoke + soft gating.
+
+matplotlib is optional in this environment; the rendering tests skip
+cleanly when it is absent, while the gating tests (which must work exactly
+when the library is missing) always run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import ExperimentRecord
+from repro.obs.report import matplotlib_available, render_plots
+
+
+def _record(n, algorithm="algo-a", rounds=5, messages=100, ratio=1.5, faults=None):
+    params = {"solver_label": algorithm}
+    if faults is not None:
+        params["faults"] = faults
+    return ExperimentRecord(
+        experiment="E",
+        algorithm=algorithm,
+        instance=f"g{n}",
+        n=n,
+        m=2 * n,
+        max_degree=4,
+        alpha=2,
+        weight=float(n),
+        rounds=rounds,
+        ratio=ratio,
+        opt_value=float(n) / 2,
+        opt_kind="lp",
+        guarantee=4.0,
+        within_guarantee=True,
+        is_dominating=True,
+        params=params,
+        messages=messages,
+        total_bits=32 * messages,
+    )
+
+
+def _grid():
+    records = []
+    for n in (100, 200, 400):
+        for algorithm in ("algo-a", "algo-b"):
+            records.append(_record(n, algorithm=algorithm, rounds=n // 20, messages=3 * n))
+            records.append(
+                _record(n, algorithm=algorithm, ratio=2.5, faults="crash15")
+            )
+    return records
+
+
+class TestGating:
+    def test_render_without_matplotlib_raises_actionably(self, monkeypatch):
+        import repro.obs.report as report_module
+
+        monkeypatch.setattr(report_module, "_pyplot", lambda: None)
+        with pytest.raises(RuntimeError, match="matplotlib"):
+            render_plots([_record(100)], "unused")
+
+    def test_cli_soft_fails_without_matplotlib(self, monkeypatch, capsys):
+        import repro.obs.report as report_module
+        from repro.orchestration.cli import _render_report_plots
+
+        monkeypatch.setattr(report_module, "matplotlib_available", lambda: False)
+        assert _render_report_plots([_record(100)], None) == 2
+        assert "matplotlib" in capsys.readouterr().err
+
+
+@pytest.mark.skipif(not matplotlib_available(), reason="matplotlib not installed")
+class TestRendering:
+    def test_renders_all_three_figures_headless(self, tmp_path):
+        written = render_plots(_grid(), tmp_path / "plots")
+        names = sorted(path.name for path in written)
+        assert names == [
+            "messages_vs_n.png",
+            "quality_vs_faults.png",
+            "rounds_vs_n.png",
+        ]
+        for path in written:
+            assert path.is_file() and path.stat().st_size > 0
+
+    def test_fault_frontier_needs_faulted_records(self, tmp_path):
+        written = render_plots(
+            [_record(100), _record(200)], tmp_path / "plots"
+        )
+        assert not any(path.name == "quality_vs_faults.png" for path in written)
+
+    def test_all_zero_series_are_skipped(self, tmp_path):
+        records = [_record(100, messages=0), _record(200, messages=0)]
+        written = render_plots(records, tmp_path / "plots")
+        assert not any(path.name == "messages_vs_n.png" for path in written)

@@ -63,7 +63,7 @@ class _DefaultEngineProbe:
 def test_execute_cell_applies_and_restores_the_default_engine():
     original = get_default_engine()
     payload = _execute_cell(_DefaultEngineProbe(), 0, "batched", "batched")
-    assert payload[0]["params"]["observed_default"] == "batched"
+    assert payload["records"][0]["params"]["observed_default"] == "batched"
     assert get_default_engine() == original
 
 
@@ -78,10 +78,10 @@ def test_spawned_worker_sees_the_parent_default_not_module_state():
         without_fix = pool.submit(
             _execute_cell, _DefaultEngineProbe(), 0, "batched", None
         ).result()
-    assert with_fix[0]["params"]["observed_default"] == "batched"
+    assert with_fix["records"][0]["params"]["observed_default"] == "batched"
     # The pre-fix behavior the explicit argument protects against: a spawned
     # worker falls back to the module's import-time default.
-    assert without_fix[0]["params"]["observed_default"] == "reference"
+    assert without_fix["records"][0]["params"]["observed_default"] == "reference"
 
 
 def test_runner_ships_the_current_default_to_cells():

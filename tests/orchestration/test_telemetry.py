@@ -1,0 +1,152 @@
+"""Sweep-runner telemetry: per-cell elapsed/memory, trace plumbing, refresh."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import ExperimentRecord
+from repro.obs.trace import load_trace, validate_trace
+from repro.orchestration.cache import ResultCache
+from repro.orchestration.registry import get_scenario, register_scenario
+from repro.orchestration.runner import SweepCell, SweepRunner, _execute_cell
+from repro.orchestration.scenarios import register_builtin_scenarios
+
+
+@pytest.fixture(autouse=True)
+def _scenarios():
+    register_builtin_scenarios()
+
+
+def _run(runner, scenario="smoke/forest", seed=0, engine="batched"):
+    (result,) = runner.sweep([scenario], seeds=[seed], engines=[engine])
+    return result
+
+
+class TestCellTelemetry:
+    def test_fresh_cell_measures_elapsed_and_memory(self, tmp_path):
+        runner = SweepRunner(cache=ResultCache(tmp_path / "cache"))
+        result = _run(runner)
+        assert not result.from_cache
+        assert result.elapsed_s > 0
+        assert result.maxrss_kb > 0
+
+    def test_cache_hit_restores_the_original_cost(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        fresh = _run(SweepRunner(cache=cache))
+        hit = _run(SweepRunner(cache=cache))
+        assert hit.from_cache
+        assert hit.duration_s == 0.0
+        assert hit.elapsed_s == pytest.approx(fresh.elapsed_s)
+        assert hit.maxrss_kb == fresh.maxrss_kb
+
+    def test_meta_is_persisted_in_the_entry(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        result = _run(SweepRunner(cache=cache))
+        entry = json.loads(cache.path_for(result.key).read_text())
+        assert entry["meta"]["elapsed_s"] == pytest.approx(result.elapsed_s)
+        assert entry["meta"]["maxrss_kb"] == result.maxrss_kb
+        records, meta = cache.get_entry(result.key)
+        assert len(records) == len(result.records)
+        assert meta["scenario"] == "smoke/forest"
+
+    def test_pre_telemetry_entries_default_to_zero(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        result = _run(SweepRunner(cache=cache))
+        # Simulate an entry written before the telemetry fields existed.
+        path = cache.path_for(result.key)
+        entry = json.loads(path.read_text())
+        entry["meta"].pop("elapsed_s")
+        entry["meta"].pop("maxrss_kb")
+        path.write_text(json.dumps(entry))
+        hit = _run(SweepRunner(cache=cache))
+        assert hit.from_cache
+        assert hit.elapsed_s == 0.0
+        assert hit.maxrss_kb == 0
+
+    def test_refresh_skips_reads_but_still_writes(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        first = _run(SweepRunner(cache=cache))
+        refreshed = _run(SweepRunner(cache=cache, refresh=True))
+        assert not refreshed.from_cache
+        assert refreshed.key == first.key
+        # The refreshed execution rewrote the entry.
+        records, meta = cache.get_entry(first.key)
+        assert meta["elapsed_s"] == pytest.approx(refreshed.elapsed_s)
+
+
+class TestTracePlumbing:
+    def test_trace_dir_traces_executed_cells(self, tmp_path):
+        runner = SweepRunner(
+            cache=ResultCache(tmp_path / "cache"), trace_dir=tmp_path / "traces"
+        )
+        result = _run(runner)
+        trace_file = tmp_path / "traces" / "smoke-forest__seed0__batched.jsonl"
+        assert trace_file.is_file()
+        records = load_trace(trace_file)
+        assert validate_trace(records) == []
+        runs = [record for record in records if record["type"] == "run"]
+        # One run span per (instance, solver) pair of the cell.
+        assert len(runs) == len(result.records)
+
+    def test_cache_hits_are_not_traced(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        _run(SweepRunner(cache=cache))
+        runner = SweepRunner(cache=cache, trace_dir=tmp_path / "traces")
+        result = _run(runner)
+        assert result.from_cache
+        assert not (tmp_path / "traces").exists()
+
+    def test_explicit_trace_path_wins(self, tmp_path):
+        runner = SweepRunner(cache=None)
+        cell = SweepCell(scenario="smoke/forest", seed=0, engine="batched")
+        runner.trace_paths[cell] = str(tmp_path / "exact.jsonl")
+        _run(runner)
+        assert (tmp_path / "exact.jsonl").is_file()
+        assert validate_trace(load_trace(tmp_path / "exact.jsonl")) == []
+
+    def test_stale_trace_file_is_replaced_not_appended(self, tmp_path):
+        # Run ids restart at 0 in every process, so a prior invocation's
+        # file must be started fresh: appending would duplicate run ids and
+        # fail validation.  A leftover from a "previous process" stands in
+        # for the re-run case.
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        stale = trace_dir / "smoke-forest__seed0__batched.jsonl"
+        stale.write_text(
+            json.dumps({"type": "run", "run_id": 0, "trace_schema": 1}) + "\n"
+        )
+        _run(SweepRunner(cache=None, trace_dir=trace_dir))
+        records = load_trace(stale)
+        assert validate_trace(records) == []
+        assert all(record.get("n") is not None
+                   for record in records if record["type"] == "run")
+
+    def test_traced_records_are_byte_identical_to_untraced(self, tmp_path):
+        from repro.orchestration.cache import records_to_bytes
+
+        plain = _run(SweepRunner(cache=None))
+        traced = _run(SweepRunner(cache=None, trace_dir=tmp_path / "traces"))
+        assert records_to_bytes(plain.records) == records_to_bytes(traced.records)
+
+    def test_duck_typed_spec_without_tracer_runs_untraced(self, tmp_path):
+        class LegacySpec:
+            def run(self, seed=0, engine=None):
+                return []
+
+        payload = _execute_cell(
+            LegacySpec(), 0, "batched", None, str(tmp_path / "t.jsonl")
+        )
+        assert payload["records"] == []
+        # No tracer was attached, so nothing was written.
+        assert not (tmp_path / "t.jsonl").exists()
+
+    def test_scenario_run_accepts_a_tracer(self, tmp_path):
+        from repro.obs.trace import FileTracer
+
+        spec = get_scenario("smoke/forest")
+        with FileTracer(tmp_path / "direct.jsonl") as tracer:
+            records = spec.run(seed=0, engine="batched", tracer=tracer)
+        assert records
+        assert validate_trace(load_trace(tmp_path / "direct.jsonl")) == []

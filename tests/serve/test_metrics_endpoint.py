@@ -1,0 +1,163 @@
+"""``GET /metrics`` exposition and the ``--log-json`` access log."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.serve.http import HttpServer
+from repro.serve.loadgen import ServeClient
+from repro.serve.service import RequestError, RunService
+
+
+def tree_payload(seed: int = 0) -> dict:
+    return {
+        "graph": {"kind": "family", "family": "random-tree", "params": {"n": 30}},
+        "algorithm": "deterministic",
+        "seed": seed,
+    }
+
+
+def run_sync(service: RunService, payload: dict) -> dict:
+    return asyncio.run(service.run(payload))
+
+
+@pytest.fixture
+def server(tmp_path):
+    from repro.orchestration.cache import ResultCache
+
+    service = RunService(cache=ResultCache(tmp_path / "cache"))
+    instance = HttpServer(service, host="127.0.0.1", port=0)
+    started = threading.Event()
+    loop_holder = {}
+
+    def run_loop():
+        loop = asyncio.new_event_loop()
+        loop_holder["loop"] = loop
+        asyncio.set_event_loop(loop)
+
+        async def main():
+            await instance.start()
+            started.set()
+            await instance.serve_until_stopped()
+
+        loop.run_until_complete(main())
+        loop.close()
+
+    thread = threading.Thread(target=run_loop, daemon=True)
+    thread.start()
+    assert started.wait(timeout=30)
+    yield instance
+    loop_holder["loop"].call_soon_threadsafe(instance.stop)
+    thread.join(timeout=30)
+
+
+class TestMetricsExposition:
+    def test_golden_exposition_shape(self, tmp_path):
+        """The service-level golden: one executed run, one hit, one error."""
+        from repro.orchestration.cache import ResultCache
+
+        with RunService(cache=ResultCache(tmp_path / "cache")) as service:
+            run_sync(service, tree_payload())
+            run_sync(service, tree_payload())  # response-cache hit
+            with pytest.raises(RequestError):
+                run_sync(service, {"graph": {"kind": "family", "family": "nope"}})
+            text = service.metrics_text()
+        lines = text.splitlines()
+        assert "# TYPE repro_serve_requests_total counter" in lines
+        assert 'repro_serve_requests_total{outcome="executed"} 1' in lines
+        assert 'repro_serve_requests_total{outcome="hit"} 1' in lines
+        assert 'repro_serve_requests_total{outcome="error"} 1' in lines
+        assert "# TYPE repro_serve_request_seconds histogram" in lines
+        assert 'repro_serve_request_seconds_bucket{le="+Inf"} 3' in lines
+        assert "repro_serve_request_seconds_count 3" in lines
+        assert "repro_serve_graphs_resident 1" in lines
+        assert "repro_serve_inflight 0" in lines
+        assert "repro_serve_compiled_graphs 1" in lines
+        assert 'repro_serve_result_cache{op="misses"} 1' in lines
+        assert 'repro_serve_result_cache{op="hits"} 1' in lines
+        assert 'repro_serve_result_cache{op="writes"} 1' in lines
+
+    def test_metrics_route_serves_prometheus_text(self, server):
+        client = ServeClient(port=server.port)
+        client.run(tree_payload())
+        status, text = client.get_text("/metrics")
+        client.close()
+        assert status == 200
+        assert 'repro_serve_requests_total{outcome="executed"} 1' in text
+        assert "repro_serve_request_seconds_bucket" in text
+
+    def test_metrics_listed_in_404_routes(self, server):
+        client = ServeClient(port=server.port)
+        status, body = client.get("/nope")
+        client.close()
+        assert status == 404
+        assert "GET /metrics" in body["error"]["message"]
+
+    def test_histogram_quantile_tracks_observed_latency(self, tmp_path):
+        """The /metrics histogram and direct timing agree within a bucket --
+        the property E17 gates on, checked here at unit scale."""
+        from repro.orchestration.cache import ResultCache
+
+        with RunService(cache=ResultCache(tmp_path / "cache")) as service:
+            for seed in range(5):
+                run_sync(service, tree_payload(seed))
+            histogram = service.metrics.histogram("repro_serve_request_seconds")
+            assert histogram.count == 5
+            mean = histogram.sum / histogram.count
+            p99 = histogram.quantile(0.99)
+            # The reported p99 upper-bounds every observation's bucket; the
+            # mean of real observations can never exceed it.
+            assert mean <= p99
+
+
+class TestJsonAccessLog:
+    def test_run_line_reuses_the_metrics_envelope(self, capsys):
+        server = HttpServer.__new__(HttpServer)
+        server.log_json = True
+        payload = {
+            "ok": True,
+            "metrics": {"cache": "miss", "rounds": 4},
+        }
+        server._access_log("POST", "/run", 200, 0.0123, payload)
+        line = json.loads(capsys.readouterr().out)
+        assert line == {
+            "log": "access",
+            "method": "POST",
+            "path": "/run",
+            "status": 200,
+            "wall_time_s": 0.0123,
+            "metrics": {"cache": "miss", "rounds": 4},
+        }
+
+    def test_error_line_carries_the_error_kind(self, capsys):
+        server = HttpServer.__new__(HttpServer)
+        server.log_json = True
+        server._access_log(
+            "POST", "/run", 400, 0.001, {"ok": False, "error": {"kind": "wire"}}
+        )
+        line = json.loads(capsys.readouterr().out)
+        assert line["status"] == 400
+        assert line["error_kind"] == "wire"
+
+    def test_text_payload_logs_without_metrics(self, capsys):
+        server = HttpServer.__new__(HttpServer)
+        server.log_json = True
+        server._access_log("GET", "/metrics", 200, 0.0005, "text body")
+        line = json.loads(capsys.readouterr().out)
+        assert line["path"] == "/metrics"
+        assert "metrics" not in line
+
+    def test_serve_arguments_accept_log_json(self):
+        import argparse
+
+        from repro.serve.http import add_serve_arguments
+
+        parser = argparse.ArgumentParser()
+        add_serve_arguments(parser)
+        arguments = parser.parse_args(["--log-json"])
+        assert arguments.log_json is True
+        assert parser.parse_args([]).log_json is False
