@@ -95,6 +95,7 @@ __all__ = [
     "ENGINES",
     "get_engine",
     "available_engines",
+    "universal_engines",
     "get_default_engine",
     "set_default_engine",
 ]
@@ -120,6 +121,14 @@ class Engine(abc.ABC):
 
     #: Registry key and human-readable identifier.
     name: str = "abstract"
+
+    #: Whether the engine executes *every* registered algorithm (with a
+    #: fallback where needed).  Partial-capability tiers -- the sharded
+    #: engine supports exactly the kerneled algorithms and raises
+    #: :class:`EngineCapabilityError` otherwise -- set this ``False`` and
+    #: are excluded from :func:`universal_engines`, the set the generic
+    #: cross-engine determinism/parity suites quantify over.
+    universal: bool = True
 
     @abc.abstractmethod
     def execute(
@@ -667,6 +676,10 @@ def _load_entry_point_engines() -> None:
         from repro.congest.kernels.engine import KernelEngine
 
         ENGINES[KernelEngine.name] = KernelEngine
+    if "sharded" not in ENGINES:
+        from repro.congest.sharded.engine import ShardedEngine
+
+        ENGINES[ShardedEngine.name] = ShardedEngine
 
 #: Specification accepted everywhere an engine can be chosen.
 EngineSpec = Union[None, str, Engine, Type[Engine]]
@@ -678,6 +691,19 @@ def available_engines() -> Tuple[str, ...]:
     """Return the registered engine names, sorted."""
     _load_entry_point_engines()
     return tuple(sorted(ENGINES))
+
+
+def universal_engines() -> Tuple[str, ...]:
+    """Registered engines that can execute every algorithm, sorted.
+
+    The cross-engine determinism and parity suites quantify over this
+    set.  It excludes partial-capability tiers (``Engine.universal`` is
+    ``False``), currently the sharded engine, whose own byte-parity gate
+    against the kernel tier lives in
+    ``tests/congest/test_sharded_parity.py``.
+    """
+    _load_entry_point_engines()
+    return tuple(sorted(name for name, cls in ENGINES.items() if cls.universal))
 
 
 def get_default_engine() -> str:

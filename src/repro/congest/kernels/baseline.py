@@ -73,8 +73,10 @@ class _FaultedLWDeterministic:
             self.covered |= joining
             run.broadcast(round_index, joining, KIND_JOINED, bits=1)
 
-    def outputs(self):
-        return output_dicts(self.grid.node_order, {"in_ds": self.in_ds.tolist()})
+    def outputs(self, count=None):
+        return output_dicts(
+            self.grid.node_order, {"in_ds": self.in_ds.tolist()}, count
+        )
 
 
 def lw_deterministic_kernel(grid, config, algorithm, *, budget, limit, strict, seed=None, hooks=None):

@@ -76,8 +76,10 @@ class _FaultedForest:
             self.in_ds |= leaves
         self.finished |= acting
 
-    def outputs(self):
-        return output_dicts(self.grid.node_order, {"in_ds": self.in_ds.tolist()})
+    def outputs(self, count=None):
+        return output_dicts(
+            self.grid.node_order, {"in_ds": self.in_ds.tolist()}, count
+        )
 
 
 def forest_kernel(grid, config, algorithm, *, budget, limit, strict, seed=None, hooks=None):

@@ -17,6 +17,7 @@ so one grid is shared by every execution on the same graph:
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Any, Callable, Hashable, Optional, Sequence
 
 import numpy as np
@@ -154,16 +155,22 @@ def grid_from_csr(csr_graph: Any) -> KernelGrid:
     return grid
 
 
-def output_dicts(node_order: Sequence[Hashable], columns: "dict") -> "dict":
+def output_dicts(
+    node_order: Sequence[Hashable], columns: "dict", count: Optional[int] = None
+) -> "dict":
     """Zip per-node column lists into the reference ``outputs`` mapping.
 
     ``columns`` maps field name to a plain Python list (one entry per node,
     already converted to native scalars); the result is
     ``{node_id: {field: value, ...}, ...}`` in node order, matching what
-    ``algorithm.output`` would have produced node by node.
+    ``algorithm.output`` would have produced node by node.  ``count`` keeps
+    only the first ``count`` nodes: a sharded worker ships its own rows and
+    must not pay the per-node dict cost of its halo (on large hash
+    partitions the halo is most of the local grid).
     """
     names = list(columns)
     value_rows = zip(*(columns[name] for name in names))
-    return {
-        node: dict(zip(names, row)) for node, row in zip(node_order, value_rows)
-    }
+    pairs = zip(node_order, value_rows)
+    if count is not None:
+        pairs = islice(pairs, count)
+    return {node: dict(zip(names, row)) for node, row in pairs}

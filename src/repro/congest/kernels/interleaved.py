@@ -137,8 +137,10 @@ class _FaultedLWRandomized:
             self.covered |= joiners
             run.broadcast(round_index, joiners, KIND_JOINED, bits=1)
 
-    def outputs(self):
-        return output_dicts(self.grid.node_order, {"in_ds": self.in_ds.tolist()})
+    def outputs(self, count=None):
+        return output_dicts(
+            self.grid.node_order, {"in_ds": self.in_ds.tolist()}, count
+        )
 
 
 def lw_randomized_kernel(grid, config, algorithm, *, budget, limit, strict, seed=None, hooks=None):
@@ -342,26 +344,27 @@ class _FaultedUnknownDegree:
         else:
             self._round_c(round_index, acting, inbox, run)
 
-    def outputs(self):
-        n = self.grid.n
+    def outputs(self, count=None):
+        n = self.grid.n if count is None else count
         tau_column = [
             int(value) if known else None
-            for value, known in zip(self.tau.tolist(), self.has_tau.tolist())
+            for value, known in zip(self.tau[:n].tolist(), self.has_tau[:n].tolist())
         ]
-        x_column = self.x.tolist()
+        x_column = self.x[:n].tolist()
         return output_dicts(
             self.grid.node_order,
             {
-                "in_ds": (self.in_s | self.in_s_prime).tolist(),
-                "in_partial": self.in_s.tolist(),
-                "in_extension": self.in_s_prime.tolist(),
+                "in_ds": (self.in_s[:n] | self.in_s_prime[:n]).tolist(),
+                "in_partial": self.in_s[:n].tolist(),
+                "in_extension": self.in_s_prime[:n].tolist(),
                 "x_partial": x_column,
                 "x": x_column,
                 "tau": tau_column,
-                "iterations": self.iterations.tolist(),
+                "iterations": self.iterations[:n].tolist(),
                 "alpha_estimate": [None] * n,
                 "fallback_join": [False] * n,
             },
+            count,
         )
 
 

@@ -375,25 +375,26 @@ class _FaultedPrimalDual:
             self.dominated |= selected
         self.finished |= acting
 
-    def outputs(self):
-        n = self.grid.n
+    def outputs(self, count=None):
+        n = self.grid.n if count is None else count
         tau_column = [
             int(value) if known else None
-            for value, known in zip(self.tau.tolist(), self.has_tau.tolist())
+            for value, known in zip(self.tau[:n].tolist(), self.has_tau[:n].tolist())
         ]
         return output_dicts(
             self.grid.node_order,
             {
-                "in_ds": (self.in_s | self.in_s_prime).tolist(),
-                "in_partial": self.in_s.tolist(),
-                "in_extension": self.in_s_prime.tolist(),
-                "dominated_by_partial": self.dominated_at_partial.tolist(),
-                "x_partial": self.x_partial.tolist(),
-                "x": self.x.tolist(),
+                "in_ds": (self.in_s[:n] | self.in_s_prime[:n]).tolist(),
+                "in_partial": self.in_s[:n].tolist(),
+                "in_extension": self.in_s_prime[:n].tolist(),
+                "dominated_by_partial": self.dominated_at_partial[:n].tolist(),
+                "x_partial": self.x_partial[:n].tolist(),
+                "x": self.x[:n].tolist(),
                 "tau": tau_column,
-                "increase_count": self.increase_count.tolist(),
+                "increase_count": self.increase_count[:n].tolist(),
                 "fallback_join": [False] * n,
             },
+            count,
         )
 
 

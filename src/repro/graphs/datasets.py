@@ -1,0 +1,223 @@
+"""Pinned real-graph datasets: download, verify, ingest.
+
+The ingestion layer (:mod:`repro.graphs.ingest`) parses any SNAP-style
+edge list it is handed; this module is the curated front door -- a small
+registry of *pinned* public datasets with URLs, expected scale, and
+sha256 verification, driven by ``python -m repro ingest --download NAME``.
+
+Verification model
+------------------
+Every downloaded payload is hashed.  A :class:`DatasetSpec` carrying a
+pinned ``sha256`` is enforced strictly: a mismatch deletes nothing but
+refuses to ingest.  The shipped SNAP entries carry ``sha256=None``
+because this repository is built in an offline environment where the
+upstream bytes cannot be fetched to take their digest; for those, the
+digest is recorded in a ``<file>.sha256`` sidecar on first download and
+verified against the sidecar on every later call (trust-on-first-use).
+Pin a digest by filling ``DATASETS[name].sha256`` -- the sidecar then
+becomes redundant but is still cross-checked.
+
+Downloads land under ``--data-dir`` (default ``data/snap``) and are
+cached: a file that already exists and verifies is never re-fetched.
+``fetcher`` is injectable -- ``fetch(url) -> bytes`` -- which is what
+lets the test-suite exercise download, verification, mismatch, and
+caching entirely offline against a local fixture.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.graphs.ingest import ingest_edge_list
+from repro.graphs.large_scale import CSRGraph
+from repro.run.algorithms import registry_lookup
+
+__all__ = [
+    "DATASETS",
+    "DEFAULT_DATA_DIR",
+    "DatasetSpec",
+    "DatasetVerificationError",
+    "available_datasets",
+    "dataset_path",
+    "download_dataset",
+    "load_dataset",
+    "sha256_file",
+]
+
+#: Where ``repro ingest --download`` puts payloads unless told otherwise.
+DEFAULT_DATA_DIR = os.path.join("data", "snap")
+
+_CHUNK = 1 << 20
+
+
+class DatasetVerificationError(RuntimeError):
+    """A downloaded payload's sha256 does not match its pin/sidecar."""
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One pinned downloadable dataset.
+
+    ``sha256`` is the strict pin (hex digest of the compressed payload as
+    served); ``None`` falls back to the trust-on-first-use sidecar.  The
+    ``nodes``/``edges`` figures are the upstream-documented scale, used
+    for listings and post-ingest sanity messages, not enforced (SNAP
+    counts include duplicate/self-loop listings the ingester drops).
+    """
+
+    name: str
+    url: str
+    filename: str
+    description: str
+    nodes: int
+    edges: int
+    sha256: Optional[str] = None
+
+
+#: The curated registry.  Three SNAP classics spanning three orders of
+#: magnitude, all small enough to download in CI yet real enough to have
+#: sparse ids, duplicate listings, and comment headers.
+DATASETS: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec(
+            name="ca-grqc",
+            url="https://snap.stanford.edu/data/ca-GrQc.txt.gz",
+            filename="ca-GrQc.txt.gz",
+            description="arXiv GR-QC collaboration network",
+            nodes=5242,
+            edges=14496,
+        ),
+        DatasetSpec(
+            name="ego-facebook",
+            url="https://snap.stanford.edu/data/facebook_combined.txt.gz",
+            filename="facebook_combined.txt.gz",
+            description="Facebook ego-network union (anonymised)",
+            nodes=4039,
+            edges=88234,
+        ),
+        DatasetSpec(
+            name="roadnet-pa",
+            url="https://snap.stanford.edu/data/roadNet-PA.txt.gz",
+            filename="roadNet-PA.txt.gz",
+            description="Pennsylvania road network (~3e6 edges)",
+            nodes=1088092,
+            edges=1541898,
+        ),
+    )
+}
+
+
+def available_datasets() -> Tuple[str, ...]:
+    """Registered dataset names, sorted."""
+    return tuple(sorted(DATASETS))
+
+
+def _resolve(name: str) -> DatasetSpec:
+    return registry_lookup(DATASETS, name, "dataset")
+
+
+def dataset_path(name: str, data_dir: str = DEFAULT_DATA_DIR) -> str:
+    """Where ``name``'s payload lives (or would live) under ``data_dir``."""
+    return os.path.join(data_dir, _resolve(name).filename)
+
+
+def sha256_file(path: str) -> str:
+    """Streaming sha256 of a file (constant memory, 1 MiB chunks)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as stream:
+        while True:
+            chunk = stream.read(_CHUNK)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _default_fetcher(url: str) -> bytes:
+    import urllib.request
+
+    with urllib.request.urlopen(url, timeout=120) as response:
+        return response.read()
+
+
+def _verify(spec: DatasetSpec, path: str) -> str:
+    """Check ``path`` against the pin (or sidecar); return its digest.
+
+    Strict pin first; with no pin, the sidecar written at download time is
+    the reference.  A file with neither (pre-existing, hand-copied) gains a
+    sidecar now -- the same trust-on-first-use moment as a download.
+    """
+    digest = sha256_file(path)
+    if spec.sha256 is not None:
+        if digest != spec.sha256:
+            raise DatasetVerificationError(
+                f"dataset {spec.name!r}: sha256 mismatch for {path}: "
+                f"expected {spec.sha256}, got {digest}"
+            )
+        return digest
+    sidecar = path + ".sha256"
+    if os.path.exists(sidecar):
+        with open(sidecar, "r", encoding="ascii") as stream:
+            expected = stream.read().split()[0]
+        if digest != expected:
+            raise DatasetVerificationError(
+                f"dataset {spec.name!r}: sha256 mismatch for {path}: "
+                f"first-download sidecar recorded {expected}, got {digest}"
+            )
+    else:
+        with open(sidecar, "w", encoding="ascii") as stream:
+            stream.write(f"{digest}  {spec.filename}\n")
+    return digest
+
+
+def download_dataset(
+    name: str,
+    data_dir: str = DEFAULT_DATA_DIR,
+    fetcher: Optional[Callable[[str], bytes]] = None,
+    force: bool = False,
+) -> str:
+    """Fetch (if absent), verify, and return the local payload path.
+
+    An existing verified file short-circuits the fetch entirely, so the
+    call is cheap to repeat; ``force=True`` re-downloads regardless.  The
+    payload is written atomically (``.part`` then rename) so an
+    interrupted download never masquerades as a cached dataset.
+    """
+    spec = _resolve(name)
+    path = os.path.join(data_dir, spec.filename)
+    if not force and os.path.exists(path):
+        _verify(spec, path)
+        return path
+    fetch = fetcher if fetcher is not None else _default_fetcher
+    payload = fetch(spec.url)
+    os.makedirs(data_dir, exist_ok=True)
+    partial = path + ".part"
+    with open(partial, "wb") as stream:
+        stream.write(payload)
+    os.replace(partial, path)
+    # A forced re-download re-takes the trust-on-first-use digest.
+    sidecar = path + ".sha256"
+    if force and spec.sha256 is None and os.path.exists(sidecar):
+        os.remove(sidecar)
+    try:
+        _verify(spec, path)
+    except DatasetVerificationError:
+        # Never leave an unverifiable payload where the cache check would
+        # accept its existence next call.
+        os.remove(path)
+        raise
+    return path
+
+
+def load_dataset(
+    name: str,
+    data_dir: str = DEFAULT_DATA_DIR,
+    fetcher: Optional[Callable[[str], bytes]] = None,
+) -> CSRGraph:
+    """Download-if-needed + verify + ingest, in one call."""
+    path = download_dataset(name, data_dir=data_dir, fetcher=fetcher)
+    return ingest_edge_list(path, name=name)

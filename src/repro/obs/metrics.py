@@ -25,7 +25,30 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "peak_rss_kib",
 ]
+
+
+def peak_rss_kib() -> int:
+    """This process's peak resident set size in KiB.
+
+    Prefers ``VmHWM`` from ``/proc/self/status`` over
+    ``getrusage(...).ru_maxrss`` because the high-water mark is tracked per
+    address space: an exec'd (``spawn``) child starts it fresh, while its
+    ``ru_maxrss`` inherits the parent's copy-on-write footprint at fork
+    time -- a spawn worker forked off a coordinator holding a 10^7-node
+    graph would report the coordinator's peak, not its own.
+    """
+    import resource
+
+    try:
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:  # pragma: no cover - non-Linux fallback
+        pass
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 #: Log-spaced latency buckets (seconds) from 0.1 ms to one minute -- wide
 #: enough that a cache hit and a 10^5-node kernel run land in interior

@@ -71,13 +71,21 @@ __all__ = ["main", "build_parser"]
 #: The two universally applicable engines (the ``--smoke``/``both`` pair).
 _ENGINES = ("batched", "reference")
 
-#: All selectable engines.  ``kernel`` executes the hot algorithms --
+#: The ``--engine all`` grid.  ``kernel`` executes the hot algorithms --
 #: fault scenarios included -- as node-loop-free array programs (other
 #: solvers fall back to batched, recorded via ``RunMetrics.engine_used``);
 #: it is opt-in rather than part of ``both`` purely to keep the smoke pair
 #: small.  Cells an engine genuinely cannot run surface as explicit
 #: ``skipped`` results in the sweep summary.
 _ALL_ENGINES = ("batched", "kernel", "reference")
+
+#: Everything ``--engine`` accepts.  ``sharded`` (the multi-process
+#: partitioned-CSR tier) is selectable but deliberately *not* part of
+#: ``--engine all``: it cannot run fault plans, so folding it into the
+#: ``all`` grid would turn every fault scenario into a skip.  Select it
+#: explicitly (optionally with ``--shards N``); unsupported cells surface
+#: as structured skips.
+_SELECTABLE_ENGINES = _ALL_ENGINES + ("sharded",)
 
 
 class _UsageError(Exception):
@@ -133,9 +141,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=0, help="sweep cell seed (default 0)")
     _add_cache_arguments(run_parser)
     run_parser.add_argument(
-        "--engine", choices=_ALL_ENGINES, default=DEFAULT_SWEEP_ENGINE,
+        "--engine", choices=_SELECTABLE_ENGINES, default=DEFAULT_SWEEP_ENGINE,
         help="simulation engine (default: batched)",
     )
+    _add_shards_argument(run_parser)
     run_parser.add_argument(
         "--trace", default=None, metavar="FILE.jsonl",
         help="write a JSONL span trace of the cell's runs (forces execution: "
@@ -160,10 +169,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="worker processes (default 1 = serial)"
     )
     sweep_parser.add_argument(
-        "--engine", choices=_ALL_ENGINES + ("both", "all"), default=DEFAULT_SWEEP_ENGINE,
+        "--engine", choices=_SELECTABLE_ENGINES + ("both", "all"),
+        default=DEFAULT_SWEEP_ENGINE,
         help="simulation engine; 'both' runs batched+reference per cell, 'all' "
-             "adds the kernel tier",
+             "adds the kernel tier (the sharded tier is select-explicitly only)",
     )
+    _add_shards_argument(sweep_parser)
     sweep_parser.add_argument(
         "--report", action="store_true", help="print the full record tables, not just totals"
     )
@@ -181,7 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("scenarios", nargs="+", help="scenario names")
     report_parser.add_argument("--seed", type=int, default=0, help="cell seed (default 0)")
     report_parser.add_argument(
-        "--engine", choices=_ALL_ENGINES, default=DEFAULT_SWEEP_ENGINE,
+        "--engine", choices=_SELECTABLE_ENGINES, default=DEFAULT_SWEEP_ENGINE,
         help="simulation engine the cells were run under",
     )
     report_parser.add_argument("--cache-dir", default=None, help="cache directory")
@@ -195,6 +206,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="where --plots writes figures (default: results/plots)",
     )
 
+    ingest_parser = subparsers.add_parser(
+        "ingest",
+        help="parse an edge-list file -- or download a pinned SNAP dataset -- "
+             "into canonical CSR form and print its profile",
+    )
+    ingest_parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="edge-list file, SNAP style, optionally .gz (omit with --download/--list)",
+    )
+    ingest_parser.add_argument(
+        "--download", default=None, metavar="NAME",
+        help="fetch + sha256-verify a pinned dataset (see --list), then ingest it",
+    )
+    ingest_parser.add_argument(
+        "--list", action="store_true", dest="list_datasets",
+        help="list the pinned downloadable datasets",
+    )
+    ingest_parser.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="where downloads live (default: data/snap)",
+    )
+    ingest_parser.add_argument(
+        "--force", action="store_true",
+        help="re-download even when a verified copy exists",
+    )
+    ingest_parser.add_argument(
+        "--json", action="store_true", help="emit the ingest profile as JSON"
+    )
+
     serve_parser = subparsers.add_parser(
         "serve", help="start the long-lived HTTP run service (see repro.serve)"
     )
@@ -202,6 +244,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_serve_arguments(serve_parser)
     return parser
+
+
+def _add_shards_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="worker-process count for --engine sharded (results are "
+             "shard-count-independent; default: the sharded tier's own)",
+    )
+
+
+def _resolve_shards(arguments: argparse.Namespace) -> Optional[int]:
+    """Validate the ``--shards``/``--engine`` pairing as a usage error."""
+    shards = getattr(arguments, "shards", None)
+    if shards is None:
+        return None
+    if shards < 1:
+        raise _UsageError(f"--shards must be >= 1, got {shards}")
+    if arguments.engine != "sharded":
+        raise _UsageError(
+            f"--shards requires --engine sharded (got --engine {arguments.engine})"
+        )
+    return shards
 
 
 def _add_faults_argument(parser: argparse.ArgumentParser) -> None:
@@ -259,12 +323,83 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _command_sweep,
         "report": _command_report,
         "serve": _command_serve,
+        "ingest": _command_ingest,
     }
     try:
         return handlers[arguments.command](arguments)
     except _UsageError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
+
+
+def _command_ingest(arguments: argparse.Namespace) -> int:
+    """Ingest a file (or a pinned downloadable dataset) and print its profile."""
+    from repro.graphs import datasets as ds
+    from repro.graphs.ingest import ingest_edge_list
+
+    data_dir = arguments.data_dir or ds.DEFAULT_DATA_DIR
+    if arguments.list_datasets:
+        if arguments.path is not None or arguments.download is not None:
+            raise _UsageError("--list takes no file path or --download")
+        print(f"{len(ds.DATASETS)} pinned datasets (data dir: {data_dir}):")
+        width = max(len(name) for name in ds.DATASETS)
+        for name in ds.available_datasets():
+            spec = ds.DATASETS[name]
+            pin = spec.sha256[:12] if spec.sha256 else "first-download"
+            print(
+                f"  {name.ljust(width)}  ~{spec.nodes:>9,} nodes "
+                f"~{spec.edges:>11,} edges  sha256: {pin:<14}  {spec.description}"
+            )
+        return 0
+    if (arguments.path is None) == (arguments.download is None):
+        raise _UsageError("give an edge-list path or --download NAME (or --list)")
+    if arguments.download is not None:
+        try:
+            path = ds.download_dataset(
+                arguments.download, data_dir=data_dir, force=arguments.force
+            )
+        except KeyError as error:
+            raise _UsageError(error.args[0]) from None
+        except ds.DatasetVerificationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        except OSError as error:
+            raise _UsageError(f"download failed: {error}") from None
+        graph = ingest_edge_list(path, name=arguments.download)
+        digest = ds.sha256_file(path)
+    else:
+        path = arguments.path
+        try:
+            graph = ingest_edge_list(path)
+        except OSError as error:
+            raise _UsageError(str(error)) from None
+        except ValueError as error:
+            raise _UsageError(f"{path}: {error}") from None
+        digest = ds.sha256_file(path)
+    profile = {
+        "name": graph.name,
+        "path": str(path),
+        "sha256": digest,
+        "nodes": graph.n,
+        "edges": graph.m,
+        "max_degree": graph.max_degree,
+        "lines": graph.params.get("lines"),
+        "self_loops_dropped": graph.params.get("self_loops_dropped"),
+        "duplicates_dropped": graph.params.get("duplicates_dropped"),
+    }
+    if arguments.json:
+        print(json.dumps(profile, indent=2, sort_keys=True))
+        return 0
+    print(f"ingested {graph.name}: {path}")
+    print(f"  sha256      {digest}")
+    print(f"  nodes       {graph.n:,}")
+    print(f"  edges       {graph.m:,} (max degree {graph.max_degree})")
+    print(
+        f"  dropped     {profile['self_loops_dropped']} self-loops, "
+        f"{profile['duplicates_dropped']} duplicate listings "
+        f"({profile['lines']} data lines)"
+    )
+    return 0
 
 
 def _command_serve(arguments: argparse.Namespace) -> int:
@@ -382,8 +517,9 @@ def _command_run(arguments: argparse.Namespace) -> int:
     if arguments.scenario is None:
         raise _UsageError("a scenario name (or --spec FILE.json) is required")
     _resolve_scenario(arguments.scenario)  # fail fast on unknown names
+    shards = _resolve_shards(arguments)
     (name,) = _overlay_faults([arguments.scenario], arguments.faults)
-    runner = SweepRunner(cache=_make_cache(arguments), workers=1)
+    runner = SweepRunner(cache=_make_cache(arguments), workers=1, shards=shards)
     if arguments.trace is not None:
         # A trace of a cache hit would be empty: force execution (results
         # are still written back so later runs hit the cache again).
@@ -433,6 +569,7 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     names = _overlay_faults(names, arguments.faults)
+    shards = _resolve_shards(arguments)
     if arguments.engine == "all":
         engines: Sequence[str] = _ALL_ENGINES
     elif arguments.smoke or arguments.engine == "both":
@@ -446,6 +583,7 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
         cache=cache,
         workers=max(1, arguments.workers),
         trace_dir=arguments.trace_dir,
+        shards=shards,
     )
 
     results: List[CellResult] = []

@@ -325,6 +325,7 @@ class SolverSpec:
         cell_seed: int,
         engine: Optional[str],
         faults: Optional[FaultSpec] = None,
+        shards: Optional[int] = None,
     ) -> RunSpec:
         """The declarative form of one (instance, solver, cell) execution.
 
@@ -334,6 +335,11 @@ class SolverSpec:
         different algorithms) and across engines (the cross-engine parity
         gate); the executing session wraps it around the cell's engine as an
         :class:`~repro.faults.AdversarialEngine`.
+
+        ``shards`` is the worker-process count for ``engine="sharded"``
+        cells; it shapes the process layout only (results are
+        shard-count-independent) and is ignored unless the sharded tier is
+        the cell's engine.
         """
         plan = None
         if faults is not None:
@@ -347,6 +353,7 @@ class SolverSpec:
             seed=cell_seed + self.seed_offset,
             engine=engine,
             faults=plan,
+            shards=shards if engine == "sharded" else None,
         )
 
     def make_solver(
@@ -355,6 +362,7 @@ class SolverSpec:
         engine: Optional[str],
         faults: Optional[FaultSpec] = None,
         session: Optional[Session] = None,
+        shards: Optional[int] = None,
     ) -> Solver:
         """Bind the spec to a concrete (seed, engine) cell.
 
@@ -368,7 +376,9 @@ class SolverSpec:
         runner = session if session is not None else Session()
 
         def _solver(instance: GraphInstance):
-            return runner.run(self.make_runspec(instance, cell_seed, engine, faults))
+            return runner.run(
+                self.make_runspec(instance, cell_seed, engine, faults, shards=shards)
+            )
 
         return _solver
 
@@ -470,6 +480,7 @@ class ScenarioSpec:
         seed: int = 0,
         engine: Optional[str] = None,
         tracer: Optional[object] = None,
+        shards: Optional[int] = None,
     ) -> List[ExperimentRecord]:
         """Run every solver on every instance and return verified records.
 
@@ -480,6 +491,8 @@ class ScenarioSpec:
         congest test-suite and re-checked by ``python -m repro sweep --smoke``).
         ``tracer`` (a :class:`repro.obs.trace.Tracer`) makes every run in
         the cell emit its span tree; records are byte-identical either way.
+        ``shards`` sets the worker-process count when ``engine="sharded"``
+        (results are shard-count-independent; ignored for other engines).
         """
         instances = self.build_instances(seed)
         # One compiled session for the whole cell: every solver running on
@@ -488,7 +501,7 @@ class ScenarioSpec:
         session = Session(tracer=tracer)
         solvers = {
             spec.display_label: spec.make_solver(
-                seed, engine, faults=self.faults, session=session
+                seed, engine, faults=self.faults, session=session, shards=shards
             )
             for spec in self.solvers
         }

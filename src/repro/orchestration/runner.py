@@ -197,6 +197,7 @@ def _execute_cell(
     engine: str,
     default_engine: Optional[str] = None,
     trace_path: Optional[str] = None,
+    shards: Optional[int] = None,
 ) -> Dict[str, object]:
     """Worker entry point: run one cell of an already-resolved scenario.
 
@@ -240,6 +241,10 @@ def _execute_cell(
     from repro.congest.errors import EngineCapabilityError
 
     run_kwargs: Dict[str, object] = {"seed": seed, "engine": engine}
+    if shards is not None and _accepts_keyword(spec, "shards"):
+        # Worker-process count for the sharded tier.  Results are
+        # shard-count-independent, so this never appears in cache keys.
+        run_kwargs["shards"] = shards
     tracer = None
     if trace_path is not None and _accepts_tracer(spec):
         from repro.obs.trace import FileTracer
@@ -269,11 +274,11 @@ def _execute_cell(
     }
 
 
-def _accepts_tracer(spec) -> bool:
-    """Whether ``spec.run`` can take a ``tracer`` keyword.
+def _accepts_keyword(spec, name: str) -> bool:
+    """Whether ``spec.run`` can take the ``name`` keyword.
 
-    Duck-typed user specs predate the observability layer; those run
-    untraced rather than crash the cell.
+    Duck-typed user specs predate newer keywords (``tracer``, ``shards``);
+    those run without the extra knob rather than crash the cell.
     """
     import inspect
 
@@ -281,16 +286,20 @@ def _accepts_tracer(spec) -> bool:
         parameters = inspect.signature(spec.run).parameters
     except (TypeError, ValueError):  # builtins / C callables
         return False
-    return "tracer" in parameters or any(
+    return name in parameters or any(
         parameter.kind is inspect.Parameter.VAR_KEYWORD
         for parameter in parameters.values()
     )
 
 
+def _accepts_tracer(spec) -> bool:
+    return _accepts_keyword(spec, "tracer")
+
+
 def _execute_cell_job(job) -> Dict[str, object]:
     """Picklable single-argument adapter over :func:`_execute_cell`."""
-    spec, seed, engine, default_engine, trace_path = job
-    return _execute_cell(spec, seed, engine, default_engine, trace_path)
+    spec, seed, engine, default_engine, trace_path, shards = job
+    return _execute_cell(spec, seed, engine, default_engine, trace_path, shards)
 
 
 @dataclass
@@ -321,6 +330,10 @@ class SweepRunner:
     trace_dir: Optional[Union[str, Path]] = None
     trace_paths: Dict[SweepCell, str] = field(default_factory=dict, repr=False)
     refresh: bool = False
+    #: Worker-process count handed to ``engine="sharded"`` cells.  Results
+    #: are shard-count-independent, so it is deliberately absent from cache
+    #: keys: a cached sharded cell answers for every shard count.
+    shards: Optional[int] = None
     _keys: Dict[SweepCell, Tuple[str, str]] = field(default_factory=dict, repr=False)
     _specs: Dict[str, object] = field(default_factory=dict, repr=False)
 
@@ -375,6 +388,7 @@ class SweepRunner:
                 cell.engine,
                 default_engine,
                 self._trace_path(cell),
+                self.shards,
             )
             for cell in misses
         ]

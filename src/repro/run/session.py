@@ -411,8 +411,15 @@ class Session:
             seed=spec.seed,
         )
         engine_spec = spec.engine if spec.engine is not None else self.engine
+        sharded = self._resolve_sharded(engine_spec, spec)
+        if sharded is not None:
+            engine_spec = sharded
         plan = compiled.fault_plan(spec)
-        if plan is not None or hook_wrapper is not None:
+        if plan is not None or (hook_wrapper is not None and sharded is None):
+            # Fault-free sharded runs stay unwrapped: per-round hooks cannot
+            # cross the process boundary, so traced runs emit their round
+            # records from the metrics (like the fault-free CSR path), and
+            # faulted sharded cells surface EngineCapabilityError below.
             from repro.faults import AdversarialEngine
 
             engine_spec = AdversarialEngine(
@@ -425,6 +432,36 @@ class Session:
             engine=engine_spec,
         )
         return simulator.run(network, resolved.algorithm)
+
+    @staticmethod
+    def _resolve_sharded(engine_spec: Any, spec: RunSpec):
+        """A :class:`ShardedEngine` instance when the run selects the sharded
+        tier (folding in ``spec.shards``), else ``None``.
+
+        ``spec.shards`` with any other resolved engine is an error -- the
+        knob only exists on the sharded tier.
+        """
+        selected = (
+            engine_spec == "sharded"
+            or getattr(engine_spec, "name", None) == "sharded"
+        )
+        if not selected and spec.shards is None:
+            return None
+        from repro.congest.engine import get_engine
+        from repro.congest.sharded.engine import ShardedEngine
+
+        engine = get_engine(engine_spec)
+        if not isinstance(engine, ShardedEngine):
+            raise ValueError(
+                f"shards requires engine='sharded', got engine={engine.name!r}"
+            )
+        if spec.shards is not None and engine.shards != spec.shards:
+            engine = ShardedEngine(
+                shards=spec.shards,
+                start_method=engine.start_method,
+                barrier_timeout=engine.barrier_timeout,
+            )
+        return engine
 
     def _package_network(
         self, compiled: CompiledGraph, raw, resolved: ResolvedRun, spec: RunSpec
@@ -469,10 +506,16 @@ class Session:
         # of tripping over the process-wide default.
         engine = get_engine("kernel" if engine_spec is None else engine_spec)
         fault_label = fault_model_label(spec.faults)
+        if engine.name == "sharded" or spec.shards is not None:
+            sharded = self._resolve_sharded(engine, spec)
+            return self._simulate_csr_sharded(
+                compiled, csr, resolved, spec, sharded, fault_label
+            )
         if not isinstance(engine, KernelEngine):
             raise EngineCapabilityError(
-                f"CSRGraph inputs run on engine='kernel' only (got {engine.name!r}); "
-                "use CSRGraph.to_networkx() for the reference/batched engines",
+                f"CSRGraph inputs run on engine='kernel' or engine='sharded' only "
+                f"(got {engine.name!r}); use CSRGraph.to_networkx() for the "
+                "reference/batched engines",
                 algorithm=spec.algorithm_label,
                 engine=engine.name,
                 fault_model=fault_label,
@@ -521,6 +564,60 @@ class Session:
             grid_from_csr(csr), config, algorithm,
             budget=budget, limit=limit, strict=spec.strict,
             seed=spec.seed, hooks=hooks,
+        )
+        metrics.engine_used = engine.name
+        return RunResult(
+            algorithm_name=algorithm.name, outputs=outputs, metrics=metrics
+        )
+
+    def _simulate_csr_sharded(
+        self, compiled, csr, resolved, spec: RunSpec, engine, fault_label
+    ):
+        """Execute a CSR spec across shard worker processes.
+
+        Same capability contract as the engine itself: fault plans and
+        unkerneled algorithms raise :class:`EngineCapabilityError` so sweeps
+        surface the cell as a structured skip.
+        """
+        from repro.congest.errors import EngineCapabilityError
+        from repro.congest.kernels.grid import grid_from_csr
+        from repro.congest.network import shared_config
+        from repro.congest.sharded.engine import (
+            has_sharded_program,
+            run_sharded_program,
+        )
+        from repro.congest.simulator import RunResult, resolve_budget_and_limit
+
+        if compiled.fault_plan(spec) is not None:
+            raise EngineCapabilityError(
+                "unsupported capability cell: fault plans do not run on "
+                "engine='sharded'; run faulted CSR cells on engine='kernel'",
+                algorithm=spec.algorithm_label,
+                engine="sharded",
+                fault_model=fault_label,
+            )
+        algorithm = resolved.algorithm
+        if not has_sharded_program(algorithm):
+            raise EngineCapabilityError(
+                f"algorithm {spec.algorithm_label!r} has no sharded program; "
+                "engine='sharded' supports exactly the kerneled algorithms",
+                algorithm=spec.algorithm_label,
+                engine="sharded",
+            )
+        config = shared_config(
+            csr.n, csr.max_degree, resolved.alpha, spec.config,
+            resolved.knows_max_degree,
+        )
+        budget, limit = resolve_budget_and_limit(
+            algorithm, csr, spec.bandwidth_words, spec.max_rounds
+        )
+        outputs, metrics = run_sharded_program(
+            grid_from_csr(csr), config, algorithm,
+            budget=budget, limit=limit, strict=spec.strict,
+            seed=spec.seed, shards=engine.shards,
+            start_method=engine.start_method,
+            barrier_timeout=engine.barrier_timeout,
+            tracer=None,
         )
         metrics.engine_used = engine.name
         return RunResult(

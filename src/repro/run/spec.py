@@ -67,8 +67,9 @@ class RunSpec:
         ``apply(graph, seed)`` method (e.g. a registry ``WeightSpec``,
         seeded with ``graph_seed``).
     engine:
-        Simulation engine (``"reference"``/``"batched"``/``"kernel"``, an
-        engine instance, or ``None`` for the session/process default).
+        Simulation engine (``"reference"``/``"batched"``/``"kernel"``/
+        ``"sharded"``, an engine instance, or ``None`` for the
+        session/process default).
     faults:
         Adversarial regime: a materialised
         :class:`~repro.faults.plan.FaultPlan`, a graph-agnostic
@@ -98,6 +99,11 @@ class RunSpec:
     config:
         Extra globally-known entries merged into every node's config
         mapping.
+    shards:
+        Worker-process count for ``engine="sharded"`` (``None`` uses the
+        sharded tier's default).  Setting it with any other explicit engine
+        is an error -- results are shard-count-independent, so the knob
+        only affects process layout, never outputs.
     """
 
     graph: Union[nx.Graph, Any]
@@ -117,6 +123,7 @@ class RunSpec:
     knows_max_degree: Optional[bool] = None
     guarantee: Optional[float] = None
     config: Optional[Mapping[str, Any]] = None
+    shards: Optional[int] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.algorithm, str):
@@ -139,6 +146,13 @@ class RunSpec:
             raise ValueError(f"bandwidth_words must be >= 0, got {self.bandwidth_words}")
         if isinstance(self.engine, str):
             get_engine(self.engine)  # unknown engine names fail fast
+        if self.shards is not None:
+            if self.shards < 1:
+                raise ValueError(f"shards must be >= 1, got {self.shards}")
+            if isinstance(self.engine, str) and self.engine != "sharded":
+                raise ValueError(
+                    f"shards requires engine='sharded', got engine={self.engine!r}"
+                )
         if isinstance(self.faults, str):
             from repro.faults import FAULT_MODELS
 

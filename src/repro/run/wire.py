@@ -532,6 +532,7 @@ _FIELD_DECODERS: Dict[str, Callable[[Any], Any]] = {
     "knows_max_degree": lambda value: _check_bool("knows_max_degree", value, optional=True),
     "guarantee": lambda value: _check_number("guarantee", value, optional=True),
     "config": lambda value: _check_params("config", value, optional=True),
+    "shards": lambda value: _check_int("shards", value, optional=True),
 }
 
 
@@ -574,6 +575,7 @@ def spec_to_dict(spec: RunSpec) -> Dict[str, Any]:
         "knows_max_degree": spec.knows_max_degree,
         "guarantee": spec.guarantee,
         "config": None if spec.config is None else _require_jsonable("config", spec.config),
+        "shards": spec.shards,
     }
 
 
@@ -588,6 +590,8 @@ _CONSTRUCTION_HINTS = (
     ("alpha must be", "alpha"),
     ("max_rounds must be", "max_rounds"),
     ("bandwidth_words must be", "bandwidth_words"),
+    ("shards must be", "shards"),
+    ("shards requires", "shards"),
 )
 
 

@@ -41,6 +41,7 @@ import asyncio
 import base64
 import dataclasses
 import pickle
+import sys
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -356,7 +357,7 @@ class RunService:
 
     def capabilities(self) -> Dict[str, Any]:
         """What this server can run -- names usable in wire payloads."""
-        from repro.congest.engine import ENGINES
+        from repro.congest.engine import available_engines
         from repro.faults import FAULT_MODELS
         from repro.graphs.ingest import available_graphs
         from repro.orchestration.registry import FAMILY_BUILDERS, WEIGHT_SCHEMES
@@ -367,7 +368,7 @@ class RunService:
         return {
             "wire_version": WIRE_VERSION,
             "algorithms": list(available_algorithms()),
-            "engines": sorted(ENGINES),
+            "engines": list(available_engines()),
             "fault_models": sorted(FAULT_MODELS),
             "graph_families": sorted(FAMILY_BUILDERS),
             "weight_schemes": sorted(WEIGHT_SCHEMES),
@@ -428,7 +429,16 @@ class RunService:
                     "Result-cache traffic, by operation.",
                     op=op,
                 ).set(value)
-        return self.metrics.render()
+        text = self.metrics.render()
+        # The sharded tier keeps its own registry (runs/rounds/halo bytes);
+        # expose it on the same scrape when the tier has been imported --
+        # never import it just to render zeros.
+        sharded = sys.modules.get("repro.congest.sharded.engine")
+        if sharded is not None:
+            extra = sharded.sharded_metrics.render()
+            if extra.strip():
+                text = text + extra
+        return text
 
     def close(self) -> None:
         self._executor.shutdown(wait=True)

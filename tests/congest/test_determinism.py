@@ -16,7 +16,7 @@ import pickle
 
 import pytest
 
-from repro.congest.engine import available_engines
+from repro.congest.engine import universal_engines
 from repro.congest.simulator import run_algorithm
 from repro.core.general_graphs import GeneralGraphMDSAlgorithm
 from repro.core.randomized import RandomizedMDSAlgorithm
@@ -36,7 +36,7 @@ def _trace(graph, algorithm_factory, seed, engine, **kwargs):
     return pickle.dumps((result.algorithm_name, result.outputs, metrics))
 
 
-@pytest.mark.parametrize("engine", sorted(available_engines()))
+@pytest.mark.parametrize("engine", sorted(universal_engines()))
 def test_randomized_same_seed_byte_identical_across_runs(engine):
     graph = forest_union_graph(60, alpha=3, seed=17)
     first = _trace(graph, lambda: RandomizedMDSAlgorithm(t=2), 42, engine, alpha=3)
@@ -48,7 +48,7 @@ def test_randomized_same_seed_byte_identical_across_engines():
     graph = preferential_attachment_graph(70, attachment=3, seed=23)
     traces = {
         engine: _trace(graph, lambda: RandomizedMDSAlgorithm(t=2), 7, engine, alpha=3)
-        for engine in available_engines()
+        for engine in universal_engines()
     }
     assert len(set(traces.values())) == 1, "engines produced different byte-level traces"
 
@@ -57,12 +57,12 @@ def test_general_graph_algorithm_deterministic_across_engines():
     graph = preferential_attachment_graph(60, attachment=4, seed=3)
     traces = {
         engine: _trace(graph, lambda: GeneralGraphMDSAlgorithm(k=2), 11, engine)
-        for engine in available_engines()
+        for engine in universal_engines()
     }
     assert len(set(traces.values())) == 1
 
 
-@pytest.mark.parametrize("engine", sorted(available_engines()))
+@pytest.mark.parametrize("engine", sorted(universal_engines()))
 def test_different_seeds_differ(engine):
     """Sanity check that the trace actually depends on the seed (the
     byte-identical assertions above would pass vacuously otherwise)."""

@@ -24,7 +24,7 @@ import pickle
 import networkx as nx
 import pytest
 
-from repro.congest.engine import available_engines, get_engine
+from repro.congest.engine import available_engines, get_engine, universal_engines
 from repro.congest.simulator import run_algorithm
 from repro.core.general_graphs import GeneralGraphMDSAlgorithm
 from repro.core.randomized import RandomizedMDSAlgorithm
@@ -108,7 +108,7 @@ def _run_both(graph, alpha, algorithm_key, seed):
         kwargs["knows_max_degree"] = False
     return {
         engine: run_algorithm(graph, factory(), engine=engine, **kwargs)
-        for engine in available_engines()
+        for engine in universal_engines()
     }
 
 
@@ -228,7 +228,7 @@ def test_engines_identical_with_type_punned_payloads():
     graph = nx.path_graph(5)
     results = {
         engine: run_algorithm(graph, TypePunned(), engine=engine)
-        for engine in available_engines()
+        for engine in universal_engines()
     }
     reference = results["reference"]
     for result in results.values():

@@ -6,13 +6,13 @@ import networkx as nx
 import pytest
 
 from repro.congest.algorithm import SynchronousAlgorithm
-from repro.congest.engine import available_engines
+from repro.congest.engine import universal_engines
 from repro.congest.errors import AlgorithmError, BandwidthViolation, NonConvergenceError
 from repro.congest.message import Broadcast
 from repro.congest.network import Network
 from repro.congest.simulator import Simulator, run_algorithm
 
-ENGINES = sorted(available_engines())
+ENGINES = sorted(universal_engines())
 
 
 class CountNeighborsAlgorithm(SynchronousAlgorithm):

@@ -1,0 +1,195 @@
+"""SNAP dataset download helpers, exercised fully offline.
+
+``download_dataset`` accepts an injectable ``fetcher`` (``fetch(url) ->
+bytes``), so these tests never touch the network: a fixture "server"
+serves a gzip'd toy edge list from memory and counts its calls.  Covered:
+cache short-circuit, strict sha256 pinning (match and mismatch, with the
+corrupt payload removed), trust-on-first-use sidecar digests for unpinned
+datasets, ``force`` re-download, ``load_dataset`` ingestion, the registry
+surface, and the ingest progress counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gzip
+import os
+
+import pytest
+
+from repro.graphs.datasets import (
+    DATASETS,
+    DatasetSpec,
+    DatasetVerificationError,
+    available_datasets,
+    dataset_path,
+    download_dataset,
+    load_dataset,
+    sha256_file,
+)
+from repro.graphs.ingest import ingest_edge_list, ingest_metrics
+from repro.graphs.large_scale import CSRGraph
+
+PAYLOAD = gzip.compress(
+    b"# toy SNAP export\n"
+    b"0 1\n"
+    b"1 2\n"
+    b"2 0\n"
+    b"2 3\n"
+)
+
+
+@pytest.fixture
+def fake_fetcher():
+    calls = []
+
+    def fetcher(url):
+        calls.append(url)
+        return PAYLOAD
+
+    fetcher.calls = calls
+    return fetcher
+
+
+def _pin(monkeypatch, sha256):
+    """Register a throwaway dataset spec pinned (or not) to ``sha256``."""
+    spec = DatasetSpec(
+        name="toy",
+        url="https://example.invalid/toy.txt.gz",
+        filename="toy.txt.gz",
+        description="four-edge fixture",
+        nodes=4,
+        edges=4,
+        sha256=sha256,
+    )
+    monkeypatch.setitem(DATASETS, "toy", spec)
+    return spec
+
+
+class TestRegistry:
+    def test_real_catalog_names(self):
+        names = available_datasets()
+        assert {"ca-grqc", "ego-facebook", "roadnet-pa"} <= set(names)
+        assert list(names) == sorted(names)
+
+    def test_unknown_dataset_lists_choices(self, tmp_path):
+        with pytest.raises(KeyError, match="ca-grqc"):
+            download_dataset("no-such-set", data_dir=str(tmp_path))
+
+    def test_dataset_path_is_spec_filename(self, tmp_path):
+        expected = os.path.join(str(tmp_path), DATASETS["ca-grqc"].filename)
+        assert dataset_path("ca-grqc", data_dir=str(tmp_path)) == expected
+
+    def test_catalog_specs_are_frozen_and_complete(self):
+        for spec in DATASETS.values():
+            with pytest.raises(dataclasses.FrozenInstanceError):
+                spec.url = "tampered"  # type: ignore[misc]
+            assert spec.filename.endswith(".gz")
+            assert spec.nodes > 0 and spec.edges > 0
+
+
+class TestDownload:
+    def test_download_then_cache(self, monkeypatch, tmp_path, fake_fetcher):
+        _pin(monkeypatch, None)
+        first = download_dataset("toy", data_dir=str(tmp_path), fetcher=fake_fetcher)
+        second = download_dataset("toy", data_dir=str(tmp_path), fetcher=fake_fetcher)
+        assert first == second == os.path.join(str(tmp_path), "toy.txt.gz")
+        assert fake_fetcher.calls == ["https://example.invalid/toy.txt.gz"]
+        with open(first, "rb") as stream:
+            assert stream.read() == PAYLOAD
+
+    def test_strict_pin_accepts_matching_digest(self, monkeypatch, tmp_path, fake_fetcher):
+        reference = tmp_path / "reference.gz"
+        reference.write_bytes(PAYLOAD)
+        _pin(monkeypatch, sha256_file(str(reference)))
+        path = download_dataset("toy", data_dir=str(tmp_path), fetcher=fake_fetcher)
+        assert os.path.exists(path)
+
+    def test_strict_pin_rejects_and_removes_corrupt_payload(
+        self, monkeypatch, tmp_path, fake_fetcher
+    ):
+        _pin(monkeypatch, "0" * 64)
+        with pytest.raises(DatasetVerificationError, match="sha256 mismatch"):
+            download_dataset("toy", data_dir=str(tmp_path), fetcher=fake_fetcher)
+        # The corrupt file must not survive to satisfy the next cache check.
+        assert not os.path.exists(os.path.join(str(tmp_path), "toy.txt.gz"))
+
+    def test_unpinned_writes_then_enforces_sidecar(
+        self, monkeypatch, tmp_path, fake_fetcher
+    ):
+        _pin(monkeypatch, None)
+        path = download_dataset("toy", data_dir=str(tmp_path), fetcher=fake_fetcher)
+        sidecar = path + ".sha256"
+        with open(sidecar) as stream:
+            assert stream.read().split()[0] == sha256_file(path)
+        # Trust-on-first-use: a later tampered payload trips the sidecar.
+        with open(path, "ab") as stream:
+            stream.write(b"tamper\n")
+        with pytest.raises(DatasetVerificationError, match="sha256 mismatch"):
+            download_dataset("toy", data_dir=str(tmp_path), fetcher=fake_fetcher)
+
+    def test_force_redownloads_and_repins(self, monkeypatch, tmp_path, fake_fetcher):
+        _pin(monkeypatch, None)
+        path = download_dataset("toy", data_dir=str(tmp_path), fetcher=fake_fetcher)
+        download_dataset("toy", data_dir=str(tmp_path), fetcher=fake_fetcher, force=True)
+        assert fake_fetcher.calls == [DATASETS["toy"].url] * 2
+        with open(path + ".sha256") as stream:
+            assert stream.read().split()[0] == sha256_file(path)
+
+    def test_fetcher_failure_leaves_no_file(self, monkeypatch, tmp_path):
+        _pin(monkeypatch, None)
+
+        def broken(url):
+            raise OSError("connection reset")
+
+        with pytest.raises(OSError, match="connection reset"):
+            download_dataset("toy", data_dir=str(tmp_path), fetcher=broken)
+        assert os.listdir(str(tmp_path)) == []
+
+
+class TestLoad:
+    def test_load_dataset_ingests(self, monkeypatch, tmp_path, fake_fetcher):
+        _pin(monkeypatch, None)
+        graph = load_dataset("toy", data_dir=str(tmp_path), fetcher=fake_fetcher)
+        assert isinstance(graph, CSRGraph)
+        assert graph.name == "toy"
+        assert graph.n == 4 and graph.m == 4
+
+
+class TestIngestProgress:
+    def test_counters_advance_per_file(self, tmp_path):
+        path = tmp_path / "progress.txt"
+        path.write_text("".join(f"{i} {i + 1}\n" for i in range(100)))
+        files = ingest_metrics.counter("repro_ingest_files_total")
+        lines = ingest_metrics.counter("repro_ingest_lines_total")
+        edges = ingest_metrics.counter("repro_ingest_edges_total")
+        before = (files.value, lines.value, edges.value)
+        graph = ingest_edge_list(str(path))
+        assert graph.m == 100
+        assert files.value == before[0] + 1
+        assert lines.value == before[1] + 100
+        assert edges.value == before[2] + 100
+
+    def test_scan_bytes_cover_both_passes(self, tmp_path):
+        path = tmp_path / "bytes.txt"
+        body = "".join(f"{i} {i + 1}\n" for i in range(50))
+        path.write_text(body)
+        counters = {
+            phase: ingest_metrics.counter(
+                "repro_ingest_scan_bytes_total", phase=phase
+            )
+            for phase in ("count", "fill")
+        }
+        before = {phase: counter.value for phase, counter in counters.items()}
+        ingest_edge_list(str(path))
+        for phase, counter in counters.items():
+            assert counter.value - before[phase] == len(body)
+
+    def test_render_exposes_ingest_series(self, tmp_path):
+        path = tmp_path / "render.txt"
+        path.write_text("0 1\n")
+        ingest_edge_list(str(path))
+        rendered = ingest_metrics.render()
+        assert "# TYPE repro_ingest_scan_bytes_total counter" in rendered
+        assert 'repro_ingest_scan_bytes_total{phase="count"}' in rendered
+        assert "repro_ingest_files_total" in rendered

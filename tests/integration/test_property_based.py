@@ -14,7 +14,7 @@ from hypothesis import strategies as st
 
 from repro import RunSpec, execute
 from repro.baselines.exact import exact_minimum_weight_dominating_set
-from repro.congest.engine import available_engines
+from repro.congest.engine import universal_engines
 from repro.congest.simulator import run_algorithm
 from repro.core.packing import is_feasible_packing, packing_from_outputs, packing_value_sum
 from repro.core.weighted import WeightedMDSAlgorithm
@@ -148,7 +148,7 @@ class TestCrossEngineProperties:
             engine: solve_weighted_mds(
                 graph, alpha=certified_alpha, epsilon=0.3, engine=engine
             )
-            for engine in available_engines()
+            for engine in universal_engines()
         }
         for engine, result in results.items():
             assert result.is_valid, engine
@@ -181,7 +181,7 @@ class TestCrossEngineProperties:
             engine: solve_mds_randomized(
                 graph, alpha=certified_alpha, t=2, seed=run_seed, engine=engine
             )
-            for engine in available_engines()
+            for engine in universal_engines()
         }
         for result in results.values():
             assert result.is_valid
