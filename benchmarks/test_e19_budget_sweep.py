@@ -1,0 +1,110 @@
+"""E19 -- budget-governed sweeps: an over-budget sweep lands on its budget.
+
+The sweep governor (:mod:`repro.orchestration.governor`) promises two
+things for a wall-clock budget smaller than the sweep's natural cost:
+
+* **the budget is respected** -- total sweep wall time finishes within
+  +/-10% of the declared budget (overshoot is bounded by the cells already
+  in flight, undershoot by one peak-hold cell estimate), with the refused
+  cells surfacing as explicit ``skipped (budget)`` results; and
+* **governing changes scheduling, never results** -- every cell that *did*
+  complete under the budget is byte-identical
+  (:func:`~repro.orchestration.cache.records_to_bytes`) to the same cell
+  in an ungoverned run of the same grid.
+
+The workload is a grid of many small uniform cells (two smoke scenarios
+across 16 seeds), so one cell is a few percent of the halved budget and
+the +/-10% gate has real margin.  Timing gates retry up to
+``MAX_ATTEMPTS`` times for noisy boxes; the byte-parity gate applies to
+every attempt unconditionally.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.orchestration.cache import records_to_bytes
+from repro.orchestration.runner import SweepBudget, SweepRunner, expand_cells
+from repro.orchestration.scenarios import register_builtin_scenarios
+
+SCENARIOS = ("smoke/forest", "smoke/mixed")
+SEEDS = tuple(range(16))
+#: Acceptance: governed wall time within this fraction of the budget.
+TOLERANCE = 0.10
+#: Extra attempts a noisy box may take before the timing gate is final.
+MAX_ATTEMPTS = 3
+
+
+def _run_grid(runner, cells):
+    start = time.perf_counter()
+    results = list(runner.run_cells(cells))
+    return results, time.perf_counter() - start
+
+
+def test_e19_budget_governed_sweep(record_experiment):
+    register_builtin_scenarios()
+    cells = expand_cells(SCENARIOS, SEEDS)
+
+    baseline, t_full = _run_grid(SweepRunner(), cells)
+    assert all(result.skipped is None for result in baseline)
+    base_bytes = {
+        (result.scenario, result.seed): records_to_bytes(result.records)
+        for result in baseline
+    }
+
+    budget_s = t_full / 2
+    attempts = []
+    for _ in range(MAX_ATTEMPTS):
+        runner = SweepRunner(budget=SweepBudget(seconds=budget_s))
+        governed, wall = _run_grid(runner, cells)
+        completed = [result for result in governed if result.skipped is None]
+        skipped = [result for result in governed if result.skipped is not None]
+
+        # Unconditional gates: an over-budget sweep must refuse something,
+        # refusals are budget refusals, and completed cells are
+        # byte-identical to the ungoverned run -- on every attempt.
+        assert skipped, "a half-budget sweep must skip cells"
+        assert all(result.skip_reason == "budget" for result in skipped)
+        assert all(result.records == [] for result in skipped)
+        for result in completed:
+            assert (
+                records_to_bytes(result.records)
+                == base_bytes[(result.scenario, result.seed)]
+            )
+
+        ratio = wall / budget_s
+        attempts.append(
+            (wall, ratio, len(completed), len(skipped), runner.budget_summary())
+        )
+        if 1 - TOLERANCE <= ratio <= 1 + TOLERANCE:
+            break
+
+    best = min(attempts, key=lambda attempt: abs(attempt[1] - 1.0))
+    wall, ratio, completed_count, skipped_count, summary = best
+
+    lines = [
+        f"grid: {len(cells)} cells ({' + '.join(SCENARIOS)} x {len(SEEDS)} seeds)",
+        f"ungoverned wall:   {t_full:8.3f} s",
+        f"declared budget:   {budget_s:8.3f} s  (ungoverned / 2)",
+        f"governed wall:     {wall:8.3f} s  ({ratio:.2f}x budget, "
+        f"gate {1 - TOLERANCE:.2f}..{1 + TOLERANCE:.2f})",
+        f"cells completed:   {completed_count}",
+        f"cells skipped:     {skipped_count} (budget)",
+        f"governor summary:  {summary}",
+        "byte parity:       every completed cell identical to the ungoverned run",
+        f"attempts:          {len(attempts)} (ratios: "
+        + ", ".join(f"{attempt[1]:.2f}" for attempt in attempts)
+        + ")",
+    ]
+    record_experiment(
+        "E19_budget",
+        "budget-governed sweep lands on its wall-clock budget",
+        "\n".join(lines),
+    )
+
+    assert ratio <= 1 + TOLERANCE, (
+        f"governed sweep overran its budget: {wall:.3f}s vs {budget_s:.3f}s"
+    )
+    assert ratio >= 1 - TOLERANCE, (
+        f"governed sweep stopped too early: {wall:.3f}s vs {budget_s:.3f}s"
+    )

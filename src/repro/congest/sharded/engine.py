@@ -219,15 +219,18 @@ def run_sharded_program(
     transport = SharedMemoryTransport(
         ctx, shard_count, plan.node_counts, plan.edge_counts, timeout=timeout
     )
-    sharded_metrics.counter(
-        "sharded_runs_total", "Sharded-tier runs started", program=program_kind
-    ).inc()
     workers = []
-    # Session hands the shared read-only MappingProxyType config straight
-    # through; proxies cannot pickle, and the spawn start method pickles
-    # every WorkerTask, so ship a plain-dict copy.
-    config = dict(config) if config is not None else None
+    # From here on the transport owns /dev/shm segments: *everything* after
+    # construction runs inside the try whose finally unlinks them, so no
+    # exception window can leak a segment.
     try:
+        sharded_metrics.counter(
+            "sharded_runs_total", "Sharded-tier runs started", program=program_kind
+        ).inc()
+        # Session hands the shared read-only MappingProxyType config straight
+        # through; proxies cannot pickle, and the spawn start method pickles
+        # every WorkerTask, so ship a plain-dict copy.
+        config = dict(config) if config is not None else None
         for shard in range(shard_count):
             task = WorkerTask(
                 endpoint=transport.endpoint(shard),

@@ -311,6 +311,13 @@ class SharedMemoryTransport:
     Allocates the blocks, builds the barriers (``shards + 1`` parties --
     the coordinator participates in both) and the error/output queues, and
     hands each worker a :class:`SharedMemoryEndpoint`.
+
+    Construction is exception-safe: the segments are named files in
+    ``/dev/shm`` that outlive the process unless unlinked, so if anything
+    after the first allocation raises (the second allocation, a barrier or
+    queue the context refuses to build), every segment created so far is
+    unlinked before the exception propagates -- a failed constructor leaks
+    nothing.
     """
 
     def __init__(self, ctx, shards: int, node_counts, edge_counts,
@@ -320,21 +327,28 @@ class SharedMemoryTransport:
         self.shards = shards
         self.timeout = timeout
         self.layout = LaneLayout(shards, node_counts, edge_counts)
-        self._ctrl = shared_memory.SharedMemory(
-            create=True, size=self.layout.ctrl_bytes()
-        )
-        self._lanes = shared_memory.SharedMemory(
-            create=True, size=self.layout.total_bytes
-        )
-        # Shared memory is zero-filled on creation: every header starts at
-        # ETYPE_NONE and every control row at zero, which is exactly the
-        # round-0 state the protocol assumes.
-        self.barrier_publish = ctx.Barrier(shards + 1)
-        self.barrier_command = ctx.Barrier(shards + 1)
-        self.errors = ctx.SimpleQueue()
-        self.outputs = ctx.SimpleQueue()
-        self.views = LaneViews(self.layout, self._lanes.buf, self._ctrl.buf)
+        self._ctrl = None
+        self._lanes = None
+        self.views: Optional[LaneViews] = None
         self._unlinked = False
+        try:
+            self._ctrl = shared_memory.SharedMemory(
+                create=True, size=self.layout.ctrl_bytes()
+            )
+            self._lanes = shared_memory.SharedMemory(
+                create=True, size=self.layout.total_bytes
+            )
+            # Shared memory is zero-filled on creation: every header starts at
+            # ETYPE_NONE and every control row at zero, which is exactly the
+            # round-0 state the protocol assumes.
+            self.barrier_publish = ctx.Barrier(shards + 1)
+            self.barrier_command = ctx.Barrier(shards + 1)
+            self.errors = ctx.SimpleQueue()
+            self.outputs = ctx.SimpleQueue()
+            self.views = LaneViews(self.layout, self._lanes.buf, self._ctrl.buf)
+        except BaseException:
+            self.close()
+            raise
 
     def endpoint(self, shard: int) -> SharedMemoryEndpoint:
         return SharedMemoryEndpoint(
@@ -369,9 +383,17 @@ class SharedMemoryTransport:
         return drained
 
     def close(self) -> None:
-        """Release mappings and unlink the segments (idempotent)."""
-        self.views.release()
+        """Release mappings and unlink the segments (idempotent).
+
+        Tolerates partially constructed state -- it is the cleanup arm of
+        ``__init__`` as well as the normal teardown path, so any segment
+        may be ``None``.
+        """
+        if self.views is not None:
+            self.views.release()
         for segment in (self._ctrl, self._lanes):
+            if segment is None:
+                continue
             try:
                 segment.close()
             except BufferError:  # pragma: no cover - views already dropped
@@ -379,6 +401,8 @@ class SharedMemoryTransport:
         if not self._unlinked:
             self._unlinked = True
             for segment in (self._ctrl, self._lanes):
+                if segment is None:
+                    continue
                 try:
                     segment.unlink()
                 except FileNotFoundError:  # pragma: no cover

@@ -25,12 +25,14 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PeakRssMeter",
     "peak_rss_kib",
+    "reset_peak_rss",
 ]
 
 
 def peak_rss_kib() -> int:
-    """This process's peak resident set size in KiB.
+    """This process's peak resident set size in KiB (0 where unknown).
 
     Prefers ``VmHWM`` from ``/proc/self/status`` over
     ``getrusage(...).ru_maxrss`` because the high-water mark is tracked per
@@ -38,9 +40,11 @@ def peak_rss_kib() -> int:
     ``ru_maxrss`` inherits the parent's copy-on-write footprint at fork
     time -- a spawn worker forked off a coordinator holding a 10^7-node
     graph would report the coordinator's peak, not its own.
-    """
-    import resource
 
+    This is the one place that normalises ``ru_maxrss`` units on the
+    fallback path (Linux reports KiB, macOS bytes); every other peak-RSS
+    reader in the package delegates here.
+    """
     try:
         with open("/proc/self/status") as status:
             for line in status:
@@ -48,7 +52,69 @@ def peak_rss_kib() -> int:
                     return int(line.split()[1])
     except OSError:  # pragma: no cover - non-Linux fallback
         pass
-    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    try:
+        import resource
+        import sys
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS units
+        peak //= 1024
+    return int(peak)
+
+
+def reset_peak_rss() -> bool:
+    """Best-effort reset of this process's RSS high-water mark.
+
+    Writes ``5`` to ``/proc/self/clear_refs`` (Linux), which snaps
+    ``VmHWM`` back to the *current* RSS so :func:`peak_rss_kib` afterwards
+    reflects only peaks reached from now on.  Returns whether the reset
+    took effect; on non-Linux platforms it never does and callers must
+    treat the high-water mark as cumulative.
+    """
+    try:
+        with open("/proc/self/clear_refs", "w") as clear_refs:
+            clear_refs.write("5")
+    except OSError:
+        return False
+    return True
+
+
+class PeakRssMeter:
+    """Measures the peak RSS *growth* a section of work causes.
+
+    Kernel high-water counters cannot isolate a forked worker's own
+    footprint: a fork child's page tables map the parent's copy-on-write
+    pages, so both ``ru_maxrss`` *and* ``VmHWM`` start at roughly the
+    parent's resident size (a spawn child's ``VmHWM`` starts fresh, but
+    its ``ru_maxrss`` still carries the pre-``exec`` footprint).  The
+    meter therefore anchors a **baseline**: :meth:`start` resets the
+    high-water mark to the current RSS (:func:`reset_peak_rss`, falling
+    back to just snapshotting the peak where the reset is unsupported)
+    and :meth:`peak_kb` reports the growth above it -- the memory the
+    measured work itself demanded, comparable across fork, spawn, and
+    inline execution.
+
+    The sweep runner wraps every cell in one of these, so the
+    ``maxrss_kb`` telemetry feeding the budget governor's memory
+    estimator is the *cell's* peak, never the coordinator's.
+    """
+
+    __slots__ = ("_baseline_kb",)
+
+    def __init__(self) -> None:
+        self._baseline_kb: Optional[int] = None
+
+    def start(self) -> "PeakRssMeter":
+        reset_peak_rss()
+        self._baseline_kb = peak_rss_kib()
+        return self
+
+    def peak_kb(self) -> int:
+        """Peak RSS growth in KiB since :meth:`start` (0 where unknown)."""
+        if self._baseline_kb is None:
+            return 0
+        return max(0, peak_rss_kib() - self._baseline_kb)
 
 #: Log-spaced latency buckets (seconds) from 0.1 ms to one minute -- wide
 #: enough that a cache hit and a 10^5-node kernel run land in interior

@@ -248,18 +248,12 @@ def emit_run_trace(
 def _peak_rss_kb() -> Optional[int]:
     """The process memory high-water in KiB, or ``None`` where unavailable.
 
-    ``resource`` is POSIX-only; Linux reports ``ru_maxrss`` in KiB and
-    macOS in bytes (normalised here).
+    Unit handling (Linux KiB vs macOS bytes) lives in exactly one place:
+    :func:`repro.obs.metrics.peak_rss_kib`.
     """
-    try:
-        import resource
-        import sys
-    except ImportError:  # pragma: no cover - non-POSIX platform
-        return None
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    if sys.platform == "darwin":  # pragma: no cover - macOS units
-        peak //= 1024
-    return int(peak)
+    from repro.obs.metrics import peak_rss_kib
+
+    return peak_rss_kib() or None
 
 
 # ---------------------------------------------------------------------------

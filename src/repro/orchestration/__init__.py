@@ -31,7 +31,13 @@ from repro.orchestration.registry import (
     scenario_names,
     unregister_scenario,
 )
-from repro.orchestration.runner import CellResult, SweepCell, SweepRunner, expand_cells
+from repro.orchestration.runner import (
+    CellResult,
+    SweepBudget,
+    SweepCell,
+    SweepRunner,
+    expand_cells,
+)
 from repro.orchestration.scenarios import register_builtin_scenarios
 
 register_builtin_scenarios()
@@ -52,6 +58,7 @@ __all__ = [
     "cache_key",
     "code_version",
     "records_to_bytes",
+    "SweepBudget",
     "SweepCell",
     "CellResult",
     "SweepRunner",

@@ -58,6 +58,7 @@ from repro.orchestration.registry import get_scenario, list_scenarios, register_
 from repro.orchestration.runner import (
     DEFAULT_SWEEP_ENGINE,
     CellResult,
+    SweepBudget,
     SweepCell,
     SweepRunner,
     aggregate_skips,
@@ -185,6 +186,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_faults_argument(sweep_parser)
     _add_cache_arguments(sweep_parser)
+    sweep_parser.add_argument(
+        "--budget-seconds", type=float, default=None, metavar="S",
+        help="wall-clock budget for the whole sweep; cells the budget "
+             "governor cannot fit are skipped (budget) and never cached",
+    )
+    sweep_parser.add_argument(
+        "--budget-bytes", type=int, default=None, metavar="B",
+        help="aggregate message-volume budget (bytes of records' total_bits) "
+             "for freshly executed cells",
+    )
+    sweep_parser.add_argument(
+        "--cell-max-rss", type=int, default=None, metavar="KIB",
+        help="per-cell memory ceiling in KiB; a (scenario, engine) class "
+             "observed above it this sweep has its remaining cells skipped",
+    )
 
     report_parser = subparsers.add_parser(
         "report", help="render tables for cached cells without running anything"
@@ -266,6 +282,19 @@ def _resolve_shards(arguments: argparse.Namespace) -> Optional[int]:
             f"--shards requires --engine sharded (got --engine {arguments.engine})"
         )
     return shards
+
+
+def _resolve_budget(arguments: argparse.Namespace) -> Optional[SweepBudget]:
+    """Build the sweep budget from the CLI flags, as a usage error when bad."""
+    try:
+        budget = SweepBudget(
+            seconds=arguments.budget_seconds,
+            bytes=arguments.budget_bytes,
+            cell_max_rss_kb=arguments.cell_max_rss,
+        )
+    except ValueError as error:
+        raise _UsageError(str(error))
+    return budget if budget.bounded else None
 
 
 def _add_faults_argument(parser: argparse.ArgumentParser) -> None:
@@ -579,24 +608,32 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
     seeds = list(range(max(1, arguments.seeds)))
     cells = expand_cells(names, seeds, engines)
     cache = _make_cache(arguments)
+    budget = _resolve_budget(arguments)
     runner = SweepRunner(
         cache=cache,
         workers=max(1, arguments.workers),
         trace_dir=arguments.trace_dir,
         shards=shards,
+        budget=budget,
     )
 
     results: List[CellResult] = []
     total_violations = 0
     total_degraded = 0
     total_skipped = 0
+    budget_skipped = 0
     for result in runner.run_cells(cells):
         results.append(result)
         origin = "cache " if result.from_cache else f"{result.duration_s:5.2f}s"
         if result.skipped is not None:
-            # An unsupported (scenario, engine) cell: reported, counted in
-            # the summary, never cached -- and never silently dropped.
-            total_skipped += 1
+            # A cell the sweep could not run: either an unsupported
+            # (scenario, engine) combination or one the budget governor
+            # refused.  Reported, counted in the summary, never cached --
+            # and never silently dropped.
+            if result.skip_reason == "budget":
+                budget_skipped += 1
+            else:
+                total_skipped += 1
             print(
                 f"[{origin}] {result.scenario} seed={result.seed} "
                 f"engine={result.engine} skipped: {result.skipped}"
@@ -623,12 +660,17 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
     cached = sum(1 for result in results if result.from_cache)
     degraded_note = f", {total_degraded} degraded (adversarial)" if total_degraded else ""
     skipped_note = f", {total_skipped} skipped (unsupported cells)" if total_skipped else ""
+    budget_note = f", {budget_skipped} skipped (budget)" if budget_skipped else ""
     print(
         f"\n{len(results)} cells, {cached} from cache "
         f"({100.0 * cached / len(results):.0f}%), "
         f"{sum(len(result.records) for result in results)} records, "
-        f"{total_violations} violations{degraded_note}{skipped_note}"
+        f"{total_violations} violations{degraded_note}{skipped_note}{budget_note}"
     )
+    if budget is not None:
+        summary = runner.budget_summary()
+        if summary is not None:
+            print(summary)
     if total_skipped:
         # The structured (algorithm, engine, fault_model) skip aggregation:
         # which capability-matrix cells this sweep actually asked for.

@@ -23,16 +23,19 @@ cells -- ``tests/orchestration/test_runner.py`` enforces exactly that.
 from __future__ import annotations
 
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.experiments import ExperimentRecord
 from repro.congest.engine import get_default_engine, set_default_engine
 from repro.orchestration.cache import ResultCache, cache_key, record_from_dict, record_to_dict
+from repro.orchestration.governor import SweepBudget, SweepGovernor
 
 __all__ = [
+    "SweepBudget",
     "SweepCell",
     "CellResult",
     "SweepRunner",
@@ -69,11 +72,23 @@ class CellResult:
     ``None`` when the raising site could not attribute them), so reports
     and the service can aggregate skips without scraping reason strings.
 
+    ``skip_reason`` distinguishes *why* a result is skipped:
+    ``"capability"`` (the engine genuinely cannot run the cell) versus
+    ``"budget"`` (a :class:`~repro.orchestration.governor.SweepGovernor`
+    refused the cell to stay under the sweep's declared budget).  Budget
+    skips share the never-cached contract: a later sweep with a bigger
+    budget simply runs them.
+
     ``duration_s`` is time-to-availability at the consumer (0 for cache
-    hits); ``elapsed_s``/``maxrss_kb`` are the *execution* telemetry --
-    in-worker wall time and the worker's memory high-water -- measured when
-    the cell actually ran and persisted in the cache entry's meta, so a hit
-    still reports what the computation originally cost.
+    hits); ``elapsed_s``/``maxrss_kb``/``bits`` are the *execution*
+    telemetry -- in-worker wall time, the cell's own peak memory growth
+    (:class:`repro.obs.metrics.PeakRssMeter`-anchored, so a forked worker
+    never reports the coordinator's copy-on-write footprint), and the
+    records' aggregate message volume -- measured when the cell actually
+    ran and persisted in the cache entry's meta, so a hit still reports
+    what the computation originally cost.  ``maxrss_kb`` read back from
+    entries written by older code may still be coordinator-sized; the
+    governor treats cached values as advisory for exactly that reason.
     """
 
     cell: SweepCell
@@ -84,8 +99,10 @@ class CellResult:
     spec_hash: str = ""
     skipped: Optional[str] = None
     skipped_cell: Optional[Tuple[Optional[str], Optional[str], Optional[str]]] = None
+    skip_reason: str = "capability"
     elapsed_s: float = 0.0
     maxrss_kb: int = 0
+    bits: int = 0
 
     @property
     def scenario(self) -> str:
@@ -108,11 +125,13 @@ def aggregate_skips(
     The structured aggregation behind the sweep summary's skip lines (and
     usable on any ``CellResult`` stream, e.g. by a report or a service
     surfacing capability gaps); results without a structured key land
-    under ``(None, None, None)``.
+    under ``(None, None, None)``.  Budget skips are *not* capability
+    gaps -- they are excluded here and summarised by the governor's own
+    budget line instead.
     """
     counts: Dict[Tuple[Optional[str], Optional[str], Optional[str]], int] = {}
     for result in results:
-        if result.skipped is None:
+        if result.skipped is None or result.skip_reason != "capability":
             continue
         key = result.skipped_cell if result.skipped_cell is not None else (None, None, None)
         counts[key] = counts.get(key, 0) + 1
@@ -141,21 +160,41 @@ def expand_cells(
     ]
 
 
-def pool_map_ordered(fn, jobs: Sequence, workers: int) -> Iterator[Tuple[object, float]]:
+def pool_map_ordered(
+    fn,
+    jobs: Union[Sequence, Iterable],
+    workers: int,
+    window: Optional[int] = None,
+) -> Iterator[Tuple[object, float]]:
     """Run ``fn`` over ``jobs``, yielding ``(result, duration_s)`` in
     submission order.
 
     ``workers <= 1`` (or a single job) executes inline -- same code path, no
-    pool; otherwise every job is submitted to a
-    :class:`~concurrent.futures.ProcessPoolExecutor` upfront so later jobs
-    compute while earlier ones stream out.  ``duration_s`` is
-    time-to-availability: once the pool overlaps work, the wait observed at
-    the consumer is the only meaningful per-job cost.
+    pool; otherwise jobs are submitted to a
+    :class:`~concurrent.futures.ProcessPoolExecutor` so later jobs compute
+    while earlier ones stream out.  ``duration_s`` is time-to-availability:
+    once the pool overlaps work, the wait observed at the consumer is the
+    only meaningful per-job cost.
+
+    ``window=None`` (the default) materialises ``jobs`` and submits every
+    one upfront.  A positive ``window`` instead pulls jobs **lazily** from
+    the iterable, keeping at most ``window`` in flight: the next job is
+    drawn only after a result has been yielded (and the consumer resumed),
+    so a job *source* that decides work adaptively -- the budget governor's
+    cell stream -- observes each completion before committing to the next
+    submission.  Both modes preserve submission-order streaming and the
+    early-close semantics: an abandoned stream cancels queued futures and
+    returns without waiting.
 
     ``fn`` must be a module-level callable and each job a picklable value.
     This is the worker machinery shared by :class:`SweepRunner` and
     :meth:`repro.run.Session.run_many`.
     """
+    if window is not None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        yield from _pool_map_windowed(fn, iter(jobs), workers, window)
+        return
     jobs = list(jobs)
     pool = None
     if workers > 1 and len(jobs) > 1:
@@ -178,17 +217,44 @@ def pool_map_ordered(fn, jobs: Sequence, workers: int) -> Iterator[Tuple[object,
             pool.shutdown(wait=exhausted, cancel_futures=not exhausted)
 
 
-def _worker_maxrss_kb() -> int:
-    """The executing process's memory high-water in KiB (0 where unknown)."""
+def _pool_map_windowed(
+    fn, jobs: Iterator, workers: int, window: int
+) -> Iterator[Tuple[object, float]]:
+    """The bounded-in-flight arm of :func:`pool_map_ordered`.
+
+    ``jobs`` is consumed lazily: the in-flight deque is topped up to
+    ``window`` entries only after each yield resumes, never during the
+    consumer's pause, so an adaptive job source sees every completion the
+    consumer has processed before it is asked for more work.
+    """
+    pool = ProcessPoolExecutor(max_workers=min(workers, window)) if (
+        workers > 1 and window > 1
+    ) else None
+    in_flight: deque = deque()
+
+    def top_up() -> None:
+        while len(in_flight) < window:
+            try:
+                job = next(jobs)
+            except StopIteration:
+                return
+            in_flight.append(pool.submit(fn, job) if pool is not None else job)
+
+    exhausted = False
     try:
-        import resource
-        import sys
-    except ImportError:  # pragma: no cover - non-POSIX platform
-        return 0
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    if sys.platform == "darwin":  # pragma: no cover - macOS units
-        peak //= 1024
-    return int(peak)
+        top_up()
+        while in_flight:
+            head = in_flight.popleft()
+            start = time.perf_counter()
+            result = head.result() if pool is not None else fn(head)
+            yield result, time.perf_counter() - start
+            top_up()
+        exhausted = True
+    finally:
+        if pool is not None:
+            # Same abandoned-stream contract as the upfront arm: drop queued
+            # futures and return without waiting when the consumer bails.
+            pool.shutdown(wait=exhausted, cancel_futures=not exhausted)
 
 
 def _execute_cell(
@@ -213,8 +279,12 @@ def _execute_cell(
     whichever side of the process boundary produced them.  ``elapsed_s`` is
     the *in-worker* wall time of the run itself (distinct from the
     consumer-side time-to-availability ``CellResult.duration_s``) and
-    ``maxrss_kb`` the executing process's memory high-water -- the
-    telemetry the cache persists so hits can still report original cost.
+    ``maxrss_kb`` the cell's own peak RSS *growth*
+    (:class:`~repro.obs.metrics.PeakRssMeter`): a forked worker's absolute
+    high-water starts at the coordinator's copy-on-write footprint, so raw
+    ``ru_maxrss``/``VmHWM`` would attribute the coordinator's peak to the
+    cell.  The meter anchors a baseline first, so the telemetry the cache
+    persists is the memory the cell itself demanded.
 
     ``default_engine`` is the submitting process's process-wide default
     engine, applied (and restored) around the cell.  The default is module
@@ -239,6 +309,7 @@ def _execute_cell(
     skipped :class:`CellResult` instead of crashing the whole sweep.
     """
     from repro.congest.errors import EngineCapabilityError
+    from repro.obs.metrics import PeakRssMeter
 
     run_kwargs: Dict[str, object] = {"seed": seed, "engine": engine}
     if shards is not None and _accepts_keyword(spec, "shards"):
@@ -251,6 +322,7 @@ def _execute_cell(
 
         tracer = FileTracer(trace_path)
         run_kwargs["tracer"] = tracer
+    meter = PeakRssMeter().start()
     started = time.perf_counter()
     try:
         if default_engine is None:
@@ -270,7 +342,7 @@ def _execute_cell(
     return {
         "records": [record_to_dict(record) for record in records],
         "elapsed_s": elapsed,
-        "maxrss_kb": _worker_maxrss_kb(),
+        "maxrss_kb": meter.peak_kb(),
     }
 
 
@@ -323,6 +395,13 @@ class SweepRunner:
         Skip cache *reads* (every cell executes) while still writing fresh
         results back.  ``repro run --trace`` uses this so a traced run
         actually runs.
+    budget:
+        When set (and :attr:`SweepBudget.bounded`), a
+        :class:`~repro.orchestration.governor.SweepGovernor` schedules the
+        cache misses adaptively under the declared limits; cells it refuses
+        surface as ``skip_reason == "budget"`` results and are never
+        cached.  ``None`` (or an unbounded budget) takes the exact
+        ungoverned code path -- byte-identical output, ordering included.
     """
 
     cache: Optional[ResultCache] = None
@@ -334,8 +413,10 @@ class SweepRunner:
     #: are shard-count-independent, so it is deliberately absent from cache
     #: keys: a cached sharded cell answers for every shard count.
     shards: Optional[int] = None
+    budget: Optional[SweepBudget] = None
     _keys: Dict[SweepCell, Tuple[str, str]] = field(default_factory=dict, repr=False)
     _specs: Dict[str, object] = field(default_factory=dict, repr=False)
+    _governor: Optional[SweepGovernor] = field(default=None, repr=False)
 
     def _spec(self, cell: SweepCell):
         if cell.scenario not in self._specs:
@@ -356,7 +437,16 @@ class SweepRunner:
         Cache hits are yielded as soon as they are reached; misses are
         submitted to the pool upfront so they compute concurrently while
         earlier cells stream out.
+
+        With a bounded :attr:`budget` the misses instead flow through a
+        :class:`~repro.orchestration.governor.SweepGovernor`: hits come
+        first (they are free), fresh results follow in the governor's
+        adaptive order, and budget-refused cells trail as explicit skipped
+        results.  Without one, this is the exact historical code path.
         """
+        if self.budget is not None and self.budget.bounded:
+            yield from self._run_cells_governed(cells)
+            return
         lookups: Dict[SweepCell, Optional[Tuple[List[ExperimentRecord], Dict[str, object]]]] = {}
         for cell in cells:
             key, _ = self._cell_key(cell)
@@ -408,6 +498,7 @@ class SweepRunner:
                         spec_hash=spec_hash,
                         elapsed_s=float(meta.get("elapsed_s", 0.0)),
                         maxrss_kb=int(meta.get("maxrss_kb", 0)),
+                        bits=int(meta.get("bits", 0)),
                     )
                     continue
                 payload, duration = next(miss_stream)
@@ -428,6 +519,7 @@ class SweepRunner:
                 records = [record_from_dict(entry) for entry in payload["records"]]
                 elapsed_s = float(payload.get("elapsed_s", duration))
                 maxrss_kb = int(payload.get("maxrss_kb", 0))
+                bits = sum(record.total_bits for record in records)
                 if self.cache is not None:
                     self.cache.put(
                         key,
@@ -439,6 +531,7 @@ class SweepRunner:
                             "spec_hash": spec_hash,
                             "elapsed_s": elapsed_s,
                             "maxrss_kb": maxrss_kb,
+                            "bits": bits,
                         },
                     )
                 yield CellResult(
@@ -450,9 +543,156 @@ class SweepRunner:
                     spec_hash=spec_hash,
                     elapsed_s=elapsed_s,
                     maxrss_kb=maxrss_kb,
+                    bits=bits,
                 )
         finally:
             miss_stream.close()
+
+    def _run_cells_governed(self, cells: Sequence[SweepCell]) -> Iterator[CellResult]:
+        """The bounded-budget arm of :meth:`run_cells`.
+
+        Cache hits stream first, in the given order -- they spend nothing,
+        and their persisted telemetry seeds the governor's estimator
+        (advisory tier).  The misses are then pulled one at a time from
+        :meth:`SweepGovernor.next_cell` through a *windowed*
+        :func:`pool_map_ordered`, so every completion's fresh telemetry
+        reaches the governor before it commits to the next admission.
+        Budget-refused cells trail the stream as explicit ``skip_reason ==
+        "budget"`` results and are never written to the cache.
+        """
+        governor = SweepGovernor(self.budget, workers=self.workers)
+        self._governor = governor
+
+        lookups: Dict[SweepCell, Optional[Tuple[List[ExperimentRecord], Dict[str, object]]]] = {}
+        for cell in cells:
+            key, _ = self._cell_key(cell)
+            lookups[cell] = (
+                self.cache.get_entry(key)
+                if self.cache is not None and not self.refresh
+                else None
+            )
+        default_engine = get_default_engine()
+        misses = [cell for cell in cells if lookups[cell] is None]
+        for path in {self._trace_path(cell) for cell in misses} - {None}:
+            target = Path(path)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text("")
+
+        for cell in cells:
+            cached = lookups[cell]
+            if cached is None:
+                continue
+            key, spec_hash = self._cell_key(cell)
+            records, meta = cached
+            governor.seed(cell, meta)
+            yield CellResult(
+                cell=cell,
+                records=records,
+                from_cache=True,
+                duration_s=0.0,
+                key=key,
+                spec_hash=spec_hash,
+                elapsed_s=float(meta.get("elapsed_s", 0.0)),
+                maxrss_kb=int(meta.get("maxrss_kb", 0)),
+                bits=int(meta.get("bits", 0)),
+            )
+
+        governor.schedule(misses)
+        submitted: Deque[SweepCell] = deque()
+
+        def admitted_jobs() -> Iterator[Tuple]:
+            while True:
+                cell = governor.next_cell()
+                if cell is None:
+                    return
+                submitted.append(cell)
+                yield (
+                    self._spec(cell),
+                    cell.seed,
+                    cell.engine,
+                    default_engine,
+                    self._trace_path(cell),
+                    self.shards,
+                )
+
+        # The window bounds how many admissions can be in flight ahead of
+        # the telemetry feedback loop -- enough to keep every worker busy,
+        # small enough that budget overshoot stays a handful of cells.
+        window = max(2, 2 * self.workers)
+        miss_stream = pool_map_ordered(
+            _execute_cell_job, admitted_jobs(), self.workers, window=window
+        )
+        try:
+            for payload, duration in miss_stream:
+                cell = submitted.popleft()
+                key, spec_hash = self._cell_key(cell)
+                if "skipped" in payload:
+                    cell_key = payload.get("cell")
+                    yield CellResult(
+                        cell=cell,
+                        records=[],
+                        from_cache=False,
+                        duration_s=duration,
+                        key=key,
+                        spec_hash=spec_hash,
+                        skipped=payload["skipped"],
+                        skipped_cell=None if cell_key is None else tuple(cell_key),
+                    )
+                    continue
+                records = [record_from_dict(entry) for entry in payload["records"]]
+                elapsed_s = float(payload.get("elapsed_s", duration))
+                maxrss_kb = int(payload.get("maxrss_kb", 0))
+                bits = sum(record.total_bits for record in records)
+                if self.cache is not None:
+                    self.cache.put(
+                        key,
+                        records,
+                        meta={
+                            "scenario": cell.scenario,
+                            "seed": cell.seed,
+                            "engine": cell.engine,
+                            "spec_hash": spec_hash,
+                            "elapsed_s": elapsed_s,
+                            "maxrss_kb": maxrss_kb,
+                            "bits": bits,
+                        },
+                    )
+                governor.observe(
+                    cell, elapsed_s=elapsed_s, maxrss_kb=maxrss_kb, bits=bits
+                )
+                yield CellResult(
+                    cell=cell,
+                    records=records,
+                    from_cache=False,
+                    duration_s=duration,
+                    key=key,
+                    spec_hash=spec_hash,
+                    elapsed_s=elapsed_s,
+                    maxrss_kb=maxrss_kb,
+                    bits=bits,
+                )
+        finally:
+            miss_stream.close()
+
+        for cell, reason in governor.drain_skips():
+            key, spec_hash = self._cell_key(cell)
+            yield CellResult(
+                cell=cell,
+                records=[],
+                from_cache=False,
+                duration_s=0.0,
+                key=key,
+                spec_hash=spec_hash,
+                skipped=reason,
+                skip_reason="budget",
+            )
+
+    def budget_summary(self) -> Optional[str]:
+        """The last governed run's one-line budget summary (``None`` when
+        no bounded budget has driven a sweep yet)."""
+        if self._governor is None:
+            return None
+        return self._governor.summary()
 
     def _trace_path(self, cell: SweepCell) -> Optional[str]:
         """The per-cell trace file: an explicit ``trace_paths`` entry wins

@@ -1,0 +1,86 @@
+"""SharedMemoryTransport must never leak /dev/shm segments.
+
+The segments are *named files*: unlike anonymous memory they survive the
+process unless explicitly unlinked, so an exception between the first
+allocation and the transport handoff used to strand them until reboot.
+Construction now unlinks everything it created before re-raising, and
+``close()`` tolerates (and is the cleanup arm for) partially constructed
+state.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.congest.sharded.shmem import SharedMemoryTransport
+
+linux_only = pytest.mark.skipif(
+    not sys.platform.startswith("linux"), reason="inspects /dev/shm"
+)
+
+SHARDS = 2
+
+
+def _counts() -> np.ndarray:
+    counts = np.zeros((SHARDS, SHARDS), dtype=np.int64)
+    counts[0, 1] = counts[1, 0] = 4
+    return counts
+
+
+def _segments() -> set:
+    return set(os.listdir("/dev/shm"))
+
+
+class _BrokenBarrierCtx:
+    """A context whose Barrier raises after both segments already exist."""
+
+    def Barrier(self, parties):
+        raise RuntimeError("simulated mid-setup failure")
+
+
+@linux_only
+class TestConstructionCleanup:
+    def test_failure_after_both_segments_leaves_no_segments(self):
+        before = _segments()
+        with pytest.raises(RuntimeError, match="simulated mid-setup failure"):
+            SharedMemoryTransport(_BrokenBarrierCtx(), SHARDS, _counts(), _counts())
+        assert _segments() - before == set()
+
+    def test_failure_between_the_two_allocations_leaves_no_segments(
+        self, monkeypatch
+    ):
+        real = shared_memory.SharedMemory
+        calls = {"create": 0}
+
+        def flaky(*args, **kwargs):
+            if kwargs.get("create"):
+                calls["create"] += 1
+                if calls["create"] == 2:
+                    raise OSError("simulated allocation failure")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(shared_memory, "SharedMemory", flaky)
+        before = _segments()
+        with pytest.raises(OSError, match="simulated allocation failure"):
+            SharedMemoryTransport(
+                multiprocessing.get_context(), SHARDS, _counts(), _counts()
+            )
+        assert calls["create"] == 2
+        assert _segments() - before == set()
+
+    def test_close_is_idempotent_and_unlinks(self):
+        before = _segments()
+        transport = SharedMemoryTransport(
+            multiprocessing.get_context(), SHARDS, _counts(), _counts()
+        )
+        assert _segments() - before, "construction allocates named segments"
+        transport.close()
+        assert _segments() - before == set()
+        transport.close()
+        assert _segments() - before == set()

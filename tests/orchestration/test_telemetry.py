@@ -30,7 +30,10 @@ class TestCellTelemetry:
         result = _run(runner)
         assert not result.from_cache
         assert result.elapsed_s > 0
-        assert result.maxrss_kb > 0
+        # maxrss_kb is the cell's own peak RSS *growth* (PeakRssMeter): a
+        # tiny smoke cell that fits in already-resident heap pages reports
+        # 0, which is accurate -- never the coordinator's footprint.
+        assert result.maxrss_kb >= 0
 
     def test_cache_hit_restores_the_original_cost(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")

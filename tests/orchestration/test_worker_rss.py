@@ -1,0 +1,116 @@
+"""Worker memory telemetry: a worker reports its *own* peak, not the parent's.
+
+The historical bug: the worker probe read raw ``ru_maxrss``, so a forked
+worker -- whose page tables start as copy-on-write mappings of the
+coordinator -- reported the coordinator's high-water mark.  A sweep over a
+large ingested graph therefore tagged every tiny cell with the
+coordinator-sized peak, and anything consuming that telemetry (now the
+budget governor's memory ceiling) would have refused cells that actually
+use a few MiB.
+
+:class:`repro.obs.metrics.PeakRssMeter` fixes this by resetting the
+high-water mark (``/proc/self/clear_refs``) and reporting growth above a
+baseline.  These tests run the meter in a fork child and in a fresh
+``fork+exec`` interpreter (what ``spawn`` workers are) while the parent
+holds a deliberately large buffer, and require the child to report the
+size of its own allocation -- well below the parent's.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.metrics import PeakRssMeter, peak_rss_kib, reset_peak_rss
+
+linux_only = pytest.mark.skipif(
+    not sys.platform.startswith("linux"),
+    reason="peak-reset relies on /proc/self/clear_refs",
+)
+
+PARENT_MIB = 128
+CHILD_MIB = 32
+CHILD_KIB = CHILD_MIB * 1024
+# The child must report at least its own buffer and far less than the
+# parent's: half the parent hoard is an order-of-magnitude margin over the
+# interpreter's incidental allocations.
+CEILING_KIB = PARENT_MIB * 1024 // 2
+
+
+def _touched(mib: int) -> bytearray:
+    buffer = bytearray(mib * 1024 * 1024)
+    # Write every page so the kernel actually commits it to the RSS.
+    for offset in range(0, len(buffer), 4096):
+        buffer[offset] = 1
+    return buffer
+
+
+def _measure_child_peak(queue) -> None:
+    meter = PeakRssMeter().start()
+    buffer = _touched(CHILD_MIB)
+    queue.put(meter.peak_kb())
+    del buffer
+
+
+@linux_only
+class TestPeakRssMeter:
+    def test_reset_and_probe_work_here(self):
+        assert reset_peak_rss()
+        assert peak_rss_kib() > 0
+
+    def test_inline_meter_sees_a_known_allocation(self):
+        meter = PeakRssMeter().start()
+        buffer = _touched(CHILD_MIB)
+        peak = meter.peak_kb()
+        del buffer
+        assert peak >= CHILD_KIB
+        assert peak < CHILD_KIB + 64 * 1024
+
+    def test_unstarted_meter_reports_zero(self):
+        assert PeakRssMeter().peak_kb() == 0
+
+    def test_fork_worker_reports_its_own_peak_not_the_parents(self):
+        hoard = _touched(PARENT_MIB)
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.SimpleQueue()
+        process = ctx.Process(target=_measure_child_peak, args=(queue,))
+        process.start()
+        child_peak = queue.get()
+        process.join(timeout=30)
+        del hoard
+        # Without the baseline reset, a fork child's VmHWM/ru_maxrss start
+        # at the parent's ~128 MiB footprint; the meter must see only the
+        # child's own 32 MiB buffer.
+        assert child_peak >= CHILD_KIB
+        assert child_peak < CEILING_KIB
+
+    def test_exec_worker_reports_its_own_peak_not_the_parents(self):
+        hoard = _touched(PARENT_MIB)
+        script = (
+            "from repro.obs.metrics import PeakRssMeter\n"
+            "meter = PeakRssMeter().start()\n"
+            f"buffer = bytearray({CHILD_MIB} * 1024 * 1024)\n"
+            "for offset in range(0, len(buffer), 4096):\n"
+            "    buffer[offset] = 1\n"
+            "print(meter.peak_kb())\n"
+        )
+        src = Path(__file__).resolve().parents[2] / "src"
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+        )
+        del hoard
+        assert completed.returncode == 0, completed.stderr
+        child_peak = int(completed.stdout.strip())
+        # fork+exec is exactly what a spawn worker is: ru_maxrss survives
+        # the exec with the pre-exec footprint, VmHWM starts fresh, and the
+        # meter's growth-above-baseline is correct either way.
+        assert child_peak >= CHILD_KIB
+        assert child_peak < CEILING_KIB
